@@ -1,0 +1,168 @@
+// Figures 2 and 3 reproduction: the eight-case in situ placement and
+// execution-method campaign (Section 4.3/4.4).
+//
+//   FIG2 — total run time for lockstep and asynchronous in situ for each
+//          of the four in situ placements;
+//   FIG3 — average time per iteration of the solver and of in situ
+//          processing, for each placement and execution method (the
+//          stack plot's two components).
+//
+// Times are virtual seconds from the platform's discrete-event clock (the
+// machine is simulated; see DESIGN.md). Absolute values differ from the
+// paper's Perlmutter numbers; the qualitative shape is the reproduction
+// target:
+//   * asynchronous < lockstep total run time for every placement,
+//   * asynchronous in situ looks nearly free (deep copy + launch only),
+//   * but the solver is slowed relative to lockstep by the concurrency,
+//   * dedicated-device placements (3 or 2 ranks/node) run longer overall,
+//   * host and same-device placements are nearly tied.
+//
+// Environment:
+//   SENSEI_PAPER_SCALE=1   per-node body count and grid resolution at the
+//                          paper's values (187500 bodies/node, 256^2 grids,
+//                          timing-only kernels, 4 virtual nodes)
+//
+// Writes fig2_total_runtime.dat and fig3_per_iteration.dat (gnuplot
+// friendly) next to the binary.
+
+#include "campaign.h"
+#include "sio.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <vector>
+
+int main()
+{
+  using campaign::CaseResult;
+
+  const bool paperScale = std::getenv("SENSEI_PAPER_SCALE") != nullptr;
+  const campaign::CampaignConfig g = paperScale
+                                       ? campaign::PaperScaleConfig()
+                                       : campaign::CampaignConfig{};
+
+  std::cout << "FIG2/FIG3 | in situ placement campaign ("
+            << (paperScale ? "paper-scale workload" : "scaled default")
+            << "): " << g.Nodes << " nodes x 4 GPUs, " << g.BodiesPerNode
+            << " bodies/node, " << g.Steps << " steps, "
+            << g.CoordSystems * g.VariablesPerSystem
+            << " binning ops/step on " << g.Resolution << "^2 grids\n"
+            << "FIG2/FIG3 | times are virtual seconds (simulated platform)\n\n";
+
+  std::vector<CaseResult> results;
+  for (const campaign::CaseConfig &c : campaign::AllCases())
+  {
+    std::cout << "running: " << campaign::PlacementName(c.Place) << " / "
+              << (c.Asynchronous ? "asynchronous" : "lockstep") << " ..."
+              << std::flush;
+    results.push_back(campaign::RunCase(c, g));
+    std::cout << " total " << results.back().TotalSeconds << " s\n";
+  }
+
+  auto find = [&](campaign::Placement p, bool async) -> const CaseResult &
+  {
+    for (const CaseResult &r : results)
+      if (r.Place == p && r.Asynchronous == async)
+        return r;
+    throw std::logic_error("case missing");
+  };
+
+  const campaign::Placement placements[] = {
+    campaign::Placement::Host, campaign::Placement::SameDevice,
+    campaign::Placement::OneDedicated, campaign::Placement::TwoDedicated};
+
+  // --- FIG2: total run time --------------------------------------------------
+  std::cout << "\nFIG2 | total run time (s) by placement and execution "
+               "method\n"
+            << std::left << std::setw(24) << "placement" << std::right
+            << std::setw(12) << "lockstep" << std::setw(14) << "asynchronous"
+            << std::setw(10) << "speedup" << "\n"
+            << std::string(60, '-') << "\n";
+
+  std::vector<std::vector<double>> fig2rows;
+  for (campaign::Placement p : placements)
+  {
+    const CaseResult &lk = find(p, false);
+    const CaseResult &as = find(p, true);
+    std::cout << std::left << std::setw(24) << campaign::PlacementName(p)
+              << std::right << std::fixed << std::setprecision(4)
+              << std::setw(12) << lk.TotalSeconds << std::setw(14)
+              << as.TotalSeconds << std::setw(9) << std::setprecision(2)
+              << lk.TotalSeconds / as.TotalSeconds << "x\n";
+    fig2rows.push_back({static_cast<double>(static_cast<int>(p)),
+                        lk.TotalSeconds, as.TotalSeconds});
+  }
+  sio::WriteSeries("fig2_total_runtime.dat",
+                   {"placement", "lockstep_s", "async_s"}, fig2rows);
+
+  // --- FIG3: per-iteration solver + in situ stack ----------------------------------
+  std::cout << "\nFIG3 | average time per iteration (s): solver + in situ "
+               "(stack plot components)\n"
+            << std::left << std::setw(24) << "placement" << std::setw(14)
+            << "method" << std::right << std::setw(12) << "solver"
+            << std::setw(12) << "in situ" << std::setw(12) << "total"
+            << "\n"
+            << std::string(74, '-') << "\n";
+
+  std::vector<std::vector<double>> fig3rows;
+  for (campaign::Placement p : placements)
+  {
+    for (bool async : {false, true})
+    {
+      const CaseResult &r = find(p, async);
+      std::cout << std::left << std::setw(24) << campaign::PlacementName(p)
+                << std::setw(14) << (async ? "asynchronous" : "lockstep")
+                << std::right << std::fixed << std::setprecision(6)
+                << std::setw(12) << r.MeanSolverSeconds << std::setw(12)
+                << r.MeanInSituSeconds << std::setw(12)
+                << r.MeanSolverSeconds + r.MeanInSituSeconds << "\n";
+      fig3rows.push_back({static_cast<double>(static_cast<int>(p)),
+                          async ? 1.0 : 0.0, r.MeanSolverSeconds,
+                          r.MeanInSituSeconds});
+    }
+  }
+  sio::WriteSeries("fig3_per_iteration.dat",
+                   {"placement", "async", "solver_s", "insitu_s"}, fig3rows);
+
+  // --- the qualitative checks of Section 4.4 -----------------------------------------
+  std::cout << "\nSHAPE | paper findings reproduced?\n";
+  bool allOk = true;
+  auto check = [&](const char *what, bool ok)
+  {
+    std::cout << "  [" << (ok ? "ok" : "MISS") << "] " << what << "\n";
+    allOk = allOk && ok;
+  };
+
+  bool asyncWins = true, asyncCheap = true;
+  for (campaign::Placement p : placements)
+  {
+    asyncWins =
+      asyncWins && find(p, true).TotalSeconds < find(p, false).TotalSeconds;
+    asyncCheap = asyncCheap && find(p, true).MeanInSituSeconds <
+                                 find(p, false).MeanInSituSeconds;
+  }
+  check("asynchronous reduced total run time across all placements",
+        asyncWins);
+  check("apparent asynchronous in situ time is small (deep copy + launch)",
+        asyncCheap);
+  check("solver slowed down when in situ ran asynchronously (same device)",
+        find(campaign::Placement::SameDevice, true).MeanSolverSeconds >
+          find(campaign::Placement::SameDevice, false).MeanSolverSeconds);
+  check("dedicated-device placements ran longer (reduced concurrency)",
+        find(campaign::Placement::OneDedicated, false).TotalSeconds >
+            find(campaign::Placement::SameDevice, false).TotalSeconds &&
+          find(campaign::Placement::TwoDedicated, false).TotalSeconds >
+            find(campaign::Placement::OneDedicated, false).TotalSeconds);
+  {
+    const double h = find(campaign::Placement::Host, false).TotalSeconds;
+    const double d =
+      find(campaign::Placement::SameDevice, false).TotalSeconds;
+    check("negligible difference between host-only and same-device",
+          std::abs(h - d) / std::max(h, d) < 0.35);
+  }
+
+  std::cout << "\nwrote fig2_total_runtime.dat, fig3_per_iteration.dat\n";
+  return allOk ? 0 : 1;
+}

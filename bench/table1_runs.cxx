@@ -1,0 +1,43 @@
+// Table 1 reproduction: the run matrix of the in situ placement
+// investigation — 8 cases = {lockstep, asynchronous} x {all on host, on
+// same device, 1 dedicated device, 2 dedicated devices}, with the ranks
+// per node and total ranks each placement implies at the paper's 128-node
+// scale, plus the scaled-down virtual-platform equivalents this
+// reproduction runs (see fig2_fig3_placement).
+
+#include "campaign.h"
+
+#include <iomanip>
+#include <iostream>
+
+int main()
+{
+  using campaign::CaseConfig;
+
+  std::cout
+    << "TABLE1 | summary of the runs made to investigate in situ placement\n"
+    << "TABLE1 | paper scale: 128 nodes, 4 GPUs/node, 24M bodies\n\n"
+    << std::left << std::setw(6) << "Num." << std::setw(11) << "In-Situ"
+    << std::setw(10) << "Ranks" << std::setw(8) << "Total" << "In-Situ\n"
+    << std::setw(6) << "Nodes" << std::setw(11) << "Method" << std::setw(10)
+    << "per node" << std::setw(8) << "" << "Location\n"
+    << std::string(64, '-') << "\n";
+
+  const int paperNodes = 128;
+  for (const CaseConfig &c : campaign::AllCases())
+  {
+    const int rpn = campaign::RanksPerNode(c.Place);
+    std::cout << std::left << std::setw(6) << paperNodes << std::setw(11)
+              << (c.Asynchronous ? "asynchr." : "lock step") << std::setw(10)
+              << rpn << std::setw(8) << rpn * paperNodes
+              << campaign::PlacementName(c.Place) << "\n";
+  }
+
+  const campaign::CampaignConfig g; // the scaled defaults used by fig2/fig3
+  std::cout << "\nTABLE1 | this reproduction runs the same matrix on "
+            << g.Nodes << " virtual nodes (" << g.BodiesPerNode
+            << " bodies/node, " << g.Steps << " steps, " << g.Resolution
+            << "^2 grids, " << g.CoordSystems * g.VariablesPerSystem
+            << " binning operations per step)\n";
+  return 0;
+}

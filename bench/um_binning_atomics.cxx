@@ -1,0 +1,206 @@
+// Ablation: why data binning "is not an ideal algorithm for GPUs"
+// (paper Section 4.4) — atomic memory updates to shared bins throttle the
+// device's streaming rate. Sweeps the atomic-bound fraction of a
+// binning-shaped kernel on device vs host core pool, and runs the actual
+// DataBinning analysis on both, in virtual time (UseManualTime).
+//
+// Expected shape: at low atomic fraction the device wins by the raw
+// rate ratio; as the fraction grows the device advantage collapses toward
+// (and below) parity with the host — the paper's observed "negligible
+// difference between the host only and same device placements".
+
+#include "senseiDataAdaptor.h"
+#include "senseiDataBinning.h"
+#include "svtkAOSDataArray.h"
+#include "vcuda.h"
+#include "vpPlatform.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace
+{
+void Reset()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 64;
+  vp::Platform::Initialize(cfg);
+  vcuda::SetDevice(0);
+}
+
+double Elapsed(double t0)
+{
+  return vp::ThisClock().Now() - t0;
+}
+
+svtkTable *MakeTable(std::size_t n)
+{
+  std::mt19937_64 gen(5);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  svtkTable *t = svtkTable::New();
+  for (const char *name : {"x", "y", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+      c->SetVariantValue(i, 0, name[0] == 'm' ? 1.0 : u(gen));
+    t->AddColumn(c);
+    c->Delete();
+  }
+  return t;
+}
+
+/// A device-resident copy of MakeTable — the paper's deployment, where
+/// the simulation's arrays already live on the GPU and are shared
+/// zero-copy, so the device benchmarks measure the analysis, not
+/// host-to-device staging.
+svtkTable *MakeDeviceTable(std::size_t n)
+{
+  svtkTable *aos = MakeTable(n);
+  svtkTable *t = svtkTable::New();
+  vcuda::SetDevice(0);
+  for (int c = 0; c < aos->GetNumberOfColumns(); ++c)
+  {
+    const auto *src =
+      dynamic_cast<const svtkAOSDoubleArray *>(aos->GetColumn(c));
+    svtkHAMRDoubleArray *h = svtkHAMRDoubleArray::New(
+      src->GetName(), src->GetNumberOfTuples(), 1, svtkAllocator::cuda);
+    h->GetBuffer().assign(src->GetVector().data(), src->GetVector().size());
+    t->AddColumn(h);
+    h->Delete();
+  }
+  aos->Delete();
+  return t;
+}
+} // namespace
+
+// kernel-level sweep: binning-shaped work at a given atomic fraction
+static void BM_DeviceKernel_AtomicSweep(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = 1 << 20;
+  const double frac = static_cast<double>(state.range(0)) / 100.0;
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    vcuda::LaunchN(strm, n, nullptr,
+                   vcuda::LaunchBounds{10.0, frac, "binning_shape"});
+    vcuda::StreamSynchronize(strm);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("atomic fraction " + std::to_string(frac));
+}
+BENCHMARK(BM_DeviceKernel_AtomicSweep)
+  ->Arg(0)
+  ->Arg(20)
+  ->Arg(40)
+  ->Arg(60)
+  ->Arg(80)
+  ->Arg(100)
+  ->UseManualTime();
+
+static void BM_HostKernel_AtomicSweep(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = 1 << 20;
+  const double frac = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    vp::Platform::Get().HostParallelFor(
+      vp::KernelDesc{n, 10.0, frac, "binning_shape_host"}, nullptr);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("atomic fraction " + std::to_string(frac) +
+                 " (host pays far less)");
+}
+BENCHMARK(BM_HostKernel_AtomicSweep)->Arg(0)->Arg(60)->Arg(100)->UseManualTime();
+
+// analysis-level: the real DataBinning on host vs device. device runs
+// use device-resident data (the zero-copy deployment); the host run uses
+// host data — each placement sees the data where its campaign placement
+// would find it.
+static void RunBinning(benchmark::State &state, int deviceId)
+{
+  Reset();
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  svtkTable *t = deviceId >= 0 ? MakeDeviceTable(rows) : MakeTable(rows);
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::DataBinning *b = sensei::DataBinning::New();
+  b->SetMeshName("bodies");
+  b->SetAxes({"x", "y"});
+  b->SetResolution({256});
+  b->SetRange(0, -1, 1);
+  b->SetRange(1, -1, 1);
+  b->AddOperation("m", sensei::BinningOp::Sum);
+  b->SetDeviceId(deviceId);
+
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    b->Execute(da);
+    state.SetIterationTime(Elapsed(t0));
+  }
+
+  b->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+static void BM_DataBinning_Host(benchmark::State &state)
+{
+  RunBinning(state, sensei::AnalysisAdaptor::DEVICE_HOST);
+  state.SetLabel("CPU implementation");
+}
+BENCHMARK(BM_DataBinning_Host)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+static void BM_DataBinning_Device(benchmark::State &state)
+{
+  RunBinning(state, 0);
+  state.SetLabel("CUDA implementation (atomic-bound)");
+}
+BENCHMARK(BM_DataBinning_Device)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+// the paper's future-work optimization: privatized per-block histograms
+static void BM_DataBinning_DevicePrivatized(benchmark::State &state)
+{
+  Reset();
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  svtkTable *t = MakeDeviceTable(rows);
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::DataBinning *b = sensei::DataBinning::New();
+  b->SetMeshName("bodies");
+  b->SetAxes({"x", "y"});
+  b->SetResolution({256});
+  b->SetRange(0, -1, 1);
+  b->SetRange(1, -1, 1);
+  b->AddOperation("m", sensei::BinningOp::Sum);
+  b->SetDeviceId(0);
+  b->SetGpuStrategy(sensei::GpuBinningStrategy::Privatized);
+
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    b->Execute(da);
+    state.SetIterationTime(Elapsed(t0));
+  }
+
+  b->Delete();
+  da->ReleaseData();
+  da->Delete();
+  state.SetLabel("CUDA, privatized histograms (future-work optimization)");
+}
+BENCHMARK(BM_DataBinning_DevicePrivatized)
+  ->Arg(1 << 16)
+  ->Arg(1 << 20)
+  ->UseManualTime();
+
+BENCHMARK_MAIN();

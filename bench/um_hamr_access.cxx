@@ -1,0 +1,181 @@
+// Microbenchmark / ablation: the cost of the HDA's PM- and
+// location-agnostic access API across the access matrix — zero-copy cases
+// (data already accessible at the request point) vs movement cases (a
+// temporary is allocated and the data moved). Reported "time" is virtual
+// seconds from the platform's discrete-event clock (UseManualTime), i.e.
+// what the access would cost on the modeled hardware.
+//
+// This quantifies the paper's core data-model claim: when the consumer
+// runs where the data lives, access is free; otherwise the data model
+// pays exactly one transfer, transparently.
+
+#include "hamrBuffer.h"
+#include "vcuda.h"
+#include "vomp.h"
+#include "vpPlatform.h"
+
+#include <benchmark/benchmark.h>
+
+using hamr::allocator;
+using hamr::buffer;
+
+namespace
+{
+void Reset()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  vp::Platform::Initialize(cfg);
+  vcuda::SetDevice(0);
+  vomp::SetDefaultDevice(0);
+}
+
+double Elapsed(double t0)
+{
+  return vp::ThisClock().Now() - t0;
+}
+} // namespace
+
+static void BM_HostAccess_HostBuffer(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  buffer<double> b(allocator::malloc_, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto view = b.get_host_accessible();
+    b.synchronize();
+    benchmark::DoNotOptimize(view);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("zero-copy");
+}
+BENCHMARK(BM_HostAccess_HostBuffer)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+static void BM_HostAccess_DeviceBuffer(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  buffer<double> b(allocator::device, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto view = b.get_host_accessible();
+    b.synchronize();
+    benchmark::DoNotOptimize(view);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("D2H move");
+}
+BENCHMARK(BM_HostAccess_DeviceBuffer)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+static void BM_DeviceAccess_SameDevice(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  vcuda::SetDevice(1);
+  buffer<double> b(allocator::device, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto view = b.get_device_accessible(1);
+    b.synchronize();
+    benchmark::DoNotOptimize(view);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("zero-copy");
+}
+BENCHMARK(BM_DeviceAccess_SameDevice)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+static void BM_DeviceAccess_PeerDevice(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  vcuda::SetDevice(0);
+  buffer<double> b(allocator::device, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto view = b.get_device_accessible(2);
+    b.synchronize();
+    benchmark::DoNotOptimize(view);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("D2D move");
+}
+BENCHMARK(BM_DeviceAccess_PeerDevice)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+static void BM_DeviceAccess_HostBuffer(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  buffer<double> b(allocator::malloc_, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto view = b.get_device_accessible(1);
+    b.synchronize();
+    benchmark::DoNotOptimize(view);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("H2D move");
+}
+BENCHMARK(BM_DeviceAccess_HostBuffer)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+static void BM_DeviceAccess_PinnedHostBuffer(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  buffer<double> b(allocator::host_pinned, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto view = b.get_device_accessible(1);
+    b.synchronize();
+    benchmark::DoNotOptimize(view);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("H2D move, page-locked (faster bandwidth)");
+}
+BENCHMARK(BM_DeviceAccess_PinnedHostBuffer)
+  ->Arg(1 << 16)
+  ->Arg(1 << 20)
+  ->UseManualTime();
+
+static void BM_AnyAccess_Managed(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  buffer<double> b(allocator::managed, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    auto h = b.get_host_accessible();
+    auto d = b.get_device_accessible(3);
+    b.synchronize();
+    benchmark::DoNotOptimize(h);
+    benchmark::DoNotOptimize(d);
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("zero-copy everywhere");
+}
+BENCHMARK(BM_AnyAccess_Managed)->Arg(1 << 20)->UseManualTime();
+
+static void BM_DeepCopy_OnDevice(benchmark::State &state)
+{
+  Reset();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  buffer<double> b(allocator::device, n, 1.0);
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    buffer<double> copy(b);
+    benchmark::DoNotOptimize(copy.data());
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("what the asynchronous execution method pays per array");
+}
+BENCHMARK(BM_DeepCopy_OnDevice)->Arg(1 << 16)->Arg(1 << 20)->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Microbenchmark: minimpi collective costs in virtual time as a function
+// of rank count and payload — the cross-rank reduction of binning grids
+// is a first-order term in the in situ cost at scale (90 grids per step
+// are allreduced in the paper's campaign).
+
+#include "minimpi.h"
+#include "vpPlatform.h"
+
+#include <benchmark/benchmark.h>
+
+namespace
+{
+void Reset()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  vp::Platform::Initialize(cfg);
+}
+} // namespace
+
+static void BM_Allreduce(benchmark::State &state)
+{
+  Reset();
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+
+  for (auto _ : state)
+  {
+    double virtualSeconds = 0.0;
+    minimpi::Run(ranks,
+                 [n, &virtualSeconds](minimpi::Communicator &comm)
+                 {
+                   std::vector<double> grid(n, 1.0);
+                   const double t0 = vp::ThisClock().Now();
+                   comm.Allreduce(grid.data(), n, minimpi::Op::Sum);
+                   if (comm.Rank() == 0)
+                     virtualSeconds = vp::ThisClock().Now() - t0;
+                 });
+    state.SetIterationTime(virtualSeconds);
+  }
+  state.SetLabel(std::to_string(ranks) + " ranks, " +
+                 std::to_string(n * sizeof(double)) + " B");
+}
+BENCHMARK(BM_Allreduce)
+  ->Args({2, 1 << 14})
+  ->Args({4, 1 << 14})
+  ->Args({8, 1 << 14})
+  ->Args({16, 1 << 14})
+  ->Args({8, 1 << 10})
+  ->Args({8, 1 << 16})
+  ->UseManualTime()
+  ->Iterations(10);
+
+static void BM_Barrier(benchmark::State &state)
+{
+  Reset();
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state)
+  {
+    double virtualSeconds = 0.0;
+    minimpi::Run(ranks,
+                 [&virtualSeconds](minimpi::Communicator &comm)
+                 {
+                   const double t0 = vp::ThisClock().Now();
+                   comm.Barrier();
+                   if (comm.Rank() == 0)
+                     virtualSeconds = vp::ThisClock().Now() - t0;
+                 });
+    state.SetIterationTime(virtualSeconds);
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32)->UseManualTime()->Iterations(10);
+
+static void BM_RingExchange(benchmark::State &state)
+{
+  // the solver's force-pass communication pattern
+  Reset();
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+
+  for (auto _ : state)
+  {
+    double virtualSeconds = 0.0;
+    minimpi::Run(ranks,
+                 [n, &virtualSeconds](minimpi::Communicator &comm)
+                 {
+                   const int next = (comm.Rank() + 1) % comm.Size();
+                   const int prev =
+                     (comm.Rank() + comm.Size() - 1) % comm.Size();
+                   std::vector<double> block(n, 1.0);
+                   const double t0 = vp::ThisClock().Now();
+                   for (int s = 1; s < comm.Size(); ++s)
+                   {
+                     comm.SendVec(next, s, block);
+                     block = comm.RecvAs<double>(prev, s);
+                   }
+                   if (comm.Rank() == 0)
+                     virtualSeconds = vp::ThisClock().Now() - t0;
+                 });
+    state.SetIterationTime(virtualSeconds);
+  }
+  state.SetLabel(std::to_string(ranks) + "-stage ring");
+}
+BENCHMARK(BM_RingExchange)
+  ->Args({4, 1 << 12})
+  ->Args({8, 1 << 12})
+  ->UseManualTime()
+  ->Iterations(10);
+
+BENCHMARK_MAIN();

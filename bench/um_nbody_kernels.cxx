@@ -1,0 +1,122 @@
+// Microbenchmark: Newton++ solver phase costs in virtual time — the
+// all-pairs force kernel's quadratic scaling (the term that grows when
+// dedicated-device placements concentrate bodies on fewer ranks), the
+// integrator updates, and a whole coupled step.
+
+#include "minimpi.h"
+#include "newtonSolver.h"
+#include "vomp.h"
+#include "vpPlatform.h"
+
+#include <benchmark/benchmark.h>
+
+namespace
+{
+void Reset()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 64;
+  vp::Platform::Initialize(cfg);
+  vomp::SetDefaultDevice(0);
+}
+
+newton::Config Cfg(std::size_t bodies)
+{
+  newton::Config c;
+  c.TotalBodies = bodies;
+  c.CentralMass = 100.0;
+  c.Repartition = false;
+  return c;
+}
+} // namespace
+
+static void BM_SolverStep_Serial(benchmark::State &state)
+{
+  Reset();
+  newton::Solver solver(nullptr, Cfg(static_cast<std::size_t>(state.range(0))));
+  solver.Initialize();
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    solver.Step();
+    state.SetIterationTime(vp::ThisClock().Now() - t0);
+  }
+  state.SetLabel("all-pairs: quadratic in bodies");
+}
+BENCHMARK(BM_SolverStep_Serial)
+  ->Arg(256)
+  ->Arg(512)
+  ->Arg(1024)
+  ->Arg(2048)
+  ->UseManualTime();
+
+static void BM_SolverStep_FourRanks(benchmark::State &state)
+{
+  Reset();
+  const std::size_t bodies = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+  {
+    double virtualSeconds = 0.0;
+    minimpi::Run(4,
+                 [&](minimpi::Communicator &comm)
+                 {
+                   newton::Solver solver(&comm, Cfg(bodies));
+                   solver.Initialize();
+                   const double t0 = vp::ThisClock().Now();
+                   solver.Step();
+                   comm.Barrier();
+                   if (comm.Rank() == 0)
+                     virtualSeconds = vp::ThisClock().Now() - t0;
+                 });
+    state.SetIterationTime(virtualSeconds);
+  }
+  state.SetLabel("ring force pass across 4 ranks / 4 devices");
+}
+BENCHMARK(BM_SolverStep_FourRanks)->Arg(1024)->Arg(2048)->UseManualTime()->Iterations(3);
+
+static void BM_SolverStep_Host(benchmark::State &state)
+{
+  Reset();
+  newton::Config c = Cfg(static_cast<std::size_t>(state.range(0)));
+  c.SimDevices = -1; // run the solver on the host core pool
+  newton::Solver solver(nullptr, c);
+  solver.Initialize();
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    solver.Step();
+    state.SetIterationTime(vp::ThisClock().Now() - t0);
+  }
+  state.SetLabel("host core pool (device advantage = rate ratio)");
+}
+BENCHMARK(BM_SolverStep_Host)->Arg(1024)->UseManualTime();
+
+static void BM_Repartition(benchmark::State &state)
+{
+  Reset();
+  const std::size_t bodies = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+  {
+    double virtualSeconds = 0.0;
+    minimpi::Run(4,
+                 [&](minimpi::Communicator &comm)
+                 {
+                   newton::Config c = Cfg(bodies);
+                   c.VelocityScale = 2.0; // plenty of strays
+                   newton::Solver solver(&comm, c);
+                   solver.Initialize();
+                   solver.Step();
+                   const double t0 = vp::ThisClock().Now();
+                   solver.Repartition();
+                   comm.Barrier();
+                   if (comm.Rank() == 0)
+                     virtualSeconds = vp::ThisClock().Now() - t0;
+                 });
+    state.SetIterationTime(virtualSeconds);
+  }
+  state.SetLabel("body migration (disabled during the paper's runs)");
+}
+BENCHMARK(BM_Repartition)->Arg(2048)->UseManualTime()->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+# gnuplot script regenerating the paper's Figure 2 (total run time,
+# grouped bars by placement, lockstep red vs asynchronous blue) and
+# Figure 3 (stacked solver + in situ time per iteration) from the .dat
+# series written by bench/fig2_fig3_placement.
+#
+# Run from the directory containing fig2_total_runtime.dat and
+# fig3_per_iteration.dat:   gnuplot scripts/plot_fig2_fig3.gp
+
+set terminal pngcairo size 900,500 font ",11"
+
+set style data histograms
+set style fill solid 0.9 border -1
+set boxwidth 0.8
+set grid ytics
+
+placements = "host same-device 1-dedicated 2-dedicated"
+
+# ---- Figure 2: total run time -------------------------------------------------
+set output "fig2.png"
+set title "Total run time by in situ placement (virtual seconds)"
+set ylabel "total run time (s)"
+set xtics ("host" 0, "same device" 1, "1 dedicated" 2, "2 dedicated" 3)
+plot "fig2_total_runtime.dat" using 2 title "lockstep" lc rgb "#c03020", \
+     ""                       using 3 title "asynchronous" lc rgb "#2050c0"
+
+# ---- Figure 3: per-iteration stack ---------------------------------------------
+set output "fig3.png"
+set style histogram rowstacked
+set title "Average time per iteration: solver + in situ (virtual seconds)"
+set ylabel "seconds / iteration"
+set xtics rotate by -30
+plot "fig3_per_iteration.dat" \
+       using 3:xtic(sprintf("%s %s", word(placements, int($1)+1), $2 ? "async" : "lock")) \
+       title "solver" lc rgb "#30a0a0", \
+     "" using 4 title "in situ" lc rgb "#c03020"

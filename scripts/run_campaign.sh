@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Regenerate every table and figure of the paper from a clean tree.
+# Results land in ./results; see EXPERIMENTS.md for the expected shapes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+cd results
+
+echo "== Figure 1 =="
+../build/bench/fig1_binning | tee fig1.txt
+
+echo "== Table 1 =="
+../build/bench/table1_runs | tee table1.txt
+
+echo "== Figures 2 and 3 (scaled default) =="
+../build/bench/fig2_fig3_placement | tee fig2_fig3.txt
+
+echo "== Figures 2 and 3 (paper-shape workload) =="
+SENSEI_PAPER_SCALE=1 ../build/bench/fig2_fig3_placement | tee fig2_fig3_paper_scale.txt
+
+echo "== microbenches / ablations =="
+for b in ../build/bench/um_*; do
+  name=$(basename "$b")
+  echo "-- $name"
+  "$b" --benchmark_min_time=0.05 | tee "$name.txt"
+done
+
+if command -v gnuplot >/dev/null 2>&1; then
+  gnuplot ../scripts/plot_fig2_fig3.gp
+  echo "wrote results/fig2.png, results/fig3.png"
+fi
+
+echo "done; outputs in ./results"

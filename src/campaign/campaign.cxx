@@ -1,0 +1,227 @@
+#include "campaign.h"
+
+#include "minimpi.h"
+#include "newtonDriver.h"
+#include "senseiConfigurableAnalysis.h"
+#include "vpPlatform.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace campaign
+{
+
+const char *PlacementName(Placement p)
+{
+  switch (p)
+  {
+    case Placement::Host: return "all on host";
+    case Placement::SameDevice: return "on same device";
+    case Placement::OneDedicated: return "1 dedicated device";
+    case Placement::TwoDedicated: return "2 dedicated devices";
+  }
+  return "unknown";
+}
+
+int RanksPerNode(Placement p)
+{
+  switch (p)
+  {
+    case Placement::Host:
+    case Placement::SameDevice:
+      return 4;
+    case Placement::OneDedicated:
+      return 3;
+    case Placement::TwoDedicated:
+      return 2;
+  }
+  return 4;
+}
+
+int SimDevices(Placement p)
+{
+  switch (p)
+  {
+    case Placement::Host:
+    case Placement::SameDevice:
+      return 4;
+    case Placement::OneDedicated:
+      return 3;
+    case Placement::TwoDedicated:
+      return 2;
+  }
+  return 4;
+}
+
+CampaignConfig PaperScaleConfig()
+{
+  CampaignConfig g;
+  g.Nodes = 4;
+  g.BodiesPerNode = 187500; // 24M / 128
+  g.Steps = 10;
+  g.Resolution = 256;
+  g.TimingOnly = true;
+  return g;
+}
+
+CampaignConfig RealExecutionConfig()
+{
+  CampaignConfig g;
+  g.Nodes = 1;
+  g.BodiesPerNode = 512;
+  g.Steps = 3;
+  g.Resolution = 32;
+  g.CoordSystems = 2;
+  g.VariablesPerSystem = 3;
+  g.TimingOnly = false;
+  return g;
+}
+
+std::vector<CaseConfig> AllCases()
+{
+  std::vector<CaseConfig> cases;
+  for (Placement p : {Placement::Host, Placement::SameDevice,
+                      Placement::OneDedicated, Placement::TwoDedicated})
+    for (bool async : {false, true})
+      cases.push_back(CaseConfig{p, async});
+  // the paper groups by execution method first (Table 1): reorder so all
+  // lockstep rows precede asynchronous rows
+  std::stable_sort(cases.begin(), cases.end(),
+                   [](const CaseConfig &a, const CaseConfig &b)
+                   { return a.Asynchronous < b.Asynchronous; });
+  return cases;
+}
+
+std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
+{
+  // the nine coordinate systems of the evaluation: spatial planes,
+  // velocity planes, and position-velocity phase planes
+  static const std::array<std::array<const char *, 2>, 9> systems = {{
+    {"x", "y"},
+    {"x", "z"},
+    {"y", "z"},
+    {"vx", "vy"},
+    {"vx", "vz"},
+    {"vy", "vz"},
+    {"x", "vx"},
+    {"y", "vy"},
+    {"z", "vz"},
+  }};
+
+  // the ten variables binned in every coordinate system
+  static const std::array<const char *, 10> variables = {
+    "x", "y", "z", "vx", "vy", "vz", "m", "speed", "ke", "r"};
+
+  std::string device;
+  std::string extra;
+  switch (c.Place)
+  {
+    case Placement::Host:
+      device = "host";
+      break;
+    case Placement::SameDevice:
+      device = "auto"; // Eq. 1 defaults: d = r mod n_a = the sim device
+      break;
+    case Placement::OneDedicated:
+      device = "auto";
+      extra = " devices_to_use=\"1\" device_start=\"3\"";
+      break;
+    case Placement::TwoDedicated:
+      device = "auto";
+      extra = " devices_to_use=\"2\" device_start=\"2\"";
+      break;
+  }
+
+  const int nsys =
+    std::min<int>(g.CoordSystems, static_cast<int>(systems.size()));
+  const int nvar =
+    std::min<int>(g.VariablesPerSystem, static_cast<int>(variables.size()));
+
+  std::ostringstream xml;
+  xml << "<sensei>\n";
+  for (int s = 0; s < nsys; ++s)
+  {
+    xml << "  <analysis type=\"data_binning\" mesh=\"bodies\" axes=\""
+        << systems[static_cast<std::size_t>(s)][0] << ','
+        << systems[static_cast<std::size_t>(s)][1] << "\" resolution=\""
+        << g.Resolution << "\" ops=\"";
+    for (int v = 0; v < nvar; ++v)
+      xml << (v ? "," : "") << "sum";
+    xml << "\" values=\"";
+    for (int v = 0; v < nvar; ++v)
+      xml << (v ? "," : "") << variables[static_cast<std::size_t>(v)];
+    xml << "\" device=\"" << device << '"' << extra << " async=\""
+        << (c.Asynchronous ? 1 : 0) << "\"/>\n";
+  }
+  xml << "</sensei>\n";
+  return xml.str();
+}
+
+CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g)
+{
+  const int rpn = RanksPerNode(c.Place);
+  const int ranks = rpn * g.Nodes;
+
+  vp::PlatformConfig plat;
+  plat.NumNodes = g.Nodes;
+  plat.DevicesPerNode = 4;   // a Perlmutter GPU node
+  plat.HostCoresPerNode = 64;
+  plat.ExecuteKernels = !g.TimingOnly;
+  vp::Platform::Initialize(plat);
+
+  newton::Config sim;
+  sim.TotalBodies = g.BodiesPerNode * static_cast<std::size_t>(g.Nodes);
+  sim.Seed = g.Seed;
+  sim.CentralMass = 100.0;
+  sim.Repartition = false; // disabled during the runs, as in the paper
+  sim.SimDevices = SimDevices(c.Place);
+
+  const std::string xml = BuildXml(c, g);
+  const long steps = g.Steps;
+
+  std::vector<double> totals(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> solver(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> insitu(static_cast<std::size_t>(ranks), 0.0);
+
+  minimpi::LaunchOptions opts;
+  opts.Ranks = ranks;
+  opts.RanksPerNode = rpn;
+
+  minimpi::Run(opts,
+               [&](minimpi::Communicator &comm)
+               {
+                 sensei::ConfigurableAnalysis *analysis =
+                   sensei::ConfigurableAnalysis::New();
+                 analysis->InitializeString(xml);
+
+                 newton::Driver driver(&comm, sim, analysis);
+                 analysis->UnRegister();
+
+                 driver.Initialize();
+                 const double total = driver.Run(steps);
+
+                 const std::size_t r = static_cast<std::size_t>(comm.Rank());
+                 totals[r] = total;
+                 solver[r] = driver.MeanSolverSeconds();
+                 insitu[r] = driver.MeanInSituSeconds();
+               });
+
+  CaseResult out;
+  out.Place = c.Place;
+  out.Asynchronous = c.Asynchronous;
+  out.Ranks = ranks;
+  out.RanksPerNode = rpn;
+  out.TotalSeconds = *std::max_element(totals.begin(), totals.end());
+  for (int r = 0; r < ranks; ++r)
+  {
+    out.MeanSolverSeconds += solver[static_cast<std::size_t>(r)];
+    out.MeanInSituSeconds += insitu[static_cast<std::size_t>(r)];
+  }
+  out.MeanSolverSeconds /= ranks;
+  out.MeanInSituSeconds /= ranks;
+  return out;
+}
+
+} // namespace campaign

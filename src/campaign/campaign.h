@@ -1,0 +1,108 @@
+#ifndef campaign_h
+#define campaign_h
+
+/// @file campaign.h
+/// The paper's evaluation campaign (Section 4.3): Newton++ coupled through
+/// SENSEI to the data binning analysis, run over the eight cases of
+/// Table 1 — four in situ placements ({all on host, on the same device,
+/// one dedicated device, two dedicated devices}) crossed with two
+/// execution methods ({lockstep, asynchronous}).
+///
+/// Per the paper: one simulation rank per simulation GPU; the host and
+/// same-device placements use 4 ranks/node, the one-dedicated placement 3
+/// ranks/node (GPU 3 reserved for in situ), the two-dedicated placement 2
+/// ranks/node (GPUs 2,3 reserved, paired per rank); in situ runs at every
+/// iteration; the data binning operator is applied to 10 variables over 9
+/// coordinate systems (90 binning operations), each coordinate system in
+/// its own operator instance orchestrated through SENSEI's XML
+/// configuration; I/O and repartitioning are disabled.
+///
+/// The paper ran 128 Perlmutter nodes / 512 GPUs with 24M bodies. The
+/// default here simulates fewer virtual nodes with a reduced body count so
+/// kernels really execute; paper-scale runs (full per-rank body counts,
+/// timing-only kernels) are available through CampaignConfig.
+
+#include <string>
+#include <vector>
+
+namespace campaign
+{
+
+/// The four in situ placements of Table 1.
+enum class Placement : int
+{
+  Host = 0,     ///< in situ on the host CPU
+  SameDevice,   ///< in situ on the device where the data is generated
+  OneDedicated, ///< one GPU per node reserved for in situ
+  TwoDedicated  ///< per rank: one sim GPU + one paired in situ GPU
+};
+
+/// Human readable placement name (matches the paper's terminology).
+const char *PlacementName(Placement p);
+
+/// Ranks per node for a placement (4, 4, 3, 2 — Table 1).
+int RanksPerNode(Placement p);
+
+/// Devices the simulation may use for a placement (4, 4, 3, 2).
+int SimDevices(Placement p);
+
+/// Campaign-wide knobs. As in the paper, the *global* problem size is
+/// fixed across placements (the body count scales with nodes, not ranks):
+/// dedicated-device placements run fewer, larger ranks.
+struct CampaignConfig
+{
+  int Nodes = 2;                  ///< virtual nodes (paper: 128)
+  std::size_t BodiesPerNode = 30000; ///< paper: 24M/128 = 187500
+  long Steps = 5;                 ///< in situ at every step
+  long Resolution = 128;          ///< bins per axis (paper: 256)
+  int CoordSystems = 9;           ///< binning operator instances
+  int VariablesPerSystem = 10;    ///< reductions per instance
+  bool TimingOnly = true;         ///< skip kernel bodies (timing campaign)
+  unsigned Seed = 42;
+};
+
+/// A paper-shape configuration: per-node body count and grid resolution at
+/// the paper's values (187500 bodies/node, 256^2 grids, 90 binning
+/// operations per step), timing-only kernels, fewer virtual nodes (node
+/// count beyond a few only deepens collectives).
+CampaignConfig PaperScaleConfig();
+
+/// A small real-execution configuration (kernels actually run): used to
+/// validate that the campaign pipeline computes real results.
+CampaignConfig RealExecutionConfig();
+
+/// One case of Table 1.
+struct CaseConfig
+{
+  Placement Place = Placement::SameDevice;
+  bool Asynchronous = false;
+};
+
+/// The measurements Figures 2 and 3 plot.
+struct CaseResult
+{
+  Placement Place = Placement::SameDevice;
+  bool Asynchronous = false;
+  int Ranks = 0;
+  int RanksPerNode = 0;
+  double TotalSeconds = 0.0;      ///< Figure 2: total run time
+  double MeanSolverSeconds = 0.0; ///< Figure 3: avg solver time / iter
+  double MeanInSituSeconds = 0.0; ///< Figure 3: avg (apparent) in situ / iter
+};
+
+/// The SENSEI XML configuration for a case: CoordSystems data_binning
+/// operator instances, each reducing VariablesPerSystem variables, with
+/// the placement and execution-method attributes set per the case.
+std::string BuildXml(const CaseConfig &c, const CampaignConfig &g);
+
+/// Run one case: configures the platform (Nodes x 4 GPUs), launches the
+/// rank-parallel coupled run, and returns the virtual-time measurements.
+CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g);
+
+/// All eight cases of Table 1 in the paper's order (placements grouped,
+/// lockstep before asynchronous).
+std::vector<CaseConfig> AllCases();
+
+} // namespace campaign
+
+#endif

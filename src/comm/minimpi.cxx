@@ -1,0 +1,414 @@
+#include "minimpi.h"
+
+#include "vpClock.h"
+#include "vpPlatform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace minimpi
+{
+
+namespace
+{
+/// One buffered message.
+struct Message
+{
+  std::vector<std::uint8_t> Data;
+  double AvailTime = 0.0; ///< virtual time at which the payload has arrived
+};
+} // namespace
+
+/// Shared state of one rank-parallel region.
+class Context
+{
+public:
+  Context(int size, int ranksPerNode)
+    : Size_(size), RanksPerNode_(ranksPerNode), InPtrs_(size),
+      EntryTimes_(size)
+  {
+    this->Mail_.resize(static_cast<std::size_t>(size));
+    for (auto &m : this->Mail_)
+      m = std::make_unique<Mailbox>();
+  }
+
+  int Size() const noexcept { return this->Size_; }
+  int RanksPerNode() const noexcept { return this->RanksPerNode_; }
+
+  // --- p2p -------------------------------------------------------------------
+  void Send(int src, int dest, int tag, const void *data, std::size_t bytes)
+  {
+    if (dest < 0 || dest >= this->Size_)
+      throw std::out_of_range("minimpi::Send: invalid destination rank");
+
+    const vp::CostModel &cost = vp::Platform::Get().Config().Cost;
+    Message msg;
+    msg.Data.resize(bytes);
+    if (bytes)
+      std::memcpy(msg.Data.data(), data, bytes);
+    msg.AvailTime = vp::ThisClock().Now() + cost.MessageLatency +
+                    static_cast<double>(bytes) / cost.MessageBandwidth;
+
+    Mailbox &mb = *this->Mail_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lock(mb.Mutex);
+      mb.Queue.emplace(std::make_pair(src, tag), std::move(msg));
+    }
+    mb.Cv.notify_all();
+
+    // the sender pays a small injection cost
+    vp::ThisClock().Advance(cost.MessageLatency);
+  }
+
+  std::vector<std::uint8_t> Recv(int self, int src, int tag)
+  {
+    if (src < 0 || src >= this->Size_)
+      throw std::out_of_range("minimpi::Recv: invalid source rank");
+
+    Mailbox &mb = *this->Mail_[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(mb.Mutex);
+    const auto key = std::make_pair(src, tag);
+    mb.Cv.wait(lock, [&] { return mb.Queue.find(key) != mb.Queue.end(); });
+
+    auto it = mb.Queue.find(key);
+    Message msg = std::move(it->second);
+    mb.Queue.erase(it);
+    lock.unlock();
+
+    vp::ThisClock().AdvanceTo(msg.AvailTime);
+    return std::move(msg.Data);
+  }
+
+  // --- collectives -------------------------------------------------------------
+
+  /// Generic two-phase collective. Every rank contributes (in, bytes);
+  /// the last arrival runs `combine` (with all input pointers valid) to
+  /// fill Scratch_ and must return the per-rank payload size; every rank
+  /// then copies `outBytes` from Scratch_ + outOffset(rank) into `out`.
+  void Collective(int rank, const void *in, std::size_t bytes, void *out,
+                  std::size_t outBytes,
+                  const std::function<void(const std::vector<const void *> &)>
+                    &combine,
+                  const std::function<std::size_t(int)> &outOffset)
+  {
+    std::unique_lock<std::mutex> lock(this->CollMutex_);
+    const std::uint64_t myGen = this->Generation_;
+    this->InPtrs_[static_cast<std::size_t>(rank)] = in;
+    this->EntryTimes_[static_cast<std::size_t>(rank)] = vp::ThisClock().Now();
+
+    if (++this->Arrived_ == this->Size_)
+    {
+      if (combine)
+        combine(this->InPtrs_);
+
+      // collective cost: tree fan-in/out over the participants
+      const vp::CostModel &cost = vp::Platform::Get().Config().Cost;
+      const double entry =
+        *std::max_element(this->EntryTimes_.begin(), this->EntryTimes_.end());
+      const double steps =
+        std::ceil(std::log2(static_cast<double>(std::max(this->Size_, 2))));
+      this->ExitTime_ =
+        entry + steps * (cost.MessageLatency +
+                         static_cast<double>(bytes) / cost.MessageBandwidth);
+
+      this->Arrived_ = 0;
+      ++this->Generation_;
+      this->CollCv_.notify_all();
+    }
+    else
+    {
+      this->CollCv_.wait(lock, [&] { return this->Generation_ != myGen; });
+    }
+
+    if (out && outBytes)
+      std::memcpy(out, this->Scratch_.data() + outOffset(rank), outBytes);
+    vp::ThisClock().AdvanceTo(this->ExitTime_);
+  }
+
+  std::vector<std::uint8_t> &Scratch() { return this->Scratch_; }
+
+  /// Lazily created duplicate context #idx (thread safe; every rank
+  /// resolving the same idx gets the same child).
+  Context *GetDup(int idx)
+  {
+    std::lock_guard<std::mutex> lock(this->DupMutex_);
+    auto &slot = this->Dups_[idx];
+    if (!slot)
+      slot = std::make_unique<Context>(this->Size_, this->RanksPerNode_);
+    return slot.get();
+  }
+
+  /// Lazily created split child for generation `idx` and `color`, sized
+  /// `members` (thread safe; every same-color rank gets the same child).
+  Context *GetSplit(int idx, int color, int members)
+  {
+    std::lock_guard<std::mutex> lock(this->DupMutex_);
+    auto &slot = this->Splits_[{idx, color}];
+    if (!slot)
+      slot = std::make_unique<Context>(members, 0);
+    return slot.get();
+  }
+
+private:
+  struct Mailbox
+  {
+    std::mutex Mutex;
+    std::condition_variable Cv;
+    std::multimap<std::pair<int, int>, Message> Queue;
+  };
+
+  int Size_ = 1;
+  int RanksPerNode_ = 0;
+  std::vector<std::unique_ptr<Mailbox>> Mail_;
+
+  std::mutex CollMutex_;
+  std::condition_variable CollCv_;
+  int Arrived_ = 0;
+  std::uint64_t Generation_ = 0;
+  std::vector<const void *> InPtrs_;
+  std::vector<double> EntryTimes_;
+  std::vector<std::uint8_t> Scratch_;
+  double ExitTime_ = 0.0;
+
+  std::mutex DupMutex_;
+  std::map<int, std::unique_ptr<Context>> Dups_;
+  std::map<std::pair<int, int>, std::unique_ptr<Context>> Splits_;
+};
+
+Communicator Communicator::Dup()
+{
+  Context *child = this->Ctx_->GetDup(this->DupCount_++);
+  return Communicator(child, this->Rank_);
+}
+
+Communicator Communicator::Split(int color)
+{
+  // every rank learns every color, then maps itself into its group
+  std::vector<int> colors = this->Allgather(&color, 1);
+
+  int subRank = 0;
+  int members = 0;
+  for (int r = 0; r < this->Size(); ++r)
+  {
+    if (colors[static_cast<std::size_t>(r)] != color)
+      continue;
+    if (r < this->Rank_)
+      ++subRank;
+    ++members;
+  }
+
+  Context *child = this->Ctx_->GetSplit(this->DupCount_++, color, members);
+  return Communicator(child, subRank);
+}
+
+// ---------------------------------------------------------------------------
+int Communicator::Size() const noexcept
+{
+  return this->Ctx_->Size();
+}
+
+int Communicator::Node() const noexcept
+{
+  const int rpn = this->Ctx_->RanksPerNode();
+  return rpn > 0 ? this->Rank_ / rpn : 0;
+}
+
+int Communicator::RanksPerNode() const noexcept
+{
+  const int rpn = this->Ctx_->RanksPerNode();
+  return rpn > 0 ? rpn : this->Ctx_->Size();
+}
+
+void Communicator::Send(int dest, int tag, const void *data, std::size_t bytes)
+{
+  this->Ctx_->Send(this->Rank_, dest, tag, data, bytes);
+}
+
+std::vector<std::uint8_t> Communicator::Recv(int src, int tag)
+{
+  return this->Ctx_->Recv(this->Rank_, src, tag);
+}
+
+void Communicator::Barrier()
+{
+  this->Ctx_->Collective(this->Rank_, nullptr, 0, nullptr, 0, nullptr,
+                         [](int) { return std::size_t{0}; });
+}
+
+void Communicator::BcastBytes(void *data, std::size_t bytes, int root)
+{
+  Context *ctx = this->Ctx_;
+  ctx->Collective(
+    this->Rank_, data, bytes, data, bytes,
+    [ctx, bytes, root](const std::vector<const void *> &in)
+    {
+      ctx->Scratch().resize(bytes);
+      if (bytes)
+        std::memcpy(ctx->Scratch().data(), in[static_cast<std::size_t>(root)],
+                    bytes);
+    },
+    [](int) { return std::size_t{0}; });
+}
+
+std::vector<std::uint8_t> Communicator::GatherBytes(const void *data,
+                                                    std::size_t bytes, int root)
+{
+  std::vector<std::uint8_t> all = this->AllgatherBytes(data, bytes);
+  if (this->Rank_ != root)
+    return {};
+  return all;
+}
+
+std::vector<std::uint8_t> Communicator::AllgatherBytes(const void *data,
+                                                       std::size_t bytes)
+{
+  Context *ctx = this->Ctx_;
+  const int size = ctx->Size();
+  std::vector<std::uint8_t> out(bytes * static_cast<std::size_t>(size));
+  ctx->Collective(
+    this->Rank_, data, bytes, out.data(), out.size(),
+    [ctx, bytes, size](const std::vector<const void *> &in)
+    {
+      ctx->Scratch().resize(bytes * static_cast<std::size_t>(size));
+      for (int r = 0; r < size; ++r)
+        if (bytes)
+          std::memcpy(ctx->Scratch().data() +
+                        bytes * static_cast<std::size_t>(r),
+                      in[static_cast<std::size_t>(r)], bytes);
+    },
+    [](int) { return std::size_t{0}; });
+  return out;
+}
+
+namespace
+{
+template <typename T>
+void ReduceInto(T *acc, const T *in, std::size_t n, Op op)
+{
+  switch (op)
+  {
+    case Op::Sum:
+      for (std::size_t i = 0; i < n; ++i)
+        acc[i] += in[i];
+      break;
+    case Op::Min:
+      for (std::size_t i = 0; i < n; ++i)
+        acc[i] = std::min(acc[i], in[i]);
+      break;
+    case Op::Max:
+      for (std::size_t i = 0; i < n; ++i)
+        acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+template <typename T>
+void AllreduceImpl(Context *ctx, int rank, T *data, std::size_t n, Op op)
+{
+  const std::size_t bytes = n * sizeof(T);
+  ctx->Collective(
+    rank, data, bytes, data, bytes,
+    [ctx, n, bytes, op](const std::vector<const void *> &in)
+    {
+      ctx->Scratch().resize(bytes);
+      T *acc = reinterpret_cast<T *>(ctx->Scratch().data());
+      std::memcpy(acc, in[0], bytes);
+      for (std::size_t r = 1; r < in.size(); ++r)
+        ReduceInto(acc, static_cast<const T *>(in[r]), n, op);
+    },
+    [](int) { return std::size_t{0}; });
+}
+} // namespace
+
+void Communicator::AllreduceTyped(double *d, std::size_t n, Op op,
+                                  TypeTag<double>)
+{
+  AllreduceImpl(this->Ctx_, this->Rank_, d, n, op);
+}
+void Communicator::AllreduceTyped(float *d, std::size_t n, Op op,
+                                  TypeTag<float>)
+{
+  AllreduceImpl(this->Ctx_, this->Rank_, d, n, op);
+}
+void Communicator::AllreduceTyped(int *d, std::size_t n, Op op, TypeTag<int>)
+{
+  AllreduceImpl(this->Ctx_, this->Rank_, d, n, op);
+}
+void Communicator::AllreduceTyped(long long *d, std::size_t n, Op op,
+                                  TypeTag<long long>)
+{
+  AllreduceImpl(this->Ctx_, this->Rank_, d, n, op);
+}
+void Communicator::AllreduceTyped(std::size_t *d, std::size_t n, Op op,
+                                  TypeTag<std::size_t>)
+{
+  AllreduceImpl(this->Ctx_, this->Rank_, d, n, op);
+}
+
+// ---------------------------------------------------------------------------
+double Run(const LaunchOptions &opts,
+           const std::function<void(Communicator &)> &fn)
+{
+  if (opts.Ranks < 1)
+    throw std::invalid_argument("minimpi::Run: need at least one rank");
+
+  vp::Platform &plat = vp::Platform::Get();
+  const int rpn = opts.RanksPerNode;
+  if (rpn > 0)
+  {
+    const int nodesNeeded = (opts.Ranks + rpn - 1) / rpn;
+    if (nodesNeeded > plat.NumNodes())
+      throw std::invalid_argument(
+        "minimpi::Run: platform has too few nodes for this rank layout");
+  }
+
+  Context ctx(opts.Ranks, rpn);
+  const double start = vp::ThisClock().Now();
+
+  std::vector<std::thread> threads;
+  std::vector<double> finalTimes(static_cast<std::size_t>(opts.Ranks), 0.0);
+  std::vector<std::exception_ptr> errors(
+    static_cast<std::size_t>(opts.Ranks));
+
+  threads.reserve(static_cast<std::size_t>(opts.Ranks));
+  for (int r = 0; r < opts.Ranks; ++r)
+  {
+    threads.emplace_back(
+      [&, r]()
+      {
+        vp::ThisClock().Set(start);
+        vp::Platform::SetThisNode(rpn > 0 ? r / rpn : 0);
+        Communicator comm(&ctx, r);
+        try
+        {
+          fn(comm);
+        }
+        catch (...)
+        {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+        finalTimes[static_cast<std::size_t>(r)] = vp::ThisClock().Now();
+      });
+  }
+  for (auto &t : threads)
+    t.join();
+
+  for (auto &e : errors)
+    if (e)
+      std::rethrow_exception(e);
+
+  const double finish =
+    *std::max_element(finalTimes.begin(), finalTimes.end());
+  vp::ThisClock().AdvanceTo(finish);
+  return finish;
+}
+
+double Run(int ranks, const std::function<void(Communicator &)> &fn)
+{
+  LaunchOptions opts;
+  opts.Ranks = ranks;
+  return Run(opts, fn);
+}
+
+} // namespace minimpi

@@ -1,0 +1,205 @@
+#ifndef minimpi_h
+#define minimpi_h
+
+/// @file minimpi.h
+/// A message-passing substrate with MPI semantics where ranks are threads
+/// of one process. This stands in for the MPI library used by Newton++ and
+/// SENSEI on Perlmutter: buffered point-to-point sends with (source, tag)
+/// matching, and the collectives the coupled codes need (barrier, bcast,
+/// reduce, allreduce, gather, allgather). Message volume and collective
+/// fan-in charge virtual time, and collectives align the participants'
+/// virtual clocks, so rank-parallel campaigns produce meaningful virtual
+/// timelines.
+///
+/// Ranks are placed on virtual nodes round-robin in blocks of
+/// `ranksPerNode`; each rank thread is bound to its node
+/// (vp::Platform::SetThisNode) before the user function runs, matching how
+/// SLURM places MPI ranks on Perlmutter nodes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace minimpi
+{
+
+/// Reduction operators.
+enum class Op : int
+{
+  Sum = 0,
+  Min,
+  Max
+};
+
+class Context;
+
+/// Per-rank handle to the communicator. Valid only inside the function
+/// passed to Run. All methods are callable concurrently from their
+/// respective rank threads.
+class Communicator
+{
+public:
+  /// This rank's id in [0, Size).
+  int Rank() const noexcept { return this->Rank_; }
+
+  /// Number of ranks.
+  int Size() const noexcept;
+
+  /// Virtual node this rank is bound to.
+  int Node() const noexcept;
+
+  /// Ranks per node used at launch.
+  int RanksPerNode() const noexcept;
+
+  /// Duplicate the communicator (collective: every rank must call the
+  /// same number of times, in the same order). The duplicate has
+  /// independent collective state and mailboxes, so e.g. an asynchronous
+  /// in situ thread can run collectives without interleaving with the
+  /// simulation's — the reason real SENSEI duplicates MPI_COMM_WORLD.
+  Communicator Dup();
+
+  /// Partition the communicator by color (collective, MPI_Comm_split
+  /// semantics): ranks passing the same color form a new communicator,
+  /// renumbered 0..k-1 in parent-rank order. Used by the in transit
+  /// transport to carve simulation and endpoint groups out of the world.
+  Communicator Split(int color);
+
+  // --- point to point ------------------------------------------------------
+
+  /// Buffered send: copies `bytes` of `data` into dest's mailbox and
+  /// returns. Never blocks (infinite buffering, like an MPI_Bsend).
+  void Send(int dest, int tag, const void *data, std::size_t bytes);
+
+  /// Receive a message from (src, tag); blocks until one arrives. Returns
+  /// the payload.
+  std::vector<std::uint8_t> Recv(int src, int tag);
+
+  /// Receive into a typed vector.
+  template <typename T>
+  std::vector<T> RecvAs(int src, int tag)
+  {
+    std::vector<std::uint8_t> raw = this->Recv(src, tag);
+    if (raw.size() % sizeof(T))
+      throw std::runtime_error("minimpi::RecvAs: size mismatch");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Send a typed vector.
+  template <typename T>
+  void SendVec(int dest, int tag, const std::vector<T> &v)
+  {
+    this->Send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  // --- collectives -----------------------------------------------------------
+
+  /// Block until all ranks arrive; aligns virtual clocks.
+  void Barrier();
+
+  /// Broadcast n elements from root to all ranks.
+  template <typename T>
+  void Bcast(T *data, std::size_t n, int root)
+  {
+    this->BcastBytes(data, n * sizeof(T), root);
+  }
+
+  /// All ranks end with the elementwise reduction of everyone's data.
+  template <typename T>
+  void Allreduce(T *data, std::size_t n, Op op)
+  {
+    this->AllreduceTyped(data, n, op, TypeTag<T>());
+  }
+
+  /// Rank `root` ends with the elementwise reduction; other ranks' data is
+  /// unchanged.
+  template <typename T>
+  void Reduce(T *data, std::size_t n, Op op, int root)
+  {
+    this->AllreduceTyped(data, n, op, TypeTag<T>());
+    // non-roots discard: with threads-as-ranks the allreduce result is
+    // simply not used off-root; semantics match MPI_Reduce for the root.
+    (void)root;
+  }
+
+  /// Gather n elements from every rank to root (root gets Size()*n
+  /// elements in rank order; other ranks get an empty vector).
+  template <typename T>
+  std::vector<T> Gather(const T *data, std::size_t n, int root)
+  {
+    std::vector<std::uint8_t> raw =
+      this->GatherBytes(data, n * sizeof(T), root);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Allgather: every rank gets Size()*n elements in rank order.
+  template <typename T>
+  std::vector<T> Allgather(const T *data, std::size_t n)
+  {
+    std::vector<std::uint8_t> raw = this->AllgatherBytes(data, n * sizeof(T));
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+private:
+  friend class Context;
+  friend double Run(const struct LaunchOptions &,
+                    const std::function<void(Communicator &)> &);
+  Communicator(Context *ctx, int rank) : Ctx_(ctx), Rank_(rank) {}
+
+  template <typename T>
+  struct TypeTag
+  {
+  };
+
+  void BcastBytes(void *data, std::size_t bytes, int root);
+  std::vector<std::uint8_t> GatherBytes(const void *data, std::size_t bytes,
+                                        int root);
+  std::vector<std::uint8_t> AllgatherBytes(const void *data,
+                                           std::size_t bytes);
+
+  void AllreduceTyped(double *data, std::size_t n, Op op, TypeTag<double>);
+  void AllreduceTyped(float *data, std::size_t n, Op op, TypeTag<float>);
+  void AllreduceTyped(int *data, std::size_t n, Op op, TypeTag<int>);
+  void AllreduceTyped(long long *data, std::size_t n, Op op,
+                      TypeTag<long long>);
+  void AllreduceTyped(std::size_t *data, std::size_t n, Op op,
+                      TypeTag<std::size_t>);
+
+  Context *Ctx_ = nullptr;
+  int Rank_ = 0;
+  int DupCount_ = 0; ///< per-rank count of Dup calls for matching
+};
+
+/// Launch options for a rank-parallel region.
+struct LaunchOptions
+{
+  int Ranks = 1;        ///< number of MPI ranks (threads)
+  int RanksPerNode = 0; ///< 0 = all on node 0
+};
+
+/// Run `fn(comm)` on `opts.Ranks` rank threads. Each rank's virtual clock
+/// starts at the caller's current virtual time; on return the caller's
+/// clock has advanced to the max of the ranks' final times. Exceptions
+/// thrown by rank functions are rethrown here (the first one, by rank
+/// order). Returns the maximum final virtual time across ranks.
+double Run(const LaunchOptions &opts,
+           const std::function<void(Communicator &)> &fn);
+
+/// Convenience overload: `ranks` ranks, all on node 0.
+double Run(int ranks, const std::function<void(Communicator &)> &fn);
+
+} // namespace minimpi
+
+#endif

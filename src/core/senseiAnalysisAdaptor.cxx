@@ -1,0 +1,39 @@
+#include "senseiAnalysisAdaptor.h"
+
+#include "vpPlatform.h"
+
+namespace sensei
+{
+
+int AnalysisAdaptor::GetPlacementDevice(int rank, int devicesPerNode) const
+{
+  if (this->DeviceId_ == DEVICE_HOST)
+    return DEVICE_HOST;
+
+  const int na = devicesPerNode;
+  if (na < 1)
+    return DEVICE_HOST; // no accelerators: everything runs on the host
+
+  if (this->DeviceId_ >= 0)
+    return this->DeviceId_ % na;
+
+  // automatic selection, Eq. 1: d = ((r mod n_u) * s + d_0) mod n_a
+  const int nu = this->DevicesToUse_ > 0 ? this->DevicesToUse_ : na;
+  const int s = this->DeviceStride_ != 0 ? this->DeviceStride_ : 1;
+  const int d0 = this->DeviceStart_;
+  const int r = rank >= 0 ? rank : 0;
+
+  int d = ((r % nu) * s + d0) % na;
+  if (d < 0)
+    d += na;
+  return d;
+}
+
+int AnalysisAdaptor::GetPlacementDevice(DataAdaptor *data) const
+{
+  const int rank =
+    data && data->GetCommunicator() ? data->GetCommunicator()->Rank() : 0;
+  return this->GetPlacementDevice(rank, vp::Platform::Get().NumDevices());
+}
+
+} // namespace sensei

@@ -1,0 +1,124 @@
+#ifndef senseiAnalysisAdaptor_h
+#define senseiAnalysisAdaptor_h
+
+/// @file senseiAnalysisAdaptor.h
+/// Base class for SENSEI analysis back ends, carrying the execution-model
+/// extensions the paper adds for heterogeneous architectures (Section 3):
+///
+///  * an execution method — `lockstep`, where simulation and analysis take
+///    turns, or `asynchronous`, where the analysis deep-copies the data it
+///    needs and runs in a C++ thread concurrently with the simulation;
+///  * placement control over which accelerator (or the host) the analysis
+///    runs on — manual explicit device selection or automatic selection by
+///
+///        d = ((r mod n_u) * s + d_0) mod n_a            (Eq. 1)
+///
+///    where r is the process's MPI rank, n_u the number of devices to use
+///    per node, s the stride, d_0 the offset, and n_a the number of
+///    devices on the node. r and n_a come from system queries; n_u, s,
+///    d_0 are user controls defaulting to n_u = n_a, s = 1, d_0 = 0.
+///
+/// These controls are defined here, in the base class, and are therefore
+/// available to all back ends; ConfigurableAnalysis exposes them in the
+/// run time XML configuration.
+
+#include "senseiDataAdaptor.h"
+#include "svtkObjectBase.h"
+
+namespace sensei
+{
+
+/// How an analysis runs relative to the simulation.
+enum class ExecutionMethod : int
+{
+  Lockstep = 0, ///< simulation waits for the analysis each step
+  Asynchronous  ///< analysis runs in a thread, concurrently
+};
+
+/// Base class for analysis back ends.
+class AnalysisAdaptor : public svtkObjectBase
+{
+public:
+  const char *GetClassName() const override
+  {
+    return "sensei::AnalysisAdaptor";
+  }
+
+  /// Sentinels accepted by SetDeviceId.
+  static constexpr int DEVICE_AUTO = -2; ///< select by Eq. 1
+  static constexpr int DEVICE_HOST = -1; ///< run on the host CPU
+
+  /// Process the current simulation state. Returns false on failure.
+  /// In asynchronous mode implementations deep copy what they need,
+  /// launch their thread, and return immediately.
+  virtual bool Execute(DataAdaptor *data) = 0;
+
+  /// Complete outstanding asynchronous work and release resources.
+  /// Returns zero on success.
+  virtual int Finalize() { return 0; }
+
+  // --- execution method ------------------------------------------------------
+
+  void SetExecutionMethod(ExecutionMethod m) { this->Method_ = m; }
+  ExecutionMethod GetExecutionMethod() const { return this->Method_; }
+
+  /// Convenience: toggle asynchronous execution.
+  void SetAsynchronous(bool on)
+  {
+    this->Method_ = on ? ExecutionMethod::Asynchronous
+                       : ExecutionMethod::Lockstep;
+  }
+  bool GetAsynchronous() const
+  {
+    return this->Method_ == ExecutionMethod::Asynchronous;
+  }
+
+  // --- placement ----------------------------------------------------------------
+
+  /// Explicit device id, DEVICE_HOST, or DEVICE_AUTO (the default).
+  void SetDeviceId(int id) { this->DeviceId_ = id; }
+  int GetDeviceId() const { return this->DeviceId_; }
+
+  /// n_u in Eq. 1: devices to use per node (0 = all available).
+  void SetDevicesToUse(int n) { this->DevicesToUse_ = n; }
+  int GetDevicesToUse() const { return this->DevicesToUse_; }
+
+  /// d_0 in Eq. 1: first device to use.
+  void SetDeviceStart(int d0) { this->DeviceStart_ = d0; }
+  int GetDeviceStart() const { return this->DeviceStart_; }
+
+  /// s in Eq. 1: stride between devices.
+  void SetDeviceStride(int s) { this->DeviceStride_ = s; }
+  int GetDeviceStride() const { return this->DeviceStride_; }
+
+  /// Resolve the device this analysis runs on for MPI rank `rank`, given
+  /// `devicesPerNode` (n_a) devices on the node: the explicit device when
+  /// one was set, DEVICE_HOST for host placement, otherwise Eq. 1.
+  /// Returns a device id in [0, n_a) or DEVICE_HOST.
+  int GetPlacementDevice(int rank, int devicesPerNode) const;
+
+  /// Resolve against the live platform (n_a from a system query) using the
+  /// data adaptor's communicator for the rank (rank 0 in serial use).
+  int GetPlacementDevice(DataAdaptor *data) const;
+
+  // --- diagnostics ------------------------------------------------------------
+
+  void SetVerbose(int v) { this->Verbose_ = v; }
+  int GetVerbose() const { return this->Verbose_; }
+
+protected:
+  AnalysisAdaptor() = default;
+  ~AnalysisAdaptor() override = default;
+
+private:
+  ExecutionMethod Method_ = ExecutionMethod::Lockstep;
+  int DeviceId_ = DEVICE_AUTO;
+  int DevicesToUse_ = 0; ///< 0 = n_a
+  int DeviceStart_ = 0;
+  int DeviceStride_ = 1;
+  int Verbose_ = 0;
+};
+
+} // namespace sensei
+
+#endif

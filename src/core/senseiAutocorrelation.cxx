@@ -1,0 +1,135 @@
+#include "senseiAutocorrelation.h"
+
+#include "svtkArrayUtils.h"
+#include "vcuda.h"
+
+#include <cmath>
+
+namespace sensei
+{
+
+bool Autocorrelation::Execute(DataAdaptor *data)
+{
+  if (!data || this->Column_.empty())
+    return false;
+
+  svtkDataObject *obj = data->GetMesh(this->MeshName_);
+  auto *table = dynamic_cast<svtkTable *>(obj);
+  if (!table)
+  {
+    if (obj)
+      obj->UnRegister();
+    return false;
+  }
+
+  svtkDataArray *raw = table->GetColumnByName(this->Column_);
+  if (!raw)
+  {
+    table->UnRegister();
+    return false;
+  }
+
+  // snapshot the column: always a deep copy — the window must outlive the
+  // simulation's buffers
+  svtkHAMRDoubleArray *h = svtkAsHAMRDouble(raw);
+  this->History_.push_back(
+    svtkSmartPtr<svtkHAMRDoubleArray>::Take(h->NewDeepCopy()));
+  h->UnRegister();
+  table->UnRegister();
+
+  while (static_cast<long>(this->History_.size()) > this->Window_)
+    this->History_.pop_front();
+
+  const int device = this->GetPlacementDevice(data);
+  std::vector<svtkSmartPtr<svtkHAMRDoubleArray>> window(
+    this->History_.begin(), this->History_.end());
+
+  if (this->GetAsynchronous())
+  {
+    if (!this->AsyncComm_ && data->GetCommunicator())
+      this->AsyncComm_.emplace(data->GetCommunicator()->Dup());
+    minimpi::Communicator *comm =
+      this->AsyncComm_ ? &*this->AsyncComm_ : nullptr;
+    this->Runner_.Submit([this, window = std::move(window), comm, device]()
+                         { this->Run(window, comm, device); });
+    return true;
+  }
+
+  this->Run(window, data->GetCommunicator(), device);
+  return true;
+}
+
+int Autocorrelation::Finalize()
+{
+  this->Runner_.Drain();
+  return 0;
+}
+
+void Autocorrelation::Run(
+  std::vector<svtkSmartPtr<svtkHAMRDoubleArray>> window,
+  minimpi::Communicator *comm, int device)
+{
+  const std::size_t lags = window.size();
+  std::vector<double> sums(lags, 0.0);
+
+  const svtkHAMRDoubleArray *newest = window.back().Get();
+  const std::size_t n = newest->GetNumberOfTuples();
+
+  auto newestView = device >= 0 ? newest->GetDeviceAccessible(device)
+                                : newest->GetHostAccessible();
+  newest->Synchronize();
+  const double *vT = newestView.get();
+
+  for (std::size_t tau = 0; tau < lags; ++tau)
+  {
+    const svtkHAMRDoubleArray *past = window[lags - 1 - tau].Get();
+    auto pastView = device >= 0 ? past->GetDeviceAccessible(device)
+                                : past->GetHostAccessible();
+    past->Synchronize();
+    const double *vP = pastView.get();
+
+    double acc = 0.0;
+    const auto body = [vT, vP, &acc](std::size_t b, std::size_t e)
+    {
+      for (std::size_t i = b; i < e; ++i)
+        acc += vT[i] * vP[i];
+    };
+
+    if (device >= 0)
+    {
+      vcuda::SetDevice(device);
+      vcuda::stream_t strm = vcuda::StreamCreate();
+      vcuda::LaunchN(strm, n, body,
+                     vcuda::LaunchBounds{2.0, 0.0, "autocorr_dot"});
+      vcuda::StreamSynchronize(strm);
+    }
+    else
+    {
+      vp::Platform::Get().HostParallelFor(
+        vp::KernelDesc{n, 2.0, 0.0, "autocorr_dot_host"}, body);
+    }
+    sums[tau] = acc;
+  }
+
+  // combine across ranks: global sum of dot products and element count
+  double count = static_cast<double>(n);
+  if (comm)
+  {
+    comm->Allreduce(sums.data(), sums.size(), minimpi::Op::Sum);
+    comm->Allreduce(&count, 1, minimpi::Op::Sum);
+  }
+
+  for (double &s : sums)
+    s = count > 0 ? s / count : 0.0;
+
+  std::lock_guard<std::mutex> lock(this->ResultMutex_);
+  this->Last_ = std::move(sums);
+}
+
+std::vector<double> Autocorrelation::GetLastResult() const
+{
+  std::lock_guard<std::mutex> lock(this->ResultMutex_);
+  return this->Last_;
+}
+
+} // namespace sensei

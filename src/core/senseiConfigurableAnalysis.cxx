@@ -1,0 +1,243 @@
+#include "senseiConfigurableAnalysis.h"
+
+#include "senseiAutocorrelation.h"
+#include "senseiColumnStatistics.h"
+#include "senseiDataBinning.h"
+#include "senseiHistogram.h"
+#include "senseiPosthocIO.h"
+#include "sxml.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sensei
+{
+
+namespace
+{
+/// Split a comma separated attribute list, trimming whitespace.
+std::vector<std::string> SplitList(const std::string &s)
+{
+  std::vector<std::string> out;
+  std::istringstream iss(s);
+  std::string tok;
+  while (std::getline(iss, tok, ','))
+  {
+    std::size_t b = tok.find_first_not_of(" \t");
+    std::size_t e = tok.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos ? std::string()
+                                         : tok.substr(b, e - b + 1));
+  }
+  return out;
+}
+} // namespace
+
+ConfigurableAnalysis::~ConfigurableAnalysis()
+{
+  for (AnalysisAdaptor *a : this->Analyses_)
+    a->UnRegister();
+}
+
+void ConfigurableAnalysis::InitializeFile(const std::string &path)
+{
+  auto root = sxml::ParseFile(path);
+  this->Initialize(*root);
+}
+
+void ConfigurableAnalysis::InitializeString(const std::string &xml)
+{
+  auto root = sxml::Parse(xml);
+  this->Initialize(*root);
+}
+
+void ConfigurableAnalysis::Initialize(const sxml::Element &root)
+{
+  if (root.Name() != "sensei")
+    throw std::runtime_error(
+      "ConfigurableAnalysis: document element must be <sensei>");
+
+  for (const sxml::Element *el : root.ChildrenNamed("analysis"))
+  {
+    if (!el->AttributeBool("enabled", true))
+      continue;
+    AnalysisAdaptor *a = this->BuildAnalysis(*el);
+    ApplyCommon(*el, a);
+    this->Analyses_.push_back(a);
+  }
+}
+
+void ConfigurableAnalysis::ApplyCommon(const sxml::Element &el,
+                                       AnalysisAdaptor *a)
+{
+  // execution method
+  a->SetAsynchronous(el.AttributeBool("async", false));
+
+  // placement: explicit device id, "host", or "auto" + Eq. 1 controls
+  const std::string device = el.Attribute("device", "auto");
+  if (device == "host")
+    a->SetDeviceId(AnalysisAdaptor::DEVICE_HOST);
+  else if (device == "auto")
+    a->SetDeviceId(AnalysisAdaptor::DEVICE_AUTO);
+  else
+    a->SetDeviceId(static_cast<int>(el.AttributeInt("device", 0)));
+
+  a->SetDevicesToUse(static_cast<int>(el.AttributeInt("devices_to_use", 0)));
+  a->SetDeviceStart(static_cast<int>(el.AttributeInt("device_start", 0)));
+  a->SetDeviceStride(static_cast<int>(el.AttributeInt("device_stride", 1)));
+  a->SetVerbose(static_cast<int>(el.AttributeInt("verbose", 0)));
+}
+
+AnalysisAdaptor *ConfigurableAnalysis::BuildAnalysis(const sxml::Element &el)
+{
+  const std::string type = el.Attribute("type");
+
+  if (type == "data_binning")
+  {
+    DataBinning *b = DataBinning::New();
+    try
+    {
+      b->SetMeshName(el.Attribute("mesh", "table"));
+
+      const std::vector<std::string> axes =
+        SplitList(el.Attribute("axes", "x,y"));
+      b->SetAxes(axes);
+
+      if (el.HasAttribute("resolution"))
+      {
+        std::vector<long> res;
+        for (const std::string &r : SplitList(el.Attribute("resolution")))
+          res.push_back(std::stol(r));
+        b->SetResolution(res);
+      }
+
+      // optional fixed ranges: range_0="lo,hi" per axis
+      for (std::size_t a = 0; a < axes.size(); ++a)
+      {
+        const std::string key = "range_" + std::to_string(a);
+        if (el.HasAttribute(key))
+        {
+          std::vector<std::string> r = SplitList(el.Attribute(key));
+          if (r.size() != 2)
+            throw std::runtime_error("data_binning: " + key +
+                                     " must be 'lo,hi'");
+          b->SetRange(static_cast<int>(a), std::stod(r[0]), std::stod(r[1]));
+        }
+      }
+
+      const std::vector<std::string> ops =
+        SplitList(el.Attribute("ops", "count"));
+      const std::vector<std::string> values =
+        SplitList(el.Attribute("values", ""));
+      for (std::size_t i = 0; i < ops.size(); ++i)
+      {
+        const BinningOp op = BinningOpFromName(ops[i]);
+        const std::string col = i < values.size() ? values[i] : std::string();
+        if (op != BinningOp::Count)
+          b->AddOperation(col, op);
+      }
+
+      if (el.HasAttribute("out_dir"))
+        b->SetOutput(el.Attribute("out_dir"),
+                     el.Attribute("out_prefix", "binning"),
+                     el.AttributeInt("out_freq", 1));
+
+      b->SetGpuStrategy(
+        GpuBinningStrategyFromName(el.Attribute("gpu_strategy", "")));
+    }
+    catch (...)
+    {
+      b->UnRegister();
+      throw;
+    }
+    return b;
+  }
+
+  if (type == "histogram")
+  {
+    Histogram *h = Histogram::New();
+    try
+    {
+      h->SetMeshName(el.Attribute("mesh", "table"));
+      h->SetColumn(el.Attribute("column"));
+      h->SetBins(el.AttributeInt("bins", 64));
+      if (el.HasAttribute("range"))
+      {
+        std::vector<std::string> r = SplitList(el.Attribute("range"));
+        if (r.size() != 2)
+          throw std::runtime_error("histogram: range must be 'lo,hi'");
+        h->SetRange(std::stod(r[0]), std::stod(r[1]));
+      }
+    }
+    catch (...)
+    {
+      h->UnRegister();
+      throw;
+    }
+    return h;
+  }
+
+  if (type == "autocorrelation")
+  {
+    Autocorrelation *a = Autocorrelation::New();
+    a->SetMeshName(el.Attribute("mesh", "table"));
+    a->SetColumn(el.Attribute("column"));
+    a->SetWindow(el.AttributeInt("window", 8));
+    return a;
+  }
+
+  if (type == "column_statistics")
+  {
+    ColumnStatistics *s = ColumnStatistics::New();
+    s->SetMeshName(el.Attribute("mesh", "table"));
+    if (el.HasAttribute("columns"))
+      s->SetColumns(SplitList(el.Attribute("columns")));
+    if (el.HasAttribute("file"))
+      s->SetOutputFile(el.Attribute("file"));
+    return s;
+  }
+
+  if (type == "posthoc_io")
+  {
+    PosthocIO *io = PosthocIO::New();
+    io->SetMeshName(el.Attribute("mesh", "table"));
+    io->SetOutputDir(el.Attribute("dir", "."));
+    io->SetPrefix(el.Attribute("prefix", "posthoc"));
+    io->SetFrequency(el.AttributeInt("frequency", 1));
+    io->SetFormat(el.Attribute("format", "csv") == "vtk"
+                    ? PosthocIO::Format::VTK
+                    : PosthocIO::Format::CSV);
+    return io;
+  }
+
+  throw std::runtime_error("ConfigurableAnalysis: unknown analysis type '" +
+                           type + "'");
+}
+
+bool ConfigurableAnalysis::Execute(DataAdaptor *data)
+{
+  bool ok = true;
+  for (AnalysisAdaptor *a : this->Analyses_)
+    ok = a->Execute(data) && ok;
+  return ok;
+}
+
+int ConfigurableAnalysis::Finalize()
+{
+  int status = 0;
+  for (AnalysisAdaptor *a : this->Analyses_)
+  {
+    const int s = a->Finalize();
+    if (s && !status)
+      status = s;
+  }
+  return status;
+}
+
+AnalysisAdaptor *ConfigurableAnalysis::GetAnalysis(int i) const
+{
+  if (i < 0 || i >= static_cast<int>(this->Analyses_.size()))
+    return nullptr;
+  return this->Analyses_[static_cast<std::size_t>(i)];
+}
+
+} // namespace sensei

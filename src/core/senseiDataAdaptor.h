@@ -1,0 +1,125 @@
+#ifndef senseiDataAdaptor_h
+#define senseiDataAdaptor_h
+
+/// @file senseiDataAdaptor.h
+/// The simulation-facing side of the SENSEI in situ interface. A
+/// simulation implements a DataAdaptor that presents its state through the
+/// SENSEI data model (svtkDataObject and friends); analysis back ends pull
+/// what they need through it. The simulation should always prefer
+/// zero-copy transfer: it shares pointers (via svtkHAMRDataArray) that
+/// give the in situ code direct access to the data, and the back end
+/// decides whether a deep copy is needed.
+
+#include "minimpi.h"
+#include "svtkDataObject.h"
+#include "svtkObjectBase.h"
+
+#include <string>
+#include <vector>
+
+namespace sensei
+{
+
+/// Abstract interface between a simulation and SENSEI analyses.
+class DataAdaptor : public svtkObjectBase
+{
+public:
+  const char *GetClassName() const override { return "sensei::DataAdaptor"; }
+
+  /// Names of the meshes the simulation can provide.
+  virtual std::vector<std::string> GetMeshNames() = 0;
+
+  /// The named mesh. Returns a new reference the caller must release, or
+  /// nullptr when the mesh is unknown. Array data inside the returned
+  /// object is shared zero-copy whenever the simulation allows it.
+  virtual svtkDataObject *GetMesh(const std::string &meshName) = 0;
+
+  /// Invoked by the framework when analyses are done with the current
+  /// step's data; the simulation may reclaim buffers it shared.
+  virtual void ReleaseData() {}
+
+  /// Simulated time of the current step.
+  double GetDataTime() const { return this->Time_; }
+  void SetDataTime(double t) { this->Time_ = t; }
+
+  /// Index of the current step.
+  long GetDataTimeStep() const { return this->TimeStep_; }
+  void SetDataTimeStep(long s) { this->TimeStep_ = s; }
+
+  /// The communicator analyses should use for collective operations. May
+  /// be null in serial use.
+  minimpi::Communicator *GetCommunicator() const { return this->Comm_; }
+  void SetCommunicator(minimpi::Communicator *comm) { this->Comm_ = comm; }
+
+protected:
+  DataAdaptor() = default;
+  ~DataAdaptor() override = default;
+
+private:
+  double Time_ = 0.0;
+  long TimeStep_ = 0;
+  minimpi::Communicator *Comm_ = nullptr;
+};
+
+/// A concrete DataAdaptor presenting a single svtkTable, used by
+/// simulations whose state is tabular (one row per particle/sample) and by
+/// tests. The table is shared zero-copy.
+class TableAdaptor : public DataAdaptor
+{
+public:
+  static TableAdaptor *New(const std::string &meshName = "table")
+  {
+    auto *a = new TableAdaptor;
+    a->MeshName_ = meshName;
+    return a;
+  }
+
+  const char *GetClassName() const override { return "sensei::TableAdaptor"; }
+
+  std::vector<std::string> GetMeshNames() override { return {this->MeshName_}; }
+
+  svtkDataObject *GetMesh(const std::string &meshName) override
+  {
+    if (meshName != this->MeshName_ || !this->Table_)
+      return nullptr;
+    this->Table_->Register();
+    return this->Table_;
+  }
+
+  void ReleaseData() override
+  {
+    if (this->Table_)
+    {
+      this->Table_->UnRegister();
+      this->Table_ = nullptr;
+    }
+  }
+
+  /// Share `table` as this step's data (takes a reference).
+  void SetTable(svtkTable *table)
+  {
+    if (table)
+      table->Register();
+    if (this->Table_)
+      this->Table_->UnRegister();
+    this->Table_ = table;
+  }
+
+  svtkTable *GetTable() const { return this->Table_; }
+
+protected:
+  TableAdaptor() = default;
+  ~TableAdaptor() override
+  {
+    if (this->Table_)
+      this->Table_->UnRegister();
+  }
+
+private:
+  std::string MeshName_;
+  svtkTable *Table_ = nullptr;
+};
+
+} // namespace sensei
+
+#endif

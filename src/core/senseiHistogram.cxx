@@ -1,0 +1,199 @@
+#include "senseiHistogram.h"
+
+#include "svtkArrayUtils.h"
+#include "vcuda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sensei
+{
+
+bool Histogram::Execute(DataAdaptor *data)
+{
+  if (!data || this->Column_.empty())
+    return false;
+
+  svtkDataObject *obj = data->GetMesh(this->MeshName_);
+  auto *table = dynamic_cast<svtkTable *>(obj);
+  if (!table)
+  {
+    if (obj)
+      obj->UnRegister();
+    return false;
+  }
+
+  svtkDataArray *raw = table->GetColumnByName(this->Column_);
+  if (!raw)
+  {
+    table->UnRegister();
+    return false;
+  }
+
+  svtkHAMRDoubleArray *col = svtkAsHAMRDouble(raw); // +1 ref
+  const int device = this->GetPlacementDevice(data);
+
+  if (this->GetAsynchronous())
+  {
+    if (!this->AsyncComm_ && data->GetCommunicator())
+      this->AsyncComm_.emplace(data->GetCommunicator()->Dup());
+
+    // deep copy the relevant data, then run concurrently
+    auto snap =
+      svtkSmartPtr<svtkHAMRDoubleArray>::Take(col->NewDeepCopy());
+    col->UnRegister();
+    table->UnRegister();
+
+    minimpi::Communicator *comm =
+      this->AsyncComm_ ? &*this->AsyncComm_ : nullptr;
+    this->Runner_.Submit([this, snap, comm, device]()
+                         { this->Run(snap, comm, device); });
+    return true;
+  }
+
+  auto holder = svtkSmartPtr<svtkHAMRDoubleArray>::Take(col);
+  this->Run(holder, data->GetCommunicator(), device);
+  table->UnRegister();
+  return true;
+}
+
+int Histogram::Finalize()
+{
+  this->Runner_.Drain();
+  return 0;
+}
+
+void Histogram::Run(const svtkSmartPtr<svtkHAMRDoubleArray> &col,
+                    minimpi::Communicator *comm, int device)
+{
+  const std::size_t n = col->GetNumberOfTuples();
+  const std::size_t bins = static_cast<std::size_t>(this->Bins_);
+
+  double lo = this->Lo_;
+  double hi = this->Hi_;
+  if (this->AutoRange_)
+  {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    // range scan at the placement target via the agnostic access API
+    auto view = device >= 0 ? col->GetDeviceAccessible(device)
+                            : col->GetHostAccessible();
+    const double *p = view.get();
+    col->Synchronize();
+    const vp::KernelDesc desc{n, 2.0, 0.0, "histogram_range"};
+    const auto body = [p, &lo, &hi](std::size_t b, std::size_t e)
+    {
+      for (std::size_t i = b; i < e; ++i)
+      {
+        lo = std::min(lo, p[i]);
+        hi = std::max(hi, p[i]);
+      }
+    };
+    if (device >= 0)
+    {
+      vcuda::SetDevice(device);
+      vcuda::stream_t strm = vcuda::StreamCreate();
+      vcuda::LaunchN(strm, n, body, vcuda::LaunchBounds{2.0, 0.0, desc.Name});
+      vcuda::StreamSynchronize(strm);
+    }
+    else
+    {
+      vp::Platform::Get().HostParallelFor(desc, body);
+    }
+
+    if (comm)
+    {
+      comm->Allreduce(&lo, 1, minimpi::Op::Min);
+      comm->Allreduce(&hi, 1, minimpi::Op::Max);
+    }
+    if (!std::isfinite(lo) || !std::isfinite(hi))
+    {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (!(hi > lo))
+      hi = lo + 1.0;
+  }
+
+  std::vector<double> counts(bins, 0.0);
+  {
+    auto view = device >= 0 ? col->GetDeviceAccessible(device)
+                            : col->GetHostAccessible();
+    const double *p = view.get();
+    col->Synchronize();
+
+    const double scale = static_cast<double>(bins) / (hi - lo);
+    double *c = counts.data();
+    const auto body = [p, c, lo, scale, bins](std::size_t b, std::size_t e)
+    {
+      for (std::size_t i = b; i < e; ++i)
+      {
+        long bi = static_cast<long>((p[i] - lo) * scale);
+        bi = std::clamp(bi, 0L, static_cast<long>(bins) - 1);
+        c[static_cast<std::size_t>(bi)] += 1.0;
+      }
+    };
+
+    if (device >= 0)
+    {
+      // accumulate into a device grid with atomics, then copy back
+      vcuda::SetDevice(device);
+      vcuda::stream_t strm = vcuda::StreamCreate();
+      auto *dc =
+        static_cast<double *>(vcuda::MallocAsync(bins * sizeof(double), strm));
+      vcuda::LaunchN(
+        strm, bins,
+        [dc](std::size_t b, std::size_t e)
+        {
+          for (std::size_t i = b; i < e; ++i)
+            dc[i] = 0.0;
+        },
+        vcuda::LaunchBounds{1.0, 0.0, "histogram_init"});
+      const double scaleD = scale;
+      vcuda::LaunchN(
+        strm, n,
+        [p, dc, lo, scaleD, bins](std::size_t b, std::size_t e)
+        {
+          for (std::size_t i = b; i < e; ++i)
+          {
+            long bi = static_cast<long>((p[i] - lo) * scaleD);
+            bi = std::clamp(bi, 0L, static_cast<long>(bins) - 1);
+            dc[static_cast<std::size_t>(bi)] += 1.0;
+          }
+        },
+        vcuda::LaunchBounds{5.0, 0.6, "histogram_accum"});
+      vcuda::StreamSynchronize(strm);
+      vcuda::Memcpy(counts.data(), dc, bins * sizeof(double));
+      vcuda::Free(dc);
+    }
+    else
+    {
+      vp::Platform::Get().HostParallelFor(
+        vp::KernelDesc{n, 5.0, 0.15, "histogram_accum_host"}, body);
+    }
+  }
+
+  if (comm)
+    comm->Allreduce(counts.data(), bins, minimpi::Op::Sum);
+
+  std::lock_guard<std::mutex> lock(this->ResultMutex_);
+  this->LastCounts_ = std::move(counts);
+  this->LastLo_ = lo;
+  this->LastHi_ = hi;
+  this->HaveResult_ = true;
+}
+
+bool Histogram::GetLastResult(std::vector<double> &counts, double &lo,
+                              double &hi) const
+{
+  std::lock_guard<std::mutex> lock(this->ResultMutex_);
+  if (!this->HaveResult_)
+    return false;
+  counts = this->LastCounts_;
+  lo = this->LastLo_;
+  hi = this->LastHi_;
+  return true;
+}
+
+} // namespace sensei

@@ -1,0 +1,148 @@
+#include "senseiInTransit.h"
+
+#include "senseiSerialization.h"
+#include "vpPlatform.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sensei
+{
+
+namespace
+{
+constexpr int TagTransport = 7000;
+constexpr std::uint8_t FrameData = 0;
+constexpr std::uint8_t FrameClose = 1;
+} // namespace
+
+// ---------------------------------------------------------------------------
+InTransitSender::InTransitSender(minimpi::Communicator *world,
+                                 const InTransitLayout &layout,
+                                 std::string meshName)
+  : World_(world), Layout_(layout), MeshName_(std::move(meshName))
+{
+  if (!world)
+    throw std::invalid_argument("InTransitSender: null communicator");
+  if (this->Layout_.IsEndpoint(world->Rank()))
+    throw std::logic_error("InTransitSender: this rank is an endpoint");
+}
+
+bool InTransitSender::Send(DataAdaptor *data)
+{
+  if (this->Closed_)
+    throw std::logic_error("InTransitSender::Send after Close");
+
+  svtkDataObject *obj = data->GetMesh(this->MeshName_);
+  auto *table = dynamic_cast<svtkTable *>(obj);
+  if (!table)
+  {
+    if (obj)
+      obj->UnRegister();
+    return false;
+  }
+
+  // frame: kind byte, step, serialized table
+  std::vector<std::uint8_t> frame;
+  frame.push_back(FrameData);
+  const std::uint64_t step = static_cast<std::uint64_t>(data->GetDataTimeStep());
+  const std::size_t at = frame.size();
+  frame.resize(at + sizeof(step));
+  std::memcpy(frame.data() + at, &step, sizeof(step));
+
+  const std::vector<std::uint8_t> payload = SerializeTable(table);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  table->UnRegister();
+
+  // serialization is host memory-bandwidth work the sender pays for
+  vp::Platform &plat = vp::Platform::Get();
+  plat.HostCompute(static_cast<double>(frame.size()) /
+                   plat.Config().Cost.H2HBandwidth);
+
+  this->World_->Send(this->Layout_.EndpointOf(this->World_->Rank()),
+                     TagTransport, frame.data(), frame.size());
+  return true;
+}
+
+void InTransitSender::Close()
+{
+  if (this->Closed_)
+    return;
+  const std::uint8_t frame[1] = {FrameClose};
+  this->World_->Send(this->Layout_.EndpointOf(this->World_->Rank()),
+                     TagTransport, frame, sizeof(frame));
+  this->Closed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+InTransitEndpoint::InTransitEndpoint(minimpi::Communicator *world,
+                                     minimpi::Communicator *endpointComm,
+                                     const InTransitLayout &layout,
+                                     std::string meshName)
+  : World_(world), EndpointComm_(endpointComm), Layout_(layout),
+    MeshName_(std::move(meshName))
+{
+  if (!world || !endpointComm)
+    throw std::invalid_argument("InTransitEndpoint: null communicator");
+  if (!this->Layout_.IsEndpoint(world->Rank()))
+    throw std::logic_error("InTransitEndpoint: this rank is a sender");
+}
+
+long InTransitEndpoint::Run(AnalysisAdaptor *analysis)
+{
+  if (!analysis)
+    throw std::invalid_argument("InTransitEndpoint::Run: null analysis");
+  analysis->Register();
+
+  std::vector<int> open = this->Layout_.SendersOf(this->World_->Rank());
+  long steps = 0;
+
+  while (!open.empty())
+  {
+    // one round: a frame from every still-open sender
+    std::vector<svtkTable *> blocks;
+    std::uint64_t step = 0;
+    std::vector<int> stillOpen;
+
+    for (int sender : open)
+    {
+      const std::vector<std::uint8_t> frame =
+        this->World_->Recv(sender, TagTransport);
+      if (frame.empty() || frame[0] == FrameClose)
+        continue; // sender is done
+
+      if (frame.size() < 1 + sizeof(std::uint64_t))
+        throw std::runtime_error("InTransitEndpoint: malformed frame");
+      std::memcpy(&step, frame.data() + 1, sizeof(step));
+      blocks.push_back(
+        DeserializeTable(frame.data() + 1 + sizeof(std::uint64_t),
+                         frame.size() - 1 - sizeof(std::uint64_t)));
+      stillOpen.push_back(sender);
+    }
+    open.swap(stillOpen);
+
+    if (blocks.empty())
+      break; // everything closed in this round
+
+    svtkTable *assembled = ConcatenateTables(blocks);
+    for (svtkTable *b : blocks)
+      b->UnRegister();
+
+    TableAdaptor *adaptor = TableAdaptor::New(this->MeshName_);
+    adaptor->SetTable(assembled);
+    assembled->UnRegister();
+    adaptor->SetCommunicator(this->EndpointComm_);
+    adaptor->SetDataTimeStep(static_cast<long>(step));
+
+    analysis->Execute(adaptor);
+    adaptor->ReleaseData();
+    adaptor->Delete();
+    ++steps;
+  }
+
+  analysis->Finalize();
+  analysis->UnRegister();
+  return steps;
+}
+
+} // namespace sensei

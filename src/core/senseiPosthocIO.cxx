@@ -1,0 +1,77 @@
+#include "senseiPosthocIO.h"
+
+#include "sio.h"
+#include "svtkAOSDataArray.h"
+#include "svtkArrayUtils.h"
+
+#include <sstream>
+
+namespace sensei
+{
+
+bool PosthocIO::Execute(DataAdaptor *data)
+{
+  if (!data)
+    return false;
+
+  if (data->GetDataTimeStep() % this->Frequency_ != 0)
+    return true;
+
+  svtkDataObject *obj = data->GetMesh(this->MeshName_);
+  auto *table = dynamic_cast<svtkTable *>(obj);
+  if (!table)
+  {
+    if (obj)
+      obj->UnRegister();
+    return false;
+  }
+
+  // deep copy to host-resident AOS arrays (file IO is a host activity and
+  // the copy decouples the write from the simulation's buffers)
+  svtkTable *host = svtkTable::New();
+  for (int c = 0; c < table->GetNumberOfColumns(); ++c)
+  {
+    svtkDataArray *col = table->GetColumn(c);
+    svtkAOSDoubleArray *a = svtkAOSDoubleArray::New(col->GetName());
+    a->SetNumberOfComponents(col->GetNumberOfComponents());
+    a->GetVector() = svtkToDoubleVector(col);
+    host->AddColumn(a);
+    a->Delete();
+  }
+  table->UnRegister();
+
+  const int rank =
+    data->GetCommunicator() ? data->GetCommunicator()->Rank() : 0;
+
+  std::ostringstream path;
+  path << this->Dir_ << '/' << this->Prefix_ << "_r" << rank << "_s"
+       << data->GetDataTimeStep()
+       << (this->Format_ == Format::CSV ? ".csv" : ".vtk");
+  const std::string file = path.str();
+  const Format fmt = this->Format_;
+
+  auto write = [host, file, fmt]()
+  {
+    if (fmt == Format::CSV)
+      sio::WriteCSV(file, host);
+    else
+      sio::WriteParticlesVTK(file, host);
+    host->UnRegister();
+  };
+
+  if (this->GetAsynchronous())
+    this->Runner_.Submit(write);
+  else
+    write();
+
+  ++this->WriteCount_;
+  return true;
+}
+
+int PosthocIO::Finalize()
+{
+  this->Runner_.Drain();
+  return 0;
+}
+
+} // namespace sensei

@@ -1,0 +1,12 @@
+#include "senseiProfiler.h"
+
+namespace sensei
+{
+
+Profiler &Profiler::Global()
+{
+  static Profiler instance;
+  return instance;
+}
+
+} // namespace sensei

@@ -1,0 +1,127 @@
+#ifndef senseiProfiler_h
+#define senseiProfiler_h
+
+/// @file senseiProfiler.h
+/// Virtual-time profiler used by the evaluation harness: records named
+/// spans of virtual seconds per rank and reports totals and per-event
+/// means. This is how the benchmark reproduces Figure 3's "average time
+/// per iteration of the solver and in situ processing".
+
+#include "vpClock.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sensei
+{
+
+/// Thread-safe collection of named timing events (virtual seconds).
+class Profiler
+{
+public:
+  /// Record a completed span.
+  void Event(const std::string &name, double seconds)
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    auto &s = this->Series_[name];
+    s.Total += seconds;
+    s.Count += 1;
+    s.Max = seconds > s.Max ? seconds : s.Max;
+  }
+
+  /// Sum of all spans with this name.
+  double Total(const std::string &name) const
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    auto it = this->Series_.find(name);
+    return it == this->Series_.end() ? 0.0 : it->second.Total;
+  }
+
+  /// Number of spans recorded under this name.
+  long Count(const std::string &name) const
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    auto it = this->Series_.find(name);
+    return it == this->Series_.end() ? 0 : it->second.Count;
+  }
+
+  /// Mean span length, 0 when none recorded.
+  double Mean(const std::string &name) const
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    auto it = this->Series_.find(name);
+    return it == this->Series_.end() || !it->second.Count
+             ? 0.0
+             : it->second.Total / static_cast<double>(it->second.Count);
+  }
+
+  /// Longest single span.
+  double Max(const std::string &name) const
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    auto it = this->Series_.find(name);
+    return it == this->Series_.end() ? 0.0 : it->second.Max;
+  }
+
+  /// All event names seen.
+  std::vector<std::string> Names() const
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    std::vector<std::string> out;
+    out.reserve(this->Series_.size());
+    for (const auto &kv : this->Series_)
+      out.push_back(kv.first);
+    return out;
+  }
+
+  /// Forget everything.
+  void Clear()
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    this->Series_.clear();
+  }
+
+  /// The process-wide profiler instance.
+  static Profiler &Global();
+
+private:
+  struct Stats
+  {
+    double Total = 0.0;
+    long Count = 0;
+    double Max = 0.0;
+  };
+
+  mutable std::mutex Mutex_;
+  std::map<std::string, Stats> Series_;
+};
+
+/// RAII span: measures virtual time between construction and destruction
+/// and records it in a profiler.
+class ScopedEvent
+{
+public:
+  ScopedEvent(Profiler &prof, std::string name)
+    : Prof_(prof), Name_(std::move(name)), Begin_(vp::ThisClock().Now())
+  {
+  }
+
+  ~ScopedEvent()
+  {
+    this->Prof_.Event(this->Name_, vp::ThisClock().Now() - this->Begin_);
+  }
+
+  ScopedEvent(const ScopedEvent &) = delete;
+  ScopedEvent &operator=(const ScopedEvent &) = delete;
+
+private:
+  Profiler &Prof_;
+  std::string Name_;
+  double Begin_;
+};
+
+} // namespace sensei
+
+#endif

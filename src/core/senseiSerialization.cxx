@@ -1,0 +1,143 @@
+#include "senseiSerialization.h"
+
+#include "svtkAOSDataArray.h"
+#include "svtkArrayUtils.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sensei
+{
+
+namespace
+{
+void PutU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+std::uint64_t GetU64(const std::uint8_t *bytes, std::size_t size,
+                     std::size_t &pos)
+{
+  if (pos + sizeof(std::uint64_t) > size)
+    throw std::runtime_error("DeserializeTable: truncated input");
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+} // namespace
+
+std::vector<std::uint8_t> SerializeTable(const svtkTable *table)
+{
+  if (!table)
+    throw std::invalid_argument("SerializeTable: null table");
+
+  std::vector<std::uint8_t> out;
+  const int nCols = table->GetNumberOfColumns();
+  PutU64(out, static_cast<std::uint64_t>(nCols));
+
+  for (int c = 0; c < nCols; ++c)
+  {
+    const svtkDataArray *col = table->GetColumn(c);
+    const std::string &name = col->GetName();
+
+    PutU64(out, name.size());
+    out.insert(out.end(), name.begin(), name.end());
+
+    PutU64(out, col->GetNumberOfTuples());
+    PutU64(out, static_cast<std::uint64_t>(col->GetNumberOfComponents()));
+
+    const std::vector<double> values = svtkToDoubleVector(col);
+    const std::size_t at = out.size();
+    out.resize(at + values.size() * sizeof(double));
+    if (!values.empty())
+      std::memcpy(out.data() + at, values.data(),
+                  values.size() * sizeof(double));
+  }
+  return out;
+}
+
+svtkTable *DeserializeTable(const std::uint8_t *bytes, std::size_t size)
+{
+  std::size_t pos = 0;
+  const std::uint64_t nCols = GetU64(bytes, size, pos);
+
+  svtkTable *table = svtkTable::New();
+  try
+  {
+    for (std::uint64_t c = 0; c < nCols; ++c)
+    {
+      const std::uint64_t nameLen = GetU64(bytes, size, pos);
+      if (pos + nameLen > size)
+        throw std::runtime_error("DeserializeTable: truncated name");
+      std::string name(reinterpret_cast<const char *>(bytes + pos),
+                       static_cast<std::size_t>(nameLen));
+      pos += nameLen;
+
+      const std::uint64_t tuples = GetU64(bytes, size, pos);
+      const std::uint64_t comps = GetU64(bytes, size, pos);
+      const std::uint64_t count = tuples * comps;
+      if (pos + count * sizeof(double) > size)
+        throw std::runtime_error("DeserializeTable: truncated values");
+
+      svtkAOSDoubleArray *col = svtkAOSDoubleArray::New(name);
+      col->SetNumberOfComponents(static_cast<int>(comps));
+      col->GetVector().resize(static_cast<std::size_t>(count));
+      if (count)
+        std::memcpy(col->GetVector().data(), bytes + pos,
+                    static_cast<std::size_t>(count) * sizeof(double));
+      pos += static_cast<std::size_t>(count) * sizeof(double);
+
+      table->AddColumn(col);
+      col->Delete();
+    }
+  }
+  catch (...)
+  {
+    table->UnRegister();
+    throw;
+  }
+  return table;
+}
+
+svtkTable *ConcatenateTables(const std::vector<svtkTable *> &parts)
+{
+  svtkTable *out = svtkTable::New();
+  if (parts.empty())
+    return out;
+
+  const svtkTable *first = parts.front();
+  const int nCols = first->GetNumberOfColumns();
+
+  for (int c = 0; c < nCols; ++c)
+  {
+    const svtkDataArray *proto = first->GetColumn(c);
+    svtkAOSDoubleArray *merged = svtkAOSDoubleArray::New(proto->GetName());
+    merged->SetNumberOfComponents(proto->GetNumberOfComponents());
+
+    for (svtkTable *part : parts)
+    {
+      const svtkDataArray *col =
+        part ? part->GetColumnByName(proto->GetName()) : nullptr;
+      if (!col || col->GetNumberOfComponents() != proto->GetNumberOfComponents())
+      {
+        merged->Delete();
+        out->UnRegister();
+        throw std::runtime_error(
+          "ConcatenateTables: schema mismatch for column '" +
+          proto->GetName() + "'");
+      }
+      const std::vector<double> values = svtkToDoubleVector(col);
+      merged->GetVector().insert(merged->GetVector().end(), values.begin(),
+                                 values.end());
+    }
+    out->AddColumn(merged);
+    merged->Delete();
+  }
+  return out;
+}
+
+} // namespace sensei

@@ -1,0 +1,50 @@
+#ifndef senseiSerialization_h
+#define senseiSerialization_h
+
+/// @file senseiSerialization.h
+/// Byte-level serialization of data-model objects for the in transit
+/// transport: a svtkTable (any column flavour — heterogeneous columns are
+/// staged through the host access path) round trips to a contiguous
+/// buffer. Format (little endian, as the host lays it out):
+///
+///   u64 columnCount
+///   per column: u64 nameLength, name bytes,
+///               u64 tupleCount, u64 componentCount,
+///               f64 values [tupleCount * componentCount]
+///
+/// Values travel as f64 regardless of the source scalar type, matching
+/// the analysis back ends which consume doubles.
+
+#include "svtkDataObject.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sensei
+{
+
+/// Serialize a table to bytes. Device-resident columns are pulled through
+/// the data model's host access path (one D2H move per column).
+std::vector<std::uint8_t> SerializeTable(const svtkTable *table);
+
+/// Rebuild a table from SerializeTable bytes; columns come back as
+/// host-resident double arrays. The caller owns the returned reference.
+/// Throws std::runtime_error on malformed input.
+svtkTable *DeserializeTable(const std::uint8_t *bytes, std::size_t size);
+
+/// Convenience overload.
+inline svtkTable *DeserializeTable(const std::vector<std::uint8_t> &bytes)
+{
+  return DeserializeTable(bytes.data(), bytes.size());
+}
+
+/// Merge rows of several tables with identical schemas (same column
+/// names, components, order) into one host-resident table. Used by the
+/// in transit endpoint to assemble the blocks it receives. The caller
+/// owns the returned reference. Throws std::runtime_error on schema
+/// mismatch; an empty input list yields an empty table.
+svtkTable *ConcatenateTables(const std::vector<svtkTable *> &parts);
+
+} // namespace sensei
+
+#endif

@@ -1,0 +1,36 @@
+#include "hamrAllocator.h"
+
+namespace hamr
+{
+
+const char *to_string(allocator a)
+{
+  switch (a)
+  {
+    case allocator::none: return "none";
+    case allocator::malloc_: return "malloc";
+    case allocator::cpp: return "cpp";
+    case allocator::host_pinned: return "host_pinned";
+    case allocator::device: return "device";
+    case allocator::device_async: return "device_async";
+    case allocator::managed: return "managed";
+    case allocator::openmp: return "openmp";
+    case allocator::hip: return "hip";
+    case allocator::hip_async: return "hip_async";
+    case allocator::sycl_device: return "sycl_device";
+    case allocator::sycl_shared: return "sycl_shared";
+  }
+  return "unknown";
+}
+
+const char *to_string(stream_mode m)
+{
+  switch (m)
+  {
+    case stream_mode::sync: return "sync";
+    case stream_mode::async: return "async";
+  }
+  return "unknown";
+}
+
+} // namespace hamr

@@ -1,0 +1,120 @@
+#ifndef hamrAllocator_h
+#define hamrAllocator_h
+
+/// @file hamrAllocator.h
+/// Allocation strategies understood by hamr::buffer. Each value selects a
+/// programming model and a specific method within that model, mirroring the
+/// HAMR library the paper builds on: host allocators (malloc, operator
+/// new), page-locked host memory, CUDA-style synchronous / stream-ordered
+/// device memory, managed (universally addressable) memory, and OpenMP
+/// target memory.
+
+#include "vpTypes.h"
+
+namespace hamr
+{
+
+/// Which PM/method manages a buffer's storage.
+enum class allocator : int
+{
+  none = 0,     ///< not yet initialized
+  malloc_,      ///< host, C malloc semantics
+  cpp,          ///< host, operator new semantics
+  host_pinned,  ///< page-locked host memory (vcuda)
+  device,       ///< device memory, synchronous allocation (vcuda)
+  device_async, ///< device memory, stream-ordered allocation (vcuda)
+  managed,      ///< universally addressable memory (vcuda)
+  openmp,       ///< device memory via OpenMP target (vomp)
+  hip,          ///< device memory, synchronous allocation (vhip)
+  hip_async,    ///< device memory, stream-ordered allocation (vhip)
+  sycl_device,  ///< USM device memory (vsycl) — the paper's future work
+  sycl_shared   ///< USM shared memory (vsycl), host + device addressable
+};
+
+/// True when storage from `a` can be dereferenced on the host without
+/// movement.
+constexpr bool host_accessible(allocator a)
+{
+  return a == allocator::malloc_ || a == allocator::cpp ||
+         a == allocator::host_pinned || a == allocator::managed ||
+         a == allocator::sycl_shared;
+}
+
+/// True when storage from `a` can be dereferenced on some device without
+/// movement.
+constexpr bool device_accessible(allocator a)
+{
+  return a == allocator::device || a == allocator::device_async ||
+         a == allocator::managed || a == allocator::openmp ||
+         a == allocator::hip || a == allocator::hip_async ||
+         a == allocator::sycl_device || a == allocator::sycl_shared;
+}
+
+/// True for stream-ordered allocators that require a stream at
+/// construction.
+constexpr bool asynchronous(allocator a)
+{
+  return a == allocator::device_async || a == allocator::hip_async;
+}
+
+/// The PM that owns storage from `a`.
+constexpr vp::PmKind pm_of(allocator a)
+{
+  switch (a)
+  {
+    case allocator::host_pinned:
+    case allocator::device:
+    case allocator::device_async:
+    case allocator::managed:
+      return vp::PmKind::Cuda;
+    case allocator::openmp:
+      return vp::PmKind::OpenMP;
+    case allocator::hip:
+    case allocator::hip_async:
+      return vp::PmKind::Hip;
+    case allocator::sycl_device:
+    case allocator::sycl_shared:
+      return vp::PmKind::Sycl;
+    default:
+      return vp::PmKind::None;
+  }
+}
+
+/// The memory space storage from `a` lives in.
+constexpr vp::MemSpace space_of(allocator a)
+{
+  switch (a)
+  {
+    case allocator::host_pinned:
+      return vp::MemSpace::HostPinned;
+    case allocator::device:
+    case allocator::device_async:
+    case allocator::openmp:
+    case allocator::hip:
+    case allocator::hip_async:
+    case allocator::sycl_device:
+      return vp::MemSpace::Device;
+    case allocator::managed:
+    case allocator::sycl_shared:
+      return vp::MemSpace::Managed;
+    default:
+      return vp::MemSpace::Host;
+  }
+}
+
+/// Short human readable name.
+const char *to_string(allocator a);
+
+/// How buffer operations synchronize with their stream.
+enum class stream_mode : int
+{
+  sync = 0, ///< every operation completes before the API call returns
+  async     ///< operations are stream ordered; the user synchronizes
+};
+
+/// Short human readable name.
+const char *to_string(stream_mode m);
+
+} // namespace hamr
+
+#endif

@@ -1,0 +1,44 @@
+#ifndef hamrStream_h
+#define hamrStream_h
+
+/// @file hamrStream.h
+/// hamr::stream abstracts the differences between PM streams and converts
+/// implicitly to and from the native stream handles of the supported PMs
+/// (here, vp::Stream serves both vcuda and vomp), so that the two can be
+/// used interchangeably — the behaviour the paper describes for
+/// svtkStream.
+
+#include "vpStream.h"
+
+namespace hamr
+{
+
+/// Value-semantic PM-agnostic stream handle.
+class stream
+{
+public:
+  /// A null stream; operations resolve to the target device's default
+  /// stream at use time.
+  stream() = default;
+
+  /// Implicit conversion from the native stream type.
+  stream(const vp::Stream &s) : Stream_(s) {} // NOLINT(google-explicit-constructor)
+
+  /// Implicit conversion to the native stream type.
+  operator vp::Stream() const { return this->Stream_; } // NOLINT
+
+  /// True for a non-null stream.
+  explicit operator bool() const { return static_cast<bool>(this->Stream_); }
+
+  /// The wrapped native handle.
+  const vp::Stream &native() const { return this->Stream_; }
+
+  bool operator==(const stream &o) const { return this->Stream_ == o.Stream_; }
+
+private:
+  vp::Stream Stream_;
+};
+
+} // namespace hamr
+
+#endif

@@ -1,0 +1,307 @@
+#include "sio.h"
+
+#include "svtkAOSDataArray.h"
+#include "svtkArrayUtils.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sio
+{
+
+namespace
+{
+std::ofstream OpenOut(const std::string &path)
+{
+  std::ofstream f(path);
+  if (!f)
+    throw std::runtime_error("sio: cannot write '" + path + "'");
+  f << std::setprecision(17);
+  return f;
+}
+
+std::ifstream OpenIn(const std::string &path)
+{
+  std::ifstream f(path);
+  if (!f)
+    throw std::runtime_error("sio: cannot read '" + path + "'");
+  return f;
+}
+} // namespace
+
+// ---------------------------------------------------------------------------
+void WriteCSV(const std::string &path, const svtkTable *table)
+{
+  if (!table)
+    throw std::invalid_argument("sio::WriteCSV: null table");
+
+  std::ofstream f = OpenOut(path);
+
+  const int nCols = table->GetNumberOfColumns();
+  std::vector<std::vector<double>> data(static_cast<std::size_t>(nCols));
+  std::vector<int> comps(static_cast<std::size_t>(nCols));
+
+  bool first = true;
+  for (int c = 0; c < nCols; ++c)
+  {
+    const svtkDataArray *col = table->GetColumn(c);
+    data[static_cast<std::size_t>(c)] = svtkToDoubleVector(col);
+    comps[static_cast<std::size_t>(c)] = col->GetNumberOfComponents();
+    for (int j = 0; j < comps[static_cast<std::size_t>(c)]; ++j)
+    {
+      if (!first)
+        f << ',';
+      first = false;
+      f << col->GetName();
+      if (comps[static_cast<std::size_t>(c)] > 1)
+        f << '_' << j;
+    }
+  }
+  f << '\n';
+
+  const std::size_t nRows = table->GetNumberOfRows();
+  for (std::size_t i = 0; i < nRows; ++i)
+  {
+    first = true;
+    for (int c = 0; c < nCols; ++c)
+    {
+      const int nc = comps[static_cast<std::size_t>(c)];
+      for (int j = 0; j < nc; ++j)
+      {
+        if (!first)
+          f << ',';
+        first = false;
+        f << data[static_cast<std::size_t>(c)]
+              [i * static_cast<std::size_t>(nc) + static_cast<std::size_t>(j)];
+      }
+    }
+    f << '\n';
+  }
+}
+
+svtkTable *ReadCSV(const std::string &path)
+{
+  std::ifstream f = OpenIn(path);
+
+  std::string header;
+  if (!std::getline(f, header))
+    throw std::runtime_error("sio::ReadCSV: empty file '" + path + "'");
+
+  std::vector<std::string> names;
+  {
+    std::istringstream iss(header);
+    std::string tok;
+    while (std::getline(iss, tok, ','))
+      names.push_back(tok);
+  }
+
+  std::vector<std::vector<double>> cols(names.size());
+  std::string line;
+  while (std::getline(f, line))
+  {
+    if (line.empty())
+      continue;
+    std::istringstream iss(line);
+    std::string tok;
+    std::size_t c = 0;
+    while (std::getline(iss, tok, ',') && c < cols.size())
+      cols[c++].push_back(std::stod(tok));
+    if (c != cols.size())
+      throw std::runtime_error("sio::ReadCSV: ragged row in '" + path + "'");
+  }
+
+  svtkTable *table = svtkTable::New();
+  for (std::size_t c = 0; c < cols.size(); ++c)
+  {
+    svtkAOSDoubleArray *a = svtkAOSDoubleArray::New(names[c]);
+    a->GetVector() = cols[c];
+    table->AddColumn(a);
+    a->Delete();
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+void WriteVTI(const std::string &path, const svtkImageData *image)
+{
+  if (!image)
+    throw std::invalid_argument("sio::WriteVTI: null image");
+
+  std::ofstream f = OpenOut(path);
+
+  int dims[3];
+  double origin[3];
+  double spacing[3];
+  image->GetDimensions(dims);
+  image->GetOrigin(origin);
+  image->GetSpacing(spacing);
+
+  f << "<?xml version=\"1.0\"?>\n"
+    << "<VTKFile type=\"ImageData\" version=\"0.1\" "
+       "byte_order=\"LittleEndian\">\n"
+    << "  <ImageData WholeExtent=\"0 " << dims[0] - 1 << " 0 " << dims[1] - 1
+    << " 0 " << dims[2] - 1 << "\" Origin=\"" << origin[0] << ' ' << origin[1]
+    << ' ' << origin[2] << "\" Spacing=\"" << spacing[0] << ' ' << spacing[1]
+    << ' ' << spacing[2] << "\">\n"
+    << "    <Piece Extent=\"0 " << dims[0] - 1 << " 0 " << dims[1] - 1
+    << " 0 " << dims[2] - 1 << "\">\n"
+    << "      <PointData>\n";
+
+  const svtkFieldData *pd = image->GetPointData();
+  for (int a = 0; a < pd->GetNumberOfArrays(); ++a)
+  {
+    const svtkDataArray *arr = pd->GetArray(a);
+    std::vector<double> values = svtkToDoubleVector(arr);
+    f << "        <DataArray type=\"Float64\" Name=\"" << arr->GetName()
+      << "\" NumberOfComponents=\"" << arr->GetNumberOfComponents()
+      << "\" format=\"ascii\">\n          ";
+    for (std::size_t i = 0; i < values.size(); ++i)
+      f << values[i] << (i + 1 == values.size() ? "" : " ");
+    f << "\n        </DataArray>\n";
+  }
+
+  f << "      </PointData>\n"
+    << "    </Piece>\n"
+    << "  </ImageData>\n"
+    << "</VTKFile>\n";
+}
+
+svtkImageData *ReadVTI(const std::string &path)
+{
+  std::ifstream f = OpenIn(path);
+  std::ostringstream oss;
+  oss << f.rdbuf();
+  const std::string text = oss.str();
+
+  // minimal, format-specific parse of the files WriteVTI produces
+  auto attr = [&text](std::size_t from, const std::string &key) -> std::string
+  {
+    const std::string pat = key + "=\"";
+    const std::size_t b = text.find(pat, from);
+    if (b == std::string::npos)
+      throw std::runtime_error("sio::ReadVTI: missing attribute " + key);
+    const std::size_t e = text.find('"', b + pat.size());
+    return text.substr(b + pat.size(), e - b - pat.size());
+  };
+
+  const std::size_t imgPos = text.find("<ImageData");
+  if (imgPos == std::string::npos)
+    throw std::runtime_error("sio::ReadVTI: not an ImageData file");
+
+  int ext[6] = {0, 0, 0, 0, 0, 0};
+  {
+    std::istringstream iss(attr(imgPos, "WholeExtent"));
+    for (int &v : ext)
+      iss >> v;
+  }
+  double origin[3] = {0, 0, 0};
+  {
+    std::istringstream iss(attr(imgPos, "Origin"));
+    iss >> origin[0] >> origin[1] >> origin[2];
+  }
+  double spacing[3] = {1, 1, 1};
+  {
+    std::istringstream iss(attr(imgPos, "Spacing"));
+    iss >> spacing[0] >> spacing[1] >> spacing[2];
+  }
+
+  svtkImageData *image = svtkImageData::New();
+  image->SetDimensions(ext[1] - ext[0] + 1, ext[3] - ext[2] + 1,
+                       ext[5] - ext[4] + 1);
+  image->SetOrigin(origin[0], origin[1], origin[2]);
+  image->SetSpacing(spacing[0], spacing[1], spacing[2]);
+
+  std::size_t pos = text.find("<DataArray", imgPos);
+  while (pos != std::string::npos)
+  {
+    const std::string name = attr(pos, "Name");
+    const int nComp =
+      std::stoi(attr(pos, "NumberOfComponents"));
+    const std::size_t b = text.find('>', pos) + 1;
+    const std::size_t e = text.find("</DataArray>", b);
+
+    std::vector<double> values;
+    {
+      std::istringstream iss(text.substr(b, e - b));
+      double v = 0;
+      while (iss >> v)
+        values.push_back(v);
+    }
+
+    svtkAOSDoubleArray *a = svtkAOSDoubleArray::New(name);
+    a->SetNumberOfComponents(nComp);
+    a->GetVector() = values;
+    image->GetPointData()->AddArray(a);
+    a->Delete();
+
+    pos = text.find("<DataArray", e);
+  }
+  return image;
+}
+
+// ---------------------------------------------------------------------------
+void WriteParticlesVTK(const std::string &path, const svtkTable *table,
+                       const std::string &xCol, const std::string &yCol,
+                       const std::string &zCol)
+{
+  if (!table)
+    throw std::invalid_argument("sio::WriteParticlesVTK: null table");
+
+  const svtkDataArray *xa = table->GetColumnByName(xCol);
+  const svtkDataArray *ya = table->GetColumnByName(yCol);
+  const svtkDataArray *za = table->GetColumnByName(zCol);
+  if (!xa || !ya || !za)
+    throw std::invalid_argument(
+      "sio::WriteParticlesVTK: coordinate columns missing");
+
+  const std::vector<double> x = svtkToDoubleVector(xa);
+  const std::vector<double> y = svtkToDoubleVector(ya);
+  const std::vector<double> z = svtkToDoubleVector(za);
+  const std::size_t n = x.size();
+
+  std::ofstream f = OpenOut(path);
+  f << "# vtk DataFile Version 3.0\n"
+    << "newton++ particles\nASCII\nDATASET POLYDATA\n"
+    << "POINTS " << n << " double\n";
+  for (std::size_t i = 0; i < n; ++i)
+    f << x[i] << ' ' << y[i] << ' ' << z[i] << '\n';
+
+  f << "VERTICES " << n << ' ' << 2 * n << '\n';
+  for (std::size_t i = 0; i < n; ++i)
+    f << "1 " << i << '\n';
+
+  f << "POINT_DATA " << n << '\n';
+  for (int c = 0; c < table->GetNumberOfColumns(); ++c)
+  {
+    const svtkDataArray *col = table->GetColumn(c);
+    const std::string &name = col->GetName();
+    if (name == xCol || name == yCol || name == zCol ||
+        col->GetNumberOfComponents() != 1)
+      continue;
+    const std::vector<double> v = svtkToDoubleVector(col);
+    f << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    for (std::size_t i = 0; i < n; ++i)
+      f << v[i] << '\n';
+  }
+}
+
+void WriteSeries(const std::string &path,
+                 const std::vector<std::string> &columns,
+                 const std::vector<std::vector<double>> &rows)
+{
+  std::ofstream f = OpenOut(path);
+  f << '#';
+  for (const auto &c : columns)
+    f << ' ' << c;
+  f << '\n';
+  for (const auto &row : rows)
+  {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      f << (i ? " " : "") << row[i];
+    f << '\n';
+  }
+}
+
+} // namespace sio

@@ -1,0 +1,52 @@
+#ifndef sio_h
+#define sio_h
+
+/// @file sio.h
+/// Lightweight writers/readers for the data products of the reproduction:
+/// CSV tables (analysis output, benchmark series), XML ImageData (.vti,
+/// ASCII — the binning grids of Figure 1), and legacy-VTK particle files
+/// (Newton++'s "VTK compatible output format for post processing and
+/// visualization"). The readers exist to round-trip test the writers.
+
+#include "svtkDataObject.h"
+
+#include <string>
+#include <vector>
+
+namespace sio
+{
+
+/// Write a table to CSV: a header row of column names, then one row per
+/// tuple; multi-component columns expand to name_0, name_1, ...
+/// Heterogeneous arrays are accessed through the data model's host path.
+/// Throws std::runtime_error when the file cannot be written.
+void WriteCSV(const std::string &path, const svtkTable *table);
+
+/// Read a CSV written by WriteCSV. Every column becomes a
+/// svtkAOSDoubleArray. The caller owns the returned reference.
+svtkTable *ReadCSV(const std::string &path);
+
+/// Write a uniform mesh and its point data as an ASCII XML ImageData
+/// (.vti) file loadable by ParaView/VisIt.
+void WriteVTI(const std::string &path, const svtkImageData *image);
+
+/// Read a .vti written by WriteVTI (ASCII, point data only). The caller
+/// owns the returned reference.
+svtkImageData *ReadVTI(const std::string &path);
+
+/// Write particles in legacy VTK polydata format (ASCII): POINTS from the
+/// x/y/z columns of `table`, every other column as point scalars.
+void WriteParticlesVTK(const std::string &path, const svtkTable *table,
+                       const std::string &xCol = "x",
+                       const std::string &yCol = "y",
+                       const std::string &zCol = "z");
+
+/// Write a simple gnuplot-friendly whitespace table: one header line
+/// starting with '#', then rows.
+void WriteSeries(const std::string &path,
+                 const std::vector<std::string> &columns,
+                 const std::vector<std::vector<double>> &rows);
+
+} // namespace sio
+
+#endif

@@ -1,0 +1,51 @@
+#ifndef newtonConfig_h
+#define newtonConfig_h
+
+/// @file newtonConfig.h
+/// Run configuration for the Newton++ reproduction: a direct n-body
+/// simulation with a second order, time reversible, symplectic integration
+/// scheme, parallelized with (mini)MPI and OpenMP device offload. Each MPI
+/// rank owns a unique spatial subdomain (a slab in x) and integrates the
+/// bodies within it; a repartitioning phase migrates bodies that left
+/// their subdomain to the correct rank.
+
+#include <cstddef>
+
+namespace newton
+{
+
+/// How bodies are initialized.
+enum class InitialCondition : int
+{
+  UniformRandom = 0, ///< uniform in position, mass, velocity, with an
+                     ///< optional massive body at the origin (Figure 1)
+  Galaxy             ///< disk + bulge sampler standing in for MAGI
+};
+
+/// All knobs of a run.
+struct Config
+{
+  std::size_t TotalBodies = 4096; ///< across all ranks
+  double G = 1.0;                 ///< gravitational constant
+  double Softening = 0.025;      ///< Plummer softening length
+  double Dt = 1.0e-3;             ///< time step
+  InitialCondition Ic = InitialCondition::UniformRandom;
+  unsigned Seed = 42;             ///< RNG seed (per-rank streams derive)
+  double BoxSize = 1.0;           ///< domain is [-BoxSize, BoxSize]^3
+  double CentralMass = 0.0;       ///< mass of a body pinned at the origin
+  double BodyMassMin = 0.5;       ///< uniform IC mass range
+  double BodyMassMax = 1.5;
+  double VelocityScale = 0.1;     ///< uniform IC velocity range +-scale
+
+  bool Repartition = true;        ///< migrate strays each step
+  long RepartitionInterval = 1;
+
+  /// Device placement of the solver: bodies live in OpenMP target memory
+  /// on device (localRank % SimDevices); SimDevices = 0 means all devices
+  /// on the node; -1 runs the solver on the host.
+  int SimDevices = 0;
+};
+
+} // namespace newton
+
+#endif

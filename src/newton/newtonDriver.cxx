@@ -1,0 +1,88 @@
+#include "newtonDriver.h"
+
+#include "vpClock.h"
+
+namespace newton
+{
+
+Driver::Driver(minimpi::Communicator *comm, const Config &config,
+               sensei::AnalysisAdaptor *analysis)
+  : Comm_(comm), Config_(config), Analysis_(analysis)
+{
+  if (this->Analysis_)
+    this->Analysis_->Register();
+}
+
+Driver::~Driver()
+{
+  if (this->Bridge_)
+    this->Bridge_->UnRegister();
+  if (this->Analysis_)
+    this->Analysis_->UnRegister();
+}
+
+void Driver::Initialize()
+{
+  this->Solver_ = std::make_unique<Solver>(this->Comm_, this->Config_);
+  this->Solver_->Initialize();
+  this->Bridge_ = DataAdaptor::New(this->Solver_.get());
+  this->Bridge_->SetCommunicator(this->Comm_);
+  this->Bridge_->Update();
+}
+
+double Driver::Run(long nSteps)
+{
+  if (!this->Solver_)
+    this->Initialize();
+
+  const double begin = vp::ThisClock().Now();
+  this->SolverSeconds_ = 0.0;
+  this->InSituSeconds_ = 0.0;
+  this->StepsRun_ = nSteps;
+
+  for (long s = 0; s < nSteps; ++s)
+  {
+    {
+      const double t0 = vp::ThisClock().Now();
+      this->Solver_->Step();
+      const double dt = vp::ThisClock().Now() - t0;
+      this->SolverSeconds_ += dt;
+      sensei::Profiler::Global().Event("driver::solver", dt);
+    }
+
+    if (this->Analysis_)
+    {
+      const double t0 = vp::ThisClock().Now();
+      this->Bridge_->Update();
+      this->Analysis_->Execute(this->Bridge_);
+      this->Bridge_->ReleaseData();
+      const double dt = vp::ThisClock().Now() - t0;
+      this->InSituSeconds_ += dt;
+      sensei::Profiler::Global().Event("driver::insitu", dt);
+    }
+  }
+
+  if (this->Analysis_)
+    this->Analysis_->Finalize(); // drains asynchronous in situ work
+
+  if (this->Comm_)
+    this->Comm_->Barrier();
+
+  return vp::ThisClock().Now() - begin;
+}
+
+double Driver::MeanSolverSeconds() const
+{
+  return this->StepsRun_ ? this->SolverSeconds_ /
+                             static_cast<double>(this->StepsRun_)
+                         : 0.0;
+}
+
+double Driver::MeanInSituSeconds() const
+{
+  return this->StepsRun_ ? this->InSituSeconds_ /
+                             static_cast<double>(this->StepsRun_)
+                         : 0.0;
+}
+
+} // namespace newton

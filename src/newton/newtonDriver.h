@@ -1,0 +1,69 @@
+#ifndef newtonDriver_h
+#define newtonDriver_h
+
+/// @file newtonDriver.h
+/// Couples the Newton++ solver to a SENSEI analysis: step the solver,
+/// update the bridge, invoke the analysis (in situ at every iteration, as
+/// in the paper's runs), and record per-phase virtual-time profiles. This
+/// is the per-rank main loop used by the examples and the evaluation
+/// campaign.
+
+#include "newtonDataAdaptor.h"
+#include "newtonSolver.h"
+#include "senseiAnalysisAdaptor.h"
+#include "senseiProfiler.h"
+
+#include <memory>
+#include <string>
+
+namespace newton
+{
+
+/// Per-rank run loop with phase timing.
+class Driver
+{
+public:
+  /// `comm` may be null (serial); `analysis` may be null (no in situ).
+  /// A reference is taken on the analysis.
+  Driver(minimpi::Communicator *comm, const Config &config,
+         sensei::AnalysisAdaptor *analysis);
+
+  ~Driver();
+
+  Driver(const Driver &) = delete;
+  Driver &operator=(const Driver &) = delete;
+
+  /// Initialize the solver and the bridge.
+  void Initialize();
+
+  /// Run `nSteps` iterations: solver step + in situ processing each step.
+  /// Returns the total virtual seconds elapsed in the loop (including a
+  /// final drain of asynchronous in situ work and analysis Finalize).
+  double Run(long nSteps);
+
+  /// Average virtual seconds per iteration spent in the solver.
+  double MeanSolverSeconds() const;
+
+  /// Average virtual seconds per iteration the simulation observed being
+  /// spent in in situ processing (for asynchronous execution this is just
+  /// the deep copy + launch, which is why async in situ "looks free").
+  double MeanInSituSeconds() const;
+
+  Solver &GetSolver() { return *this->Solver_; }
+  DataAdaptor *GetBridge() { return this->Bridge_; }
+
+private:
+  minimpi::Communicator *Comm_ = nullptr;
+  Config Config_;
+  sensei::AnalysisAdaptor *Analysis_ = nullptr;
+  std::unique_ptr<Solver> Solver_;
+  DataAdaptor *Bridge_ = nullptr;
+
+  double SolverSeconds_ = 0.0;
+  double InSituSeconds_ = 0.0;
+  long StepsRun_ = 0;
+};
+
+} // namespace newton
+
+#endif

@@ -1,0 +1,140 @@
+#include "newtonInitialConditions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace newton
+{
+
+void SlabBounds(double boxSize, int rank, int size, double &lo, double &hi)
+{
+  const double width = 2.0 * boxSize / static_cast<double>(size);
+  lo = -boxSize + width * static_cast<double>(rank);
+  hi = lo + width;
+}
+
+int SlabOwner(double boxSize, int size, double x)
+{
+  const double width = 2.0 * boxSize / static_cast<double>(size);
+  int r = static_cast<int>(std::floor((x + boxSize) / width));
+  return std::clamp(r, 0, size - 1);
+}
+
+namespace
+{
+
+BodySet UniformIC(const Config &config, int rank, int size)
+{
+  // split the body count evenly, remainder to the low ranks
+  const std::size_t base = config.TotalBodies / static_cast<std::size_t>(size);
+  const std::size_t extra = config.TotalBodies % static_cast<std::size_t>(size);
+  const std::size_t mine =
+    base + (static_cast<std::size_t>(rank) < extra ? 1 : 0);
+
+  double lo = 0, hi = 0;
+  SlabBounds(config.BoxSize, rank, size, lo, hi);
+
+  std::mt19937_64 gen(config.Seed + 0x9e3779b9ULL * static_cast<unsigned>(rank));
+  std::uniform_real_distribution<double> ux(lo, hi);
+  std::uniform_real_distribution<double> uyz(-config.BoxSize, config.BoxSize);
+  std::uniform_real_distribution<double> uv(-config.VelocityScale,
+                                            config.VelocityScale);
+  std::uniform_real_distribution<double> um(config.BodyMassMin,
+                                            config.BodyMassMax);
+
+  // global ids: offset of this rank's block
+  double id0 = 0;
+  for (int r = 0; r < rank; ++r)
+    id0 += static_cast<double>(
+      base + (static_cast<std::size_t>(r) < extra ? 1 : 0));
+
+  BodySet bodies;
+  bodies.Reserve(mine + 1);
+  for (std::size_t i = 0; i < mine; ++i)
+    bodies.Append(ux(gen), uyz(gen), uyz(gen), uv(gen), uv(gen), uv(gen),
+                  um(gen), id0 + static_cast<double>(i));
+
+  // the massive body at the origin belongs to whichever slab contains x=0
+  if (config.CentralMass > 0.0 &&
+      SlabOwner(config.BoxSize, size, 0.0) == rank)
+    bodies.Append(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, config.CentralMass,
+                  static_cast<double>(config.TotalBodies));
+
+  return bodies;
+}
+
+BodySet GalaxyIC(const Config &config, int rank, int size)
+{
+  // a single-component exponential disk around a central bulge: the MAGI
+  // substitute. bodies on near-circular orbits in the x-y plane with a
+  // small vertical extent and velocity dispersion.
+  const std::size_t base = config.TotalBodies / static_cast<std::size_t>(size);
+  const std::size_t extra = config.TotalBodies % static_cast<std::size_t>(size);
+
+  double lo = 0, hi = 0;
+  SlabBounds(config.BoxSize, rank, size, lo, hi);
+
+  const double Rd = 0.25 * config.BoxSize; // disk scale length
+  const double z0 = 0.05 * config.BoxSize; // vertical scale
+  const double Mc =
+    config.CentralMass > 0.0 ? config.CentralMass : 100.0; // bulge mass
+
+  // sample globally with one deterministic stream and keep the bodies in
+  // this rank's slab; every rank draws the identical sequence so the union
+  // over ranks is exactly the global sample, already partitioned.
+  std::mt19937_64 gen(config.Seed);
+  std::uniform_real_distribution<double> uphi(0.0, 2.0 * M_PI);
+  std::exponential_distribution<double> ur(1.0 / Rd);
+  std::normal_distribution<double> uz(0.0, z0);
+  std::normal_distribution<double> udisp(0.0, 0.05);
+  std::uniform_real_distribution<double> um(config.BodyMassMin,
+                                            config.BodyMassMax);
+
+  const std::size_t total = base * static_cast<std::size_t>(size) + extra;
+  BodySet bodies;
+  bodies.Reserve(total / static_cast<std::size_t>(size) + 8);
+
+  for (std::size_t i = 0; i < total; ++i)
+  {
+    const double phi = uphi(gen);
+    const double r = std::min(ur(gen), 0.95 * config.BoxSize);
+    const double x = r * std::cos(phi);
+    const double y = r * std::sin(phi);
+    const double z = std::clamp(uz(gen), -0.9 * config.BoxSize,
+                                0.9 * config.BoxSize);
+    const double m = um(gen);
+
+    // circular speed about the enclosed mass (dominated by the bulge)
+    const double vc =
+      std::sqrt(config.G * Mc / std::max(r, 0.05 * config.BoxSize));
+    const double vx = -vc * std::sin(phi) + udisp(gen);
+    const double vy = vc * std::cos(phi) + udisp(gen);
+    const double vz = udisp(gen);
+
+    if (x >= lo && x < hi)
+      bodies.Append(x, y, z, vx, vy, vz, m, static_cast<double>(i));
+  }
+
+  if (SlabOwner(config.BoxSize, size, 0.0) == rank)
+    bodies.Append(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, Mc,
+                  static_cast<double>(config.TotalBodies));
+
+  return bodies;
+}
+
+} // namespace
+
+BodySet GenerateInitialCondition(const Config &config, int rank, int size)
+{
+  switch (config.Ic)
+  {
+    case InitialCondition::Galaxy:
+      return GalaxyIC(config, rank, size);
+    case InitialCondition::UniformRandom:
+    default:
+      return UniformIC(config, rank, size);
+  }
+}
+
+} // namespace newton

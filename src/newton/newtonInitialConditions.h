@@ -1,0 +1,69 @@
+#ifndef newtonInitialConditions_h
+#define newtonInitialConditions_h
+
+/// @file newtonInitialConditions.h
+/// Initial condition generators. UniformRandom reproduces the paper's
+/// evaluation setup ("uniform random distributions in position, mass, and
+/// velocity with a massive body at the origin"); Galaxy is the stand-in
+/// for MAGI, the Many-component Galaxy Initializer, sampling an
+/// exponential disk around a central bulge with near-circular orbits.
+
+#include "newtonConfig.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace newton
+{
+
+/// Host-side body state produced by an initializer for one rank.
+struct BodySet
+{
+  std::vector<double> X, Y, Z;
+  std::vector<double> VX, VY, VZ;
+  std::vector<double> M;
+  std::vector<double> Id;
+
+  std::size_t Size() const { return this->X.size(); }
+
+  void Append(double x, double y, double z, double vx, double vy, double vz,
+              double m, double id)
+  {
+    this->X.push_back(x);
+    this->Y.push_back(y);
+    this->Z.push_back(z);
+    this->VX.push_back(vx);
+    this->VY.push_back(vy);
+    this->VZ.push_back(vz);
+    this->M.push_back(m);
+    this->Id.push_back(id);
+  }
+
+  void Reserve(std::size_t n)
+  {
+    this->X.reserve(n);
+    this->Y.reserve(n);
+    this->Z.reserve(n);
+    this->VX.reserve(n);
+    this->VY.reserve(n);
+    this->VZ.reserve(n);
+    this->M.reserve(n);
+    this->Id.reserve(n);
+  }
+};
+
+/// Generate rank `rank` of `size`'s share of the initial bodies. The
+/// returned bodies all lie inside the rank's x-slab
+/// [-L + rank*(2L/size), -L + (rank+1)*(2L/size)), so the initial state
+/// is already partitioned. Deterministic for a given (config, rank, size).
+BodySet GenerateInitialCondition(const Config &config, int rank, int size);
+
+/// The x-slab bounds owned by `rank` of `size` for box half-width L.
+void SlabBounds(double boxSize, int rank, int size, double &lo, double &hi);
+
+/// The rank whose slab contains coordinate x (clamped to valid ranks).
+int SlabOwner(double boxSize, int size, double x);
+
+} // namespace newton
+
+#endif

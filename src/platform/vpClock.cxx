@@ -1,0 +1,75 @@
+#include "vpClock.h"
+
+#include <vector>
+
+namespace vp
+{
+
+ThreadClock &ThisClock()
+{
+  thread_local ThreadClock clock;
+  return clock;
+}
+
+PoolTimeline::PoolTimeline(int lanes)
+  : NumLanes_(lanes > 0 ? lanes : 1), LaneAvail_(new double[this->NumLanes_])
+{
+  for (int i = 0; i < this->NumLanes_; ++i)
+    this->LaneAvail_[i] = 0.0;
+}
+
+PoolTimeline::~PoolTimeline()
+{
+  delete[] this->LaneAvail_;
+}
+
+double PoolTimeline::ClaimOne(double earliest, double d)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  // pick the lane that frees up first
+  int best = 0;
+  for (int i = 1; i < this->NumLanes_; ++i)
+    if (this->LaneAvail_[i] < this->LaneAvail_[best])
+      best = i;
+  const double start = std::max(earliest, this->LaneAvail_[best]);
+  this->LaneAvail_[best] = start + d;
+  return this->LaneAvail_[best];
+}
+
+double PoolTimeline::ClaimMany(double earliest, double serialSeconds, int width)
+{
+  if (width < 1)
+    width = 1;
+  if (width > this->NumLanes_)
+    width = this->NumLanes_;
+
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  // the region starts when `width` lanes are simultaneously free. sort lane
+  // availability and take the width-th smallest as the gating time.
+  std::vector<double> avail(this->LaneAvail_, this->LaneAvail_ + this->NumLanes_);
+  std::sort(avail.begin(), avail.end());
+  const double gate = avail[static_cast<std::size_t>(width) - 1];
+  const double start = std::max(earliest, gate);
+  const double finish = start + serialSeconds / static_cast<double>(width);
+
+  // occupy the `width` earliest-free lanes until the region completes
+  int claimed = 0;
+  for (int i = 0; i < this->NumLanes_ && claimed < width; ++i)
+  {
+    if (this->LaneAvail_[i] <= gate)
+    {
+      this->LaneAvail_[i] = finish;
+      ++claimed;
+    }
+  }
+  return finish;
+}
+
+void PoolTimeline::Reset()
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  for (int i = 0; i < this->NumLanes_; ++i)
+    this->LaneAvail_[i] = 0.0;
+}
+
+} // namespace vp

@@ -1,0 +1,140 @@
+#ifndef vpClock_h
+#define vpClock_h
+
+/// @file vpClock.h
+/// Discrete-event virtual time. Every executing thread owns a ThreadClock
+/// (thread local, created on first use). Shared hardware — each device's
+/// compute engine and copy engine, the host core pool — owns a
+/// ResourceTimeline. An operation of duration d submitted by a thread at
+/// virtual time t on resource R through stream S starts at
+/// max(t, S.last, R.avail) and completes at start + d. Asynchronous submits
+/// advance the submitting thread only by a small overhead; synchronization
+/// advances it to the completion time. Thread fork/join propagates clocks,
+/// so concurrency and contention appear in the virtual timeline exactly as
+/// they would on real hardware.
+
+#include <algorithm>
+#include <mutex>
+
+namespace vp
+{
+
+/// Virtual clock of one executing thread (virtual seconds since epoch 0).
+class ThreadClock
+{
+public:
+  /// Current virtual time of this thread.
+  double Now() const noexcept { return this->Now_; }
+
+  /// Advance this thread's clock by dt >= 0 seconds of local work.
+  void Advance(double dt) noexcept { this->Now_ += dt; }
+
+  /// Move the clock forward to time t if t is in the future.
+  void AdvanceTo(double t) noexcept { this->Now_ = std::max(this->Now_, t); }
+
+  /// Set the clock (used when seeding a child thread from its parent).
+  void Set(double t) noexcept { this->Now_ = t; }
+
+private:
+  double Now_ = 0.0;
+};
+
+/// Returns the calling thread's clock, creating it at time 0 on first use.
+ThreadClock &ThisClock();
+
+/// Runs a region of code under a detached virtual clock: on construction
+/// the calling thread's clock is saved and reset to `start`; on
+/// destruction it is restored. Used to account a logically-concurrent
+/// task (e.g. an asynchronous in situ analysis) on the submitting thread
+/// deterministically: the task's resource claims are made as of its
+/// virtual start time while the submitter's own clock is untouched.
+class ClockScope
+{
+public:
+  explicit ClockScope(double start) : Saved_(ThisClock().Now())
+  {
+    ThisClock().Set(start);
+  }
+
+  ~ClockScope() { ThisClock().Set(this->Saved_); }
+
+  ClockScope(const ClockScope &) = delete;
+  ClockScope &operator=(const ClockScope &) = delete;
+
+  /// The detached clock's current value (read before destruction).
+  double Now() const { return ThisClock().Now(); }
+
+private:
+  double Saved_;
+};
+
+/// Availability timeline of one exclusive hardware resource. Thread safe.
+class ResourceTimeline
+{
+public:
+  /// Claim the resource for an operation of duration d that cannot start
+  /// before `earliest`. Returns the completion time. The resource is busy
+  /// until that time.
+  double Claim(double earliest, double d)
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    const double start = std::max(earliest, this->Avail_);
+    this->Avail_ = start + d;
+    return this->Avail_;
+  }
+
+  /// Time at which the resource next becomes free.
+  double Available() const
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    return this->Avail_;
+  }
+
+  /// Reset the timeline to epoch 0 (test support).
+  void Reset()
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    this->Avail_ = 0.0;
+  }
+
+private:
+  mutable std::mutex Mutex_;
+  double Avail_ = 0.0;
+};
+
+/// A shared pool of identical lanes (e.g. host CPU cores). Work items claim
+/// the least-loaded lane; a parallel region of aggregate duration d spread
+/// over the whole pool claims every lane. This captures the paper's host
+/// placement scenario where in situ work steals otherwise idle host cores.
+class PoolTimeline
+{
+public:
+  explicit PoolTimeline(int lanes = 1);
+  ~PoolTimeline();
+
+  PoolTimeline(const PoolTimeline &) = delete;
+  PoolTimeline &operator=(const PoolTimeline &) = delete;
+
+  /// Claim one lane for duration d starting no earlier than `earliest`.
+  double ClaimOne(double earliest, double d);
+
+  /// Claim `width` lanes (clamped to the pool size) for a region whose
+  /// total serial work is `serialSeconds`; the region's duration is
+  /// serialSeconds / width. Returns the completion time.
+  double ClaimMany(double earliest, double serialSeconds, int width);
+
+  /// Number of lanes in the pool.
+  int Lanes() const noexcept { return this->NumLanes_; }
+
+  /// Reset all lanes to epoch 0 (test support).
+  void Reset();
+
+private:
+  int NumLanes_ = 1;
+  double *LaneAvail_ = nullptr;
+  mutable std::mutex Mutex_;
+};
+
+} // namespace vp
+
+#endif

@@ -1,0 +1,79 @@
+#include "vpMemory.h"
+
+namespace vp
+{
+
+void MemoryRegistry::Insert(void *p, const AllocInfo &info)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  this->Map_[p] = info;
+}
+
+bool MemoryRegistry::Erase(void *p)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return this->Map_.erase(p) > 0;
+}
+
+bool MemoryRegistry::Query(const void *p, AllocInfo &info) const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  if (this->Map_.empty())
+    return false;
+
+  // find the first allocation whose base is > p, step back one, and check
+  // that p lies inside it.
+  auto it = this->Map_.upper_bound(p);
+  if (it == this->Map_.begin())
+    return false;
+  --it;
+
+  const char *base = static_cast<const char *>(it->first);
+  const char *q = static_cast<const char *>(p);
+  if (q >= base + it->second.Bytes)
+    return false;
+
+  info = it->second;
+  return true;
+}
+
+std::size_t MemoryRegistry::Size() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return this->Map_.size();
+}
+
+std::size_t MemoryRegistry::BytesIn(MemSpace space, DeviceId device) const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  std::size_t total = 0;
+  for (const auto &kv : this->Map_)
+    if (kv.second.Space == space &&
+        (space != MemSpace::Device || kv.second.Device == device))
+      total += kv.second.Bytes;
+  return total;
+}
+
+void MemoryRegistry::Clear()
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  this->Map_.clear();
+}
+
+CopyKind ClassifyCopy(const AllocInfo &dst, const AllocInfo &src)
+{
+  const bool srcDev = src.Space == MemSpace::Device;
+  const bool dstDev = dst.Space == MemSpace::Device;
+
+  if (srcDev && dstDev)
+    return src.Device == dst.Device && src.Node == dst.Node
+             ? CopyKind::OnDevice
+             : CopyKind::DeviceToDevice;
+  if (srcDev)
+    return CopyKind::DeviceToHost;
+  if (dstDev)
+    return CopyKind::HostToDevice;
+  return CopyKind::HostToHost;
+}
+
+} // namespace vp

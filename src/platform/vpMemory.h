@@ -1,0 +1,69 @@
+#ifndef vpMemory_h
+#define vpMemory_h
+
+/// @file vpMemory.h
+/// Allocation registry for the virtual platform. Device memory is backed by
+/// ordinary host heap storage, but every allocation made through a platform
+/// front end is tagged with its memory space, owning device, size, and the
+/// programming model that created it. Copy operations consult the registry
+/// to classify transfers (H2D, D2H, D2D, ...) for the cost model, and the
+/// data model consults it to decide whether an access is zero-copy or
+/// requires movement. Pointers not found in the registry are treated as
+/// plain pageable host memory — exactly what happens when a simulation hands
+/// SENSEI a raw pointer it allocated itself.
+
+#include "vpTypes.h"
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+namespace vp
+{
+
+/// Metadata describing one tracked allocation.
+struct AllocInfo
+{
+  MemSpace Space = MemSpace::Host;
+  DeviceId Device = HostDevice; ///< owning device for MemSpace::Device
+  int Node = 0;                 ///< node the owning device belongs to
+  std::size_t Bytes = 0;
+  PmKind Pm = PmKind::None;
+};
+
+/// Thread-safe map from base pointer to allocation metadata. Interior
+/// pointers resolve to the containing allocation.
+class MemoryRegistry
+{
+public:
+  /// Record a new allocation. `p` must be a base pointer.
+  void Insert(void *p, const AllocInfo &info);
+
+  /// Remove an allocation. Returns false if `p` was not registered.
+  bool Erase(void *p);
+
+  /// Look up the allocation containing `p` (base or interior pointer).
+  /// Returns true and fills `info` when found.
+  bool Query(const void *p, AllocInfo &info) const;
+
+  /// Number of live tracked allocations.
+  std::size_t Size() const;
+
+  /// Total tracked bytes in a given space on a given device (pass
+  /// HostDevice for host spaces).
+  std::size_t BytesIn(MemSpace space, DeviceId device) const;
+
+  /// Drop all entries (test support; leaks are the caller's problem).
+  void Clear();
+
+private:
+  mutable std::mutex Mutex_;
+  std::map<const void *, AllocInfo> Map_;
+};
+
+/// Classify a transfer between the memory spaces of src and dst.
+CopyKind ClassifyCopy(const AllocInfo &dst, const AllocInfo &src);
+
+} // namespace vp
+
+#endif

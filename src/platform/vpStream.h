@@ -1,0 +1,77 @@
+#ifndef vpStream_h
+#define vpStream_h
+
+/// @file vpStream.h
+/// In-order command streams. A stream belongs to one device on one node.
+/// Operations submitted to a stream are ordered: each starts no earlier
+/// than the completion of its predecessor on the stream, and no earlier
+/// than the availability of the hardware resource it uses. Streams are
+/// cheap shared handles; copying a Stream aliases the same queue, exactly
+/// like cudaStream_t.
+
+#include "vpTypes.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace vp
+{
+
+/// Shared state of one stream.
+struct StreamState
+{
+  int Node = 0;
+  DeviceId Device = 0;
+  double Last = 0.0; ///< virtual completion time of the newest operation
+  std::mutex Mutex;
+
+  /// Record that an operation completed at time t.
+  void Extend(double t)
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex);
+    this->Last = std::max(this->Last, t);
+  }
+
+  /// Virtual completion time of all work submitted so far.
+  double Completion()
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex);
+    return this->Last;
+  }
+};
+
+/// Value-semantic handle to a stream. A default-constructed Stream is a
+/// null handle; operations on a null stream use the device's default
+/// stream, which the Platform owns.
+class Stream
+{
+public:
+  Stream() = default;
+
+  /// Create a new stream on device `device` of node `node`.
+  static Stream New(int node, DeviceId device)
+  {
+    Stream s;
+    s.State_ = std::make_shared<StreamState>();
+    s.State_->Node = node;
+    s.State_->Device = device;
+    return s;
+  }
+
+  /// True when this handle refers to a live stream.
+  explicit operator bool() const noexcept { return static_cast<bool>(this->State_); }
+
+  /// Two handles compare equal when they alias the same queue.
+  bool operator==(const Stream &o) const noexcept { return this->State_ == o.State_; }
+
+  /// Access to the shared queue state (null for a null handle).
+  StreamState *Get() const noexcept { return this->State_.get(); }
+
+private:
+  std::shared_ptr<StreamState> State_;
+};
+
+} // namespace vp
+
+#endif

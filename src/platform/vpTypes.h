@@ -1,0 +1,70 @@
+#ifndef vpTypes_h
+#define vpTypes_h
+
+/// @file vpTypes.h
+/// Fundamental identifiers and enumerations for the virtual heterogeneous
+/// platform (vp). The platform simulates one or more compute nodes, each
+/// hosting a CPU core pool and a set of accelerator devices with private
+/// memory spaces, in-order streams, and copy engines. Timing is tracked in
+/// *virtual* seconds by a discrete-event clock (see vpClock.h) while kernels
+/// still execute their real computation eagerly so that numerical results
+/// are genuine.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vp
+{
+
+/// Identifies a memory space in which an allocation lives.
+enum class MemSpace : std::uint8_t
+{
+  Host = 0,    ///< pageable host memory (malloc / operator new)
+  HostPinned,  ///< page-locked host memory, faster virtual transfer rates
+  Device,      ///< private memory of one simulated accelerator
+  Managed      ///< unified memory addressable from host and all devices
+};
+
+/// Identifies which programming-model front end allocated a block. The data
+/// model records this so that cross-PM accesses can be recognized (and, in a
+/// real system, bridged). In the simulation all PMs share the registry so
+/// interop is zero-copy, mirroring CUDA/OpenMP pointer interop on one GPU.
+enum class PmKind : std::uint8_t
+{
+  None = 0,  ///< not PM managed (plain host allocation)
+  Cuda,      ///< allocated through the vcuda front end
+  OpenMP,    ///< allocated through the vomp front end
+  Hip,       ///< allocated through the vhip front end
+  Sycl       ///< allocated through the vsycl front end (the paper's
+             ///< future-work PM, implemented here)
+};
+
+/// Classification of a memory transfer, used by the cost model.
+enum class CopyKind : std::uint8_t
+{
+  HostToHost = 0,
+  HostToDevice,
+  DeviceToHost,
+  DeviceToDevice,  ///< peer transfer between two devices on one node
+  OnDevice         ///< source and destination on the same device
+};
+
+/// A device index is node-local: 0 .. numDevices-1. The host is addressed by
+/// the sentinel below (mirroring omp_get_initial_device semantics).
+using DeviceId = int;
+
+/// Sentinel device id naming the host CPU.
+inline constexpr DeviceId HostDevice = -1;
+
+/// Returns a short human readable name for a memory space.
+const char *ToString(MemSpace s);
+
+/// Returns a short human readable name for a PM kind.
+const char *ToString(PmKind p);
+
+/// Returns a short human readable name for a copy kind.
+const char *ToString(CopyKind k);
+
+} // namespace vp
+
+#endif

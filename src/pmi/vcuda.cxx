@@ -1,0 +1,155 @@
+#include "vcuda.h"
+
+namespace vcuda
+{
+
+namespace
+{
+int &CurrentDevice()
+{
+  thread_local int device = 0;
+  return device;
+}
+} // namespace
+
+int GetDeviceCount()
+{
+  return vp::Platform::Get().NumDevices();
+}
+
+void SetDevice(int device)
+{
+  vp::Platform::Get().CheckDevice(device);
+  CurrentDevice() = device;
+}
+
+int GetDevice()
+{
+  return CurrentDevice();
+}
+
+void *Malloc(std::size_t bytes)
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::Device, CurrentDevice(),
+                                      bytes, vp::PmKind::Cuda);
+}
+
+void *MallocAsync(std::size_t bytes, const stream_t &stream)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  const int dev = stream ? stream.Get()->Device : CurrentDevice();
+  return plat.Allocate(vp::MemSpace::Device, dev, bytes, vp::PmKind::Cuda,
+                       stream ? stream : plat.DefaultStream(dev));
+}
+
+void *MallocHost(std::size_t bytes)
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::HostPinned,
+                                      vp::HostDevice, bytes, vp::PmKind::Cuda);
+}
+
+void *MallocManaged(std::size_t bytes)
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::Managed, CurrentDevice(),
+                                      bytes, vp::PmKind::Cuda);
+}
+
+void Free(void *p)
+{
+  vp::Platform::Get().Free(p);
+}
+
+void FreeAsync(void *p, const stream_t &stream)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  if (stream)
+    stream.Get()->Extend(vp::ThisClock().Now() +
+                         plat.Config().Cost.AsyncAllocLatency);
+  plat.Free(p);
+}
+
+stream_t StreamCreate()
+{
+  return vp::Stream::New(vp::Platform::GetThisNode(), CurrentDevice());
+}
+
+void StreamDestroy(stream_t &stream)
+{
+  stream = stream_t();
+}
+
+void StreamSynchronize(const stream_t &stream)
+{
+  vp::Platform::Get().StreamSynchronize(stream);
+}
+
+void DeviceSynchronize()
+{
+  vp::Platform::Get().DeviceSynchronize(CurrentDevice());
+}
+
+void MemcpyAsync(void *dst, const void *src, std::size_t bytes,
+                 const stream_t &stream)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  plat.CopyAsync(stream ? stream : plat.DefaultStream(CurrentDevice()), dst,
+                 src, bytes);
+}
+
+void Memcpy(void *dst, const void *src, std::size_t bytes)
+{
+  vp::Platform::Get().Copy(dst, src, bytes);
+}
+
+void LaunchN(const stream_t &stream, std::size_t n, const vp::KernelFn &fn,
+             const LaunchBounds &bounds)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+
+  plat.LaunchKernel(stream ? stream : plat.DefaultStream(CurrentDevice()),
+                    desc, fn, /*synchronous=*/false);
+}
+
+void LaunchGrid(const stream_t &stream, std::size_t blocks,
+                std::size_t threadsPerBlock, std::size_t n,
+                const std::function<void(std::size_t)> &fn,
+                const LaunchBounds &bounds)
+{
+  const std::size_t total = blocks * threadsPerBlock;
+  const std::size_t limit = total < n ? total : n;
+  LaunchN(
+    stream, limit,
+    [&fn](std::size_t begin, std::size_t end)
+    {
+      for (std::size_t i = begin; i < end; ++i)
+        fn(i);
+    },
+    bounds);
+}
+
+event_t EventRecord(const stream_t &stream)
+{
+  event_t ev;
+  if (stream)
+    ev.Time_ = stream.Get()->Completion();
+  return ev;
+}
+
+void StreamWaitEvent(const stream_t &stream, const event_t &event)
+{
+  if (stream)
+    stream.Get()->Extend(event.Time_);
+}
+
+void EventSynchronize(const event_t &event)
+{
+  vp::ThisClock().AdvanceTo(event.Time_);
+}
+
+} // namespace vcuda

@@ -1,0 +1,105 @@
+#include "vhip.h"
+
+namespace vhip
+{
+
+namespace
+{
+int &CurrentDevice()
+{
+  thread_local int device = 0;
+  return device;
+}
+} // namespace
+
+int GetDeviceCount()
+{
+  return vp::Platform::Get().NumDevices();
+}
+
+void SetDevice(int device)
+{
+  vp::Platform::Get().CheckDevice(device);
+  CurrentDevice() = device;
+}
+
+int GetDevice()
+{
+  return CurrentDevice();
+}
+
+void *Malloc(std::size_t bytes)
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::Device, CurrentDevice(),
+                                      bytes, vp::PmKind::Hip);
+}
+
+void *MallocAsync(std::size_t bytes, const stream_t &stream)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  const int dev = stream ? stream.Get()->Device : CurrentDevice();
+  return plat.Allocate(vp::MemSpace::Device, dev, bytes, vp::PmKind::Hip,
+                       stream ? stream : plat.DefaultStream(dev));
+}
+
+void *MallocHost(std::size_t bytes)
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::HostPinned,
+                                      vp::HostDevice, bytes, vp::PmKind::Hip);
+}
+
+void *MallocManaged(std::size_t bytes)
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::Managed, CurrentDevice(),
+                                      bytes, vp::PmKind::Hip);
+}
+
+void Free(void *p)
+{
+  vp::Platform::Get().Free(p);
+}
+
+stream_t StreamCreate()
+{
+  return vp::Stream::New(vp::Platform::GetThisNode(), CurrentDevice());
+}
+
+void StreamSynchronize(const stream_t &stream)
+{
+  vp::Platform::Get().StreamSynchronize(stream);
+}
+
+void DeviceSynchronize()
+{
+  vp::Platform::Get().DeviceSynchronize(CurrentDevice());
+}
+
+void MemcpyAsync(void *dst, const void *src, std::size_t bytes,
+                 const stream_t &stream)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  plat.CopyAsync(stream ? stream : plat.DefaultStream(CurrentDevice()), dst,
+                 src, bytes);
+}
+
+void Memcpy(void *dst, const void *src, std::size_t bytes)
+{
+  vp::Platform::Get().Copy(dst, src, bytes);
+}
+
+void LaunchN(const stream_t &stream, std::size_t n, const vp::KernelFn &fn,
+             const LaunchBounds &bounds)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+
+  plat.LaunchKernel(stream ? stream : plat.DefaultStream(CurrentDevice()),
+                    desc, fn, /*synchronous=*/false);
+}
+
+} // namespace vhip

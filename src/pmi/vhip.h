@@ -1,0 +1,73 @@
+#ifndef vhip_h
+#define vhip_h
+
+/// @file vhip.h
+/// HIP-style programming-model front end. SENSEI supports "OpenMP
+/// offload, CUDA, and HIP allocators" (paper Section 2); on AMD hardware
+/// the HIP runtime is API-compatible with the CUDA runtime, and this
+/// front end mirrors that relationship: the same operations as vcuda over
+/// the same virtual platform, with a distinct per-thread current device
+/// and allocations tagged PmKind::Hip so the data model can tell which PM
+/// owns a block.
+
+#include "vpPlatform.h"
+#include "vpStream.h"
+#include "vpTypes.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace vhip
+{
+
+/// Stream handle (aliases vp::Stream, like hipStream_t).
+using stream_t = vp::Stream;
+
+/// Number of devices on the calling thread's node.
+int GetDeviceCount();
+
+/// Set / get the calling thread's current HIP device.
+void SetDevice(int device);
+int GetDevice();
+
+/// Device memory on the current device (hipMalloc).
+void *Malloc(std::size_t bytes);
+
+/// Stream-ordered allocation (hipMallocAsync).
+void *MallocAsync(std::size_t bytes, const stream_t &stream);
+
+/// Page-locked host memory (hipHostMalloc).
+void *MallocHost(std::size_t bytes);
+
+/// Managed memory (hipMallocManaged).
+void *MallocManaged(std::size_t bytes);
+
+/// Free any of the above; nullptr is a no-op.
+void Free(void *p);
+
+/// Create / synchronize streams on the current device.
+stream_t StreamCreate();
+void StreamSynchronize(const stream_t &stream);
+void DeviceSynchronize();
+
+/// Memory copies, direction inferred (hipMemcpyDefault semantics).
+void MemcpyAsync(void *dst, const void *src, std::size_t bytes,
+                 const stream_t &stream);
+void Memcpy(void *dst, const void *src, std::size_t bytes);
+
+/// Execution-cost hints for a launch.
+struct LaunchBounds
+{
+  double OpsPerElement = 1.0;
+  double AtomicFraction = 0.0;
+  const char *Name = "vhip_kernel";
+};
+
+/// Launch an n-index kernel on the current device (replaces
+/// hipLaunchKernelGGL).
+void LaunchN(const stream_t &stream, std::size_t n, const vp::KernelFn &fn,
+             const LaunchBounds &bounds = LaunchBounds());
+
+} // namespace vhip
+
+#endif

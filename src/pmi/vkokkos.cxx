@@ -1,0 +1,100 @@
+#include "vkokkos.h"
+
+namespace vkokkos
+{
+
+namespace
+{
+int &DefaultDevice()
+{
+  thread_local int device = 0;
+  return device;
+}
+} // namespace
+
+void SetDefaultDevice(int device)
+{
+  vp::Platform::Get().CheckDevice(device);
+  DefaultDevice() = device;
+}
+
+int GetDefaultDevice()
+{
+  return DefaultDevice();
+}
+
+void parallel_for(const RangePolicy &policy,
+                  const std::function<void(std::size_t)> &fn,
+                  const KernelBounds &bounds)
+{
+  if (policy.End <= policy.Begin)
+    return;
+  const std::size_t n = policy.End - policy.Begin;
+  const std::size_t begin = policy.Begin;
+
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+
+  const auto body = [begin, &fn](std::size_t b, std::size_t e)
+  {
+    for (std::size_t i = b; i < e; ++i)
+      fn(begin + i);
+  };
+
+  vp::Platform &plat = vp::Platform::Get();
+  if (policy.ExecSpace == Space::Host)
+  {
+    plat.HostParallelFor(desc, body);
+    return;
+  }
+  plat.LaunchKernel(plat.DefaultStream(DefaultDevice()), desc, body,
+                    /*synchronous=*/false);
+}
+
+void parallel_reduce(const RangePolicy &policy,
+                     const std::function<void(std::size_t, double &)> &fn,
+                     double &result,
+                     const KernelBounds &bounds)
+{
+  result = 0.0;
+  if (policy.End <= policy.Begin)
+    return;
+  const std::size_t n = policy.End - policy.Begin;
+  const std::size_t begin = policy.Begin;
+
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement + 1.0; // the reduction op
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+
+  double acc = 0.0;
+  const auto body = [begin, &fn, &acc](std::size_t b, std::size_t e)
+  {
+    for (std::size_t i = b; i < e; ++i)
+      fn(begin + i, acc);
+  };
+
+  vp::Platform &plat = vp::Platform::Get();
+  if (policy.ExecSpace == Space::Host)
+  {
+    plat.HostParallelFor(desc, body);
+  }
+  else
+  {
+    // a scalar-result reduce is synchronous in Kokkos too
+    plat.LaunchKernel(plat.DefaultStream(DefaultDevice()), desc, body,
+                      /*synchronous=*/true);
+  }
+  result = acc;
+}
+
+void fence()
+{
+  vp::Platform::Get().DeviceSynchronize(DefaultDevice());
+}
+
+} // namespace vkokkos

@@ -1,0 +1,152 @@
+#ifndef vkokkos_h
+#define vkokkos_h
+
+/// @file vkokkos.h
+/// Kokkos-style programming-model front end — the paper's future work
+/// names "third party PMs such as Kokkos" alongside SYCL; this implements
+/// the Kokkos idioms the data model must interoperate with: execution /
+/// memory spaces, `View<T*>` (a typed, labeled, space-tagged allocation),
+/// `parallel_for` / `parallel_reduce` over a range policy, `deep_copy`
+/// between views, and `fence`. Device views are backed by platform
+/// allocations tagged with the owning device, so svtkHAMRDataArray
+/// zero-copy adopts them and serves them to any other PM.
+
+#include "vpPlatform.h"
+#include "vpStream.h"
+#include "vpTypes.h"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace vkokkos
+{
+
+/// Where a view's data lives / where a policy executes.
+enum class Space : int
+{
+  Host = 0, ///< Kokkos::HostSpace / Kokkos::Serial+Threads
+  Device    ///< Kokkos::CudaSpace-like, on the thread's default device
+};
+
+/// Set / get the device that Space::Device maps to on this thread
+/// (Kokkos::initialize device selection).
+void SetDefaultDevice(int device);
+int GetDefaultDevice();
+
+/// Execution-cost hints for parallel dispatch.
+struct KernelBounds
+{
+  double OpsPerElement = 1.0;
+  double AtomicFraction = 0.0;
+  const char *Name = "vkokkos_kernel";
+};
+
+/// A one-dimensional typed view: shared ownership of a labeled, space
+/// tagged allocation (Kokkos::View<T*, MemorySpace>).
+template <typename T>
+class View
+{
+public:
+  View() = default;
+
+  /// Allocate `n` zero-initialized elements in `space`.
+  View(std::string label, std::size_t n, Space space = Space::Device)
+    : Label_(std::move(label)), Size_(n), Space_(space)
+  {
+    vp::Platform &plat = vp::Platform::Get();
+    const int dev = space == Space::Device ? GetDefaultDevice() : vp::HostDevice;
+    this->Device_ = dev;
+    T *p = static_cast<T *>(plat.Allocate(
+      space == Space::Device ? vp::MemSpace::Device : vp::MemSpace::Host,
+      dev, n * sizeof(T), vp::PmKind::None));
+    this->Data_ = std::shared_ptr<T>(p, [](T *q) { vp::Platform::Get().Free(q); });
+  }
+
+  const std::string &label() const noexcept { return this->Label_; }
+  std::size_t size() const noexcept { return this->Size_; }
+  Space space() const noexcept { return this->Space_; }
+
+  /// Device id the data lives on (vp::HostDevice for host views).
+  int device() const noexcept { return this->Device_; }
+
+  /// Raw data (valid in the view's space).
+  T *data() const noexcept { return this->Data_.get(); }
+
+  /// Element access — host views only (mirrors Kokkos' host access rules
+  /// in the sense that device data should be reached through kernels).
+  T &operator()(std::size_t i) const { return this->Data_.get()[i]; }
+
+  /// The shared ownership handle (zero-copy hand-off to the data model).
+  const std::shared_ptr<T> &pointer() const noexcept { return this->Data_; }
+
+  explicit operator bool() const noexcept { return static_cast<bool>(this->Data_); }
+
+private:
+  std::string Label_;
+  std::shared_ptr<T> Data_;
+  std::size_t Size_ = 0;
+  Space Space_ = Space::Device;
+  int Device_ = vp::HostDevice;
+};
+
+/// Kokkos::RangePolicy over [begin, end) in a space.
+struct RangePolicy
+{
+  std::size_t Begin = 0;
+  std::size_t End = 0;
+  Space ExecSpace = Space::Device;
+
+  RangePolicy(std::size_t b, std::size_t e, Space s = Space::Device)
+    : Begin(b), End(e), ExecSpace(s)
+  {
+  }
+};
+
+/// parallel_for: fn(i) for i in the policy's range, asynchronously on the
+/// device (fence() to wait) or synchronously on the host pool.
+void parallel_for(const RangePolicy &policy,
+                  const std::function<void(std::size_t)> &fn,
+                  const KernelBounds &bounds = KernelBounds());
+
+/// parallel_reduce with a sum reduction: fn(i, acc). Synchronous (the
+/// reduction result is needed by the caller), like Kokkos with a scalar
+/// result argument.
+void parallel_reduce(const RangePolicy &policy,
+                     const std::function<void(std::size_t, double &)> &fn,
+                     double &result,
+                     const KernelBounds &bounds = KernelBounds());
+
+/// Block the calling thread until all device work completes
+/// (Kokkos::fence).
+void fence();
+
+/// deep_copy between views of any spaces (sizes must match).
+template <typename T>
+void deep_copy(const View<T> &dst, const View<T> &src)
+{
+  if (dst.size() != src.size())
+    throw vp::Error("vkokkos::deep_copy: size mismatch");
+  if (!dst.size())
+    return;
+  vp::Platform::Get().Copy(dst.data(), src.data(), dst.size() * sizeof(T));
+}
+
+/// deep_copy from a scalar: fill (Kokkos::deep_copy(view, value)).
+template <typename T>
+void deep_copy(const View<T> &dst, const T &value)
+{
+  T *p = dst.data();
+  const std::size_t n = dst.size();
+  parallel_for(RangePolicy(0, n,
+                           dst.device() == vp::HostDevice ? Space::Host
+                                                          : Space::Device),
+               [p, value](std::size_t i) { p[i] = value; },
+               KernelBounds{1.0, 0.0, "vkokkos_fill"});
+  fence();
+}
+
+} // namespace vkokkos
+
+#endif

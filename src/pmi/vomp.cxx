@@ -1,0 +1,130 @@
+#include "vomp.h"
+
+#include <cstring>
+
+namespace vomp
+{
+
+namespace
+{
+int &DefaultDevice()
+{
+  thread_local int device = 0;
+  return device;
+}
+} // namespace
+
+int GetNumDevices()
+{
+  return vp::Platform::Get().NumDevices();
+}
+
+int GetInitialDevice()
+{
+  return GetNumDevices();
+}
+
+void SetDefaultDevice(int device)
+{
+  if (!IsInitialDevice(device))
+    vp::Platform::Get().CheckDevice(device);
+  DefaultDevice() = device;
+}
+
+int GetDefaultDevice()
+{
+  return DefaultDevice();
+}
+
+bool IsInitialDevice(int device)
+{
+  return device >= GetNumDevices() || device < 0;
+}
+
+void *TargetAlloc(std::size_t bytes, int device)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  if (IsInitialDevice(device))
+    return plat.Allocate(vp::MemSpace::Host, vp::HostDevice, bytes,
+                         vp::PmKind::OpenMP);
+  return plat.Allocate(vp::MemSpace::Device, device, bytes,
+                       vp::PmKind::OpenMP);
+}
+
+void TargetFree(void *p, int /*device*/)
+{
+  vp::Platform::Get().Free(p);
+}
+
+int TargetMemcpy(void *dst, const void *src, std::size_t bytes,
+                 std::size_t dstOffset, std::size_t srcOffset, int /*dstDevice*/,
+                 int /*srcDevice*/)
+{
+  // device ids are implied by the pointers themselves in the simulation;
+  // the registry classifies the transfer.
+  char *d = static_cast<char *>(dst) + dstOffset;
+  const char *s = static_cast<const char *>(src) + srcOffset;
+  vp::Platform::Get().Copy(d, s, bytes);
+  return 0;
+}
+
+void TargetParallelFor(int device, std::size_t n, const vp::KernelFn &fn,
+                       const TargetBounds &bounds)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+
+  if (IsInitialDevice(device))
+  {
+    plat.HostParallelFor(desc, fn);
+    return;
+  }
+  plat.LaunchKernel(plat.DefaultStream(device), desc, fn,
+                    /*synchronous=*/true);
+}
+
+void TargetParallelForNowait(int device, std::size_t n, const vp::KernelFn &fn,
+                             const TargetBounds &bounds)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+
+  if (IsInitialDevice(device))
+  {
+    plat.HostParallelFor(desc, fn);
+    return;
+  }
+  plat.LaunchKernel(plat.DefaultStream(device), desc, fn,
+                    /*synchronous=*/false);
+}
+
+void TargetTaskwait(int device)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  if (IsInitialDevice(device))
+    return;
+  plat.StreamSynchronize(plat.DefaultStream(device));
+}
+
+void ParallelFor(std::size_t n, const vp::KernelFn &fn,
+                 const TargetBounds &bounds)
+{
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+  vp::Platform::Get().HostParallelFor(desc, fn);
+}
+
+} // namespace vomp

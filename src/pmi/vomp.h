@@ -1,0 +1,79 @@
+#ifndef vomp_h
+#define vomp_h
+
+/// @file vomp.h
+/// OpenMP-target-offload style programming-model front end over the virtual
+/// platform. Mirrors the OpenMP 5.x device API: omp_get_num_devices,
+/// omp_set_default_device, omp_target_alloc/free/memcpy plus a
+/// `TargetParallelFor` that stands in for
+/// `#pragma omp target teams distribute parallel for`. The paper's
+/// Listing 1 maps line for line onto this interface. Host execution is
+/// addressed by the initial-device id (== GetNumDevices()), matching the
+/// OpenMP convention.
+
+#include "vpPlatform.h"
+#include "vpTypes.h"
+
+#include <cstddef>
+
+namespace vomp
+{
+
+/// Number of target devices on the calling thread's node.
+int GetNumDevices();
+
+/// The id OpenMP assigns to the host ("initial device").
+int GetInitialDevice();
+
+/// Set the calling thread's default device.
+void SetDefaultDevice(int device);
+
+/// The calling thread's default device.
+int GetDefaultDevice();
+
+/// True when `device` addresses the host.
+bool IsInitialDevice(int device);
+
+/// Allocate on `device` (omp_target_alloc). Passing the initial-device id
+/// yields pageable host memory, as OpenMP specifies.
+void *TargetAlloc(std::size_t bytes, int device);
+
+/// Free memory from TargetAlloc (omp_target_free).
+void TargetFree(void *p, int device);
+
+/// omp_target_memcpy: copy `bytes` from src+srcOffset on srcDevice to
+/// dst+dstOffset on dstDevice. Synchronous. Returns 0 on success.
+int TargetMemcpy(void *dst, const void *src, std::size_t bytes,
+                 std::size_t dstOffset, std::size_t srcOffset, int dstDevice,
+                 int srcDevice);
+
+/// Execution-cost hints for a target region.
+struct TargetBounds
+{
+  double OpsPerElement = 1.0;
+  double AtomicFraction = 0.0;
+  const char *Name = "vomp_target";
+};
+
+/// `#pragma omp target teams distribute parallel for device(device)`.
+/// Synchronous (like an OpenMP target region without nowait): the calling
+/// thread's virtual clock advances to kernel completion. When `device` is
+/// the initial device the region runs on the host core pool instead.
+void TargetParallelFor(int device, std::size_t n, const vp::KernelFn &fn,
+                       const TargetBounds &bounds = TargetBounds());
+
+/// Target region with `nowait` semantics, ordered by the device default
+/// stream; pair with TargetTaskwait.
+void TargetParallelForNowait(int device, std::size_t n, const vp::KernelFn &fn,
+                             const TargetBounds &bounds = TargetBounds());
+
+/// `#pragma omp taskwait` for nowait target regions issued to `device`.
+void TargetTaskwait(int device);
+
+/// Host `#pragma omp parallel for` over the node core pool (synchronous).
+void ParallelFor(std::size_t n, const vp::KernelFn &fn,
+                 const TargetBounds &bounds = TargetBounds());
+
+} // namespace vomp
+
+#endif

@@ -1,0 +1,87 @@
+#include "vsycl.h"
+
+namespace vsycl
+{
+
+namespace
+{
+int &DefaultDevice()
+{
+  thread_local int device = 0;
+  return device;
+}
+} // namespace
+
+int NumDevices()
+{
+  return vp::Platform::Get().NumDevices();
+}
+
+void SetDefaultDevice(int device)
+{
+  vp::Platform::Get().CheckDevice(device);
+  DefaultDevice() = device;
+}
+
+int GetDefaultDevice()
+{
+  return DefaultDevice();
+}
+
+queue::queue() : queue(DefaultDevice())
+{
+}
+
+queue::queue(int device) : Device_(device)
+{
+  vp::Platform::Get().CheckDevice(device);
+  this->Stream_ = vp::Stream::New(vp::Platform::GetThisNode(), device);
+}
+
+void *queue::malloc_device(std::size_t bytes) const
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::Device, this->Device_,
+                                      bytes, vp::PmKind::Sycl, this->Stream_);
+}
+
+void *queue::malloc_shared(std::size_t bytes) const
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::Managed, this->Device_,
+                                      bytes, vp::PmKind::Sycl);
+}
+
+void *queue::malloc_host(std::size_t bytes) const
+{
+  return vp::Platform::Get().Allocate(vp::MemSpace::HostPinned,
+                                      vp::HostDevice, bytes,
+                                      vp::PmKind::Sycl);
+}
+
+void queue::free(void *p) const
+{
+  vp::Platform::Get().Free(p);
+}
+
+void queue::memcpy(void *dst, const void *src, std::size_t bytes) const
+{
+  vp::Platform::Get().CopyAsync(this->Stream_, dst, src, bytes);
+}
+
+void queue::parallel_for(std::size_t n, const vp::KernelFn &fn,
+                         const KernelBounds &bounds) const
+{
+  vp::KernelDesc desc;
+  desc.N = n;
+  desc.OpsPerElement = bounds.OpsPerElement;
+  desc.AtomicFraction = bounds.AtomicFraction;
+  desc.Name = bounds.Name;
+  vp::Platform::Get().LaunchKernel(this->Stream_, desc, fn,
+                                   /*synchronous=*/false);
+}
+
+void queue::wait() const
+{
+  vp::Platform::Get().StreamSynchronize(this->Stream_);
+}
+
+} // namespace vsycl

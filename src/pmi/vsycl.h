@@ -1,0 +1,85 @@
+#ifndef vsycl_h
+#define vsycl_h
+
+/// @file vsycl.h
+/// SYCL-style programming-model front end over the virtual platform —
+/// the paper's stated future work ("We will also add support for SYCL"),
+/// implemented here. Mirrors the SYCL 2020 USM interface: in-order
+/// queues bound to a device, malloc_device / malloc_shared / malloc_host,
+/// queue-ordered memcpy and parallel_for, and queue::wait(). Allocations
+/// are tagged PmKind::Sycl, so the data model recognizes cross-PM access
+/// and serves it zero-copy on the owning device.
+
+#include "vpPlatform.h"
+#include "vpStream.h"
+#include "vpTypes.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace vsycl
+{
+
+/// Number of (non-host) devices visible to SYCL on this node.
+int NumDevices();
+
+/// Set / get the device a default-constructed queue binds to (the
+/// "default selector" of this thread).
+void SetDefaultDevice(int device);
+int GetDefaultDevice();
+
+/// Execution-cost hints for a parallel_for.
+struct KernelBounds
+{
+  double OpsPerElement = 1.0;
+  double AtomicFraction = 0.0;
+  const char *Name = "vsycl_kernel";
+};
+
+/// An in-order SYCL queue bound to one device. Value semantics: copies
+/// alias the same underlying stream, like sycl::queue.
+class queue
+{
+public:
+  /// Bind to the thread's default device.
+  queue();
+
+  /// Bind to an explicit device (gpu_selector with an index).
+  explicit queue(int device);
+
+  /// The device this queue targets.
+  int get_device() const { return this->Device_; }
+
+  /// USM device allocation, homed on this queue's device.
+  void *malloc_device(std::size_t bytes) const;
+
+  /// USM shared (managed) allocation, addressable everywhere.
+  void *malloc_shared(std::size_t bytes) const;
+
+  /// USM host (page-locked) allocation.
+  void *malloc_host(std::size_t bytes) const;
+
+  /// Free any USM allocation (sycl::free(ptr, q)).
+  void free(void *p) const;
+
+  /// Queue-ordered copy, direction inferred from the pointers.
+  void memcpy(void *dst, const void *src, std::size_t bytes) const;
+
+  /// Queue-ordered kernel over [0, n); body invoked as fn(begin, end).
+  void parallel_for(std::size_t n, const vp::KernelFn &fn,
+                    const KernelBounds &bounds = KernelBounds()) const;
+
+  /// Block until all work submitted to this queue has completed.
+  void wait() const;
+
+  /// The native stream (interoperability with svtkStream).
+  vp::Stream native() const { return this->Stream_; }
+
+private:
+  int Device_ = 0;
+  vp::Stream Stream_;
+};
+
+} // namespace vsycl
+
+#endif

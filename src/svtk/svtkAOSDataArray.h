@@ -1,0 +1,105 @@
+#ifndef svtkAOSDataArray_h
+#define svtkAOSDataArray_h
+
+/// @file svtkAOSDataArray.h
+/// Host-only array-of-structures data array — the behaviour of the
+/// subclasses implementing the svtkDataArray APIs available in stock VTK,
+/// which "are designed and implemented for host only memory management"
+/// (paper Section 2). Included so tests and benchmarks can contrast the
+/// legacy host-only path with the heterogeneous svtkHAMRDataArray.
+
+#include "svtkDataArray.h"
+
+#include <vector>
+
+template <typename T>
+class svtkAOSDataArray : public svtkDataArray
+{
+public:
+  /// Create an empty array. Caller owns the reference.
+  static svtkAOSDataArray *New(const std::string &name = std::string())
+  {
+    auto *a = new svtkAOSDataArray;
+    a->SetName(name);
+    return a;
+  }
+
+  /// Create with n tuples of nComp components, zero initialized.
+  static svtkAOSDataArray *New(const std::string &name, std::size_t nTuples,
+                              int nComps)
+  {
+    auto *a = New(name);
+    a->NumComps_ = nComps;
+    a->Data_.assign(nTuples * static_cast<std::size_t>(nComps), T{});
+    return a;
+  }
+
+  const char *GetClassName() const override { return "svtkAOSDataArray"; }
+
+  std::size_t GetNumberOfTuples() const override
+  {
+    return this->NumComps_ ? this->Data_.size() /
+                               static_cast<std::size_t>(this->NumComps_)
+                           : 0;
+  }
+
+  int GetNumberOfComponents() const override { return this->NumComps_; }
+
+  void SetNumberOfComponents(int n)
+  {
+    this->NumComps_ = n > 0 ? n : 1;
+  }
+
+  svtkScalarType GetScalarType() const override
+  {
+    return svtkScalarTypeTraits<T>::value;
+  }
+
+  double GetVariantValue(std::size_t tuple, int component) const override
+  {
+    return static_cast<double>(
+      this->Data_[tuple * static_cast<std::size_t>(this->NumComps_) +
+                  static_cast<std::size_t>(component)]);
+  }
+
+  void SetVariantValue(std::size_t tuple, int component, double v) override
+  {
+    this->Data_[tuple * static_cast<std::size_t>(this->NumComps_) +
+                static_cast<std::size_t>(component)] = static_cast<T>(v);
+  }
+
+  void SetNumberOfTuples(std::size_t n) override
+  {
+    this->Data_.resize(n * static_cast<std::size_t>(this->NumComps_), T{});
+  }
+
+  svtkDataArray *NewInstance() const override
+  {
+    auto *a = New(this->GetName());
+    a->NumComps_ = this->NumComps_;
+    return a;
+  }
+
+  /// Direct host access.
+  T *GetData() { return this->Data_.data(); }
+  const T *GetData() const { return this->Data_.data(); }
+
+  /// The backing vector (host-side convenience).
+  std::vector<T> &GetVector() { return this->Data_; }
+  const std::vector<T> &GetVector() const { return this->Data_; }
+
+protected:
+  svtkAOSDataArray() = default;
+  ~svtkAOSDataArray() override = default;
+
+private:
+  std::vector<T> Data_;
+  int NumComps_ = 1;
+};
+
+using svtkAOSDoubleArray = svtkAOSDataArray<double>;
+using svtkAOSFloatArray = svtkAOSDataArray<float>;
+using svtkAOSIntArray = svtkAOSDataArray<int>;
+using svtkAOSLongArray = svtkAOSDataArray<long long>;
+
+#endif

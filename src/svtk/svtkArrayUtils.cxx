@@ -1,0 +1,68 @@
+#include "svtkArrayUtils.h"
+
+#include <stdexcept>
+
+namespace
+{
+template <typename T>
+bool AppendHamr(const svtkDataArray *array, std::vector<double> &out)
+{
+  const auto *h = dynamic_cast<const svtkHAMRDataArray<T> *>(array);
+  if (!h)
+    return false;
+  std::vector<T> v = h->ToVector();
+  out.assign(v.begin(), v.end());
+  return true;
+}
+
+template <typename T>
+bool AppendAos(const svtkDataArray *array, std::vector<double> &out)
+{
+  const auto *a = dynamic_cast<const svtkAOSDataArray<T> *>(array);
+  if (!a)
+    return false;
+  out.assign(a->GetVector().begin(), a->GetVector().end());
+  return true;
+}
+} // namespace
+
+std::vector<double> svtkToDoubleVector(const svtkDataArray *array)
+{
+  if (!array)
+    throw std::invalid_argument("svtkToDoubleVector: null array");
+
+  std::vector<double> out;
+  if (AppendHamr<double>(array, out) || AppendHamr<float>(array, out) ||
+      AppendHamr<int>(array, out) || AppendHamr<long long>(array, out) ||
+      AppendAos<double>(array, out) || AppendAos<float>(array, out) ||
+      AppendAos<int>(array, out) || AppendAos<long long>(array, out))
+    return out;
+
+  const std::size_t n = array->GetNumberOfTuples();
+  const int nc = array->GetNumberOfComponents();
+  out.resize(n * static_cast<std::size_t>(nc));
+  for (std::size_t i = 0; i < n; ++i)
+    for (int j = 0; j < nc; ++j)
+      out[i * static_cast<std::size_t>(nc) + static_cast<std::size_t>(j)] =
+        array->GetVariantValue(i, j);
+  return out;
+}
+
+svtkHAMRDoubleArray *svtkAsHAMRDouble(svtkDataArray *array)
+{
+  if (!array)
+    throw std::invalid_argument("svtkAsHAMRDouble: null array");
+
+  if (auto *h = dynamic_cast<svtkHAMRDoubleArray *>(array))
+  {
+    h->Register();
+    return h;
+  }
+
+  std::vector<double> values = svtkToDoubleVector(array);
+  svtkHAMRDoubleArray *out = svtkHAMRDoubleArray::New(
+    array->GetName(), array->GetNumberOfTuples(),
+    array->GetNumberOfComponents(), svtkAllocator::malloc_);
+  out->GetBuffer().assign(values.data(), values.size());
+  return out;
+}

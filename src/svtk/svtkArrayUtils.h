@@ -1,0 +1,25 @@
+#ifndef svtkArrayUtils_h
+#define svtkArrayUtils_h
+
+/// @file svtkArrayUtils.h
+/// Conversions between data-array flavours used at module boundaries:
+/// analyses want typed device-capable arrays, writers want host doubles.
+
+#include "svtkAOSDataArray.h"
+#include "svtkDataArray.h"
+#include "svtkHAMRDataArray.h"
+
+#include <vector>
+
+/// Copy any data array's values to a host std::vector<double>, converting
+/// element types. Fast paths exist for the common concrete types; other
+/// arrays go through the variant interface.
+std::vector<double> svtkToDoubleVector(const svtkDataArray *array);
+
+/// A svtkHAMRDoubleArray view of `array`: when `array` already is one, it
+/// is returned with an extra reference (zero-copy); otherwise a new
+/// host-resident svtkHAMRDoubleArray is built by conversion. Either way the
+/// caller owns one reference on the result.
+svtkHAMRDoubleArray *svtkAsHAMRDouble(svtkDataArray *array);
+
+#endif

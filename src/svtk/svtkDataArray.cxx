@@ -1,0 +1,44 @@
+#include "svtkDataArray.h"
+
+#include <stdexcept>
+
+std::size_t svtkScalarSize(svtkScalarType t)
+{
+  switch (t)
+  {
+    case svtkScalarType::Float32: return sizeof(float);
+    case svtkScalarType::Float64: return sizeof(double);
+    case svtkScalarType::Int32: return sizeof(int);
+    case svtkScalarType::Int64: return sizeof(long long);
+    case svtkScalarType::UInt8: return sizeof(unsigned char);
+  }
+  return 0;
+}
+
+const char *svtkScalarName(svtkScalarType t)
+{
+  switch (t)
+  {
+    case svtkScalarType::Float32: return "float32";
+    case svtkScalarType::Float64: return "float64";
+    case svtkScalarType::Int32: return "int32";
+    case svtkScalarType::Int64: return "int64";
+    case svtkScalarType::UInt8: return "uint8";
+  }
+  return "unknown";
+}
+
+void svtkDataArray::DeepCopy(const svtkDataArray *src)
+{
+  if (!src)
+    throw std::invalid_argument("svtkDataArray::DeepCopy: null source");
+
+  this->SetName(src->GetName());
+  this->SetNumberOfTuples(src->GetNumberOfTuples());
+
+  const std::size_t n = src->GetNumberOfTuples();
+  const int nc = src->GetNumberOfComponents();
+  for (std::size_t i = 0; i < n; ++i)
+    for (int j = 0; j < nc; ++j)
+      this->SetVariantValue(i, j, src->GetVariantValue(i, j));
+}

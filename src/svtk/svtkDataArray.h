@@ -1,0 +1,114 @@
+#ifndef svtkDataArray_h
+#define svtkDataArray_h
+
+/// @file svtkDataArray.h
+/// Abstract base class defining the interfaces for managing and accessing
+/// array based data in the SENSEI data model. Mesh geometry and node/cell
+/// centered data are built on top of it. Concrete subclasses are the
+/// host-only svtkAOSDataArray<T> (the legacy VTK behaviour) and the
+/// heterogeneous svtkHAMRDataArray<T> introduced by the paper.
+
+#include "svtkObjectBase.h"
+
+#include <cstddef>
+#include <string>
+
+/// Scalar type of a data array's elements.
+enum class svtkScalarType : int
+{
+  Float32 = 0,
+  Float64,
+  Int32,
+  Int64,
+  UInt8
+};
+
+/// Returns the size in bytes of one element of `t`.
+std::size_t svtkScalarSize(svtkScalarType t);
+
+/// Returns a short human readable name for `t`.
+const char *svtkScalarName(svtkScalarType t);
+
+/// Abstract interface to tuple-structured numeric data.
+class svtkDataArray : public svtkObjectBase
+{
+public:
+  const char *GetClassName() const override { return "svtkDataArray"; }
+
+  /// The array's name (how analyses request it).
+  const std::string &GetName() const { return this->Name_; }
+  void SetName(const std::string &name) { this->Name_ = name; }
+
+  /// Number of tuples (rows).
+  virtual std::size_t GetNumberOfTuples() const = 0;
+
+  /// Number of components per tuple (columns per row).
+  virtual int GetNumberOfComponents() const = 0;
+
+  /// Total number of scalar values (tuples * components).
+  std::size_t GetNumberOfValues() const
+  {
+    return this->GetNumberOfTuples() *
+           static_cast<std::size_t>(this->GetNumberOfComponents());
+  }
+
+  /// The element scalar type.
+  virtual svtkScalarType GetScalarType() const = 0;
+
+  /// Generic element access, converting through double. Valid only when
+  /// the data is host accessible; heterogeneous arrays may move data.
+  virtual double GetVariantValue(std::size_t tuple, int component) const = 0;
+
+  /// Generic element mutation, converting through double.
+  virtual void SetVariantValue(std::size_t tuple, int component, double v) = 0;
+
+  /// Resize to n tuples, preserving leading data.
+  virtual void SetNumberOfTuples(std::size_t n) = 0;
+
+  /// Allocate a new, empty array of the same concrete type. The caller
+  /// owns the returned reference.
+  virtual svtkDataArray *NewInstance() const = 0;
+
+  /// Replace this array's contents with a deep copy of `src` (converting
+  /// scalar types through double when they differ).
+  virtual void DeepCopy(const svtkDataArray *src);
+
+protected:
+  svtkDataArray() = default;
+  ~svtkDataArray() override = default;
+
+private:
+  std::string Name_;
+};
+
+/// Compile-time map from C++ scalar type to svtkScalarType.
+template <typename T>
+struct svtkScalarTypeTraits;
+
+template <>
+struct svtkScalarTypeTraits<float>
+{
+  static constexpr svtkScalarType value = svtkScalarType::Float32;
+};
+template <>
+struct svtkScalarTypeTraits<double>
+{
+  static constexpr svtkScalarType value = svtkScalarType::Float64;
+};
+template <>
+struct svtkScalarTypeTraits<int>
+{
+  static constexpr svtkScalarType value = svtkScalarType::Int32;
+};
+template <>
+struct svtkScalarTypeTraits<long long>
+{
+  static constexpr svtkScalarType value = svtkScalarType::Int64;
+};
+template <>
+struct svtkScalarTypeTraits<unsigned char>
+{
+  static constexpr svtkScalarType value = svtkScalarType::UInt8;
+};
+
+#endif

@@ -1,0 +1,148 @@
+#include "svtkDataObject.h"
+
+#include <algorithm>
+
+// ---------------------------------------------------------------------------
+svtkFieldData::~svtkFieldData()
+{
+  this->Clear();
+}
+
+void svtkFieldData::AddArray(svtkDataArray *array)
+{
+  if (!array)
+    return;
+
+  array->Register();
+  this->RemoveArray(array->GetName());
+  this->Arrays_.push_back(array);
+}
+
+svtkDataArray *svtkFieldData::GetArray(int index) const
+{
+  if (index < 0 || index >= static_cast<int>(this->Arrays_.size()))
+    return nullptr;
+  return this->Arrays_[static_cast<std::size_t>(index)];
+}
+
+svtkDataArray *svtkFieldData::GetArray(const std::string &name) const
+{
+  for (svtkDataArray *a : this->Arrays_)
+    if (a->GetName() == name)
+      return a;
+  return nullptr;
+}
+
+void svtkFieldData::RemoveArray(const std::string &name)
+{
+  auto it = std::find_if(this->Arrays_.begin(), this->Arrays_.end(),
+                         [&name](svtkDataArray *a)
+                         { return a->GetName() == name; });
+  if (it != this->Arrays_.end())
+  {
+    (*it)->UnRegister();
+    this->Arrays_.erase(it);
+  }
+}
+
+void svtkFieldData::Clear()
+{
+  for (svtkDataArray *a : this->Arrays_)
+    a->UnRegister();
+  this->Arrays_.clear();
+}
+
+// ---------------------------------------------------------------------------
+svtkMultiBlockDataSet::~svtkMultiBlockDataSet()
+{
+  for (svtkDataObject *b : this->Blocks_)
+    if (b)
+      b->UnRegister();
+}
+
+void svtkMultiBlockDataSet::SetNumberOfBlocks(int n)
+{
+  const int old = this->GetNumberOfBlocks();
+  for (int i = n; i < old; ++i)
+    if (this->Blocks_[static_cast<std::size_t>(i)])
+      this->Blocks_[static_cast<std::size_t>(i)]->UnRegister();
+  this->Blocks_.resize(static_cast<std::size_t>(n > 0 ? n : 0), nullptr);
+}
+
+void svtkMultiBlockDataSet::SetBlock(int index, svtkDataObject *block)
+{
+  if (index < 0)
+    return;
+  if (index >= this->GetNumberOfBlocks())
+    this->Blocks_.resize(static_cast<std::size_t>(index) + 1, nullptr);
+
+  if (block)
+    block->Register();
+  if (this->Blocks_[static_cast<std::size_t>(index)])
+    this->Blocks_[static_cast<std::size_t>(index)]->UnRegister();
+  this->Blocks_[static_cast<std::size_t>(index)] = block;
+}
+
+svtkDataObject *svtkMultiBlockDataSet::GetBlock(int index) const
+{
+  if (index < 0 || index >= this->GetNumberOfBlocks())
+    return nullptr;
+  return this->Blocks_[static_cast<std::size_t>(index)];
+}
+
+// ---------------------------------------------------------------------------
+void svtkImageData::SetDimensions(int nx, int ny, int nz)
+{
+  this->Dims_[0] = nx > 0 ? nx : 1;
+  this->Dims_[1] = ny > 0 ? ny : 1;
+  this->Dims_[2] = nz > 0 ? nz : 1;
+}
+
+void svtkImageData::GetDimensions(int dims[3]) const
+{
+  dims[0] = this->Dims_[0];
+  dims[1] = this->Dims_[1];
+  dims[2] = this->Dims_[2];
+}
+
+void svtkImageData::SetOrigin(double x, double y, double z)
+{
+  this->Origin_[0] = x;
+  this->Origin_[1] = y;
+  this->Origin_[2] = z;
+}
+
+void svtkImageData::GetOrigin(double origin[3]) const
+{
+  origin[0] = this->Origin_[0];
+  origin[1] = this->Origin_[1];
+  origin[2] = this->Origin_[2];
+}
+
+void svtkImageData::SetSpacing(double dx, double dy, double dz)
+{
+  this->Spacing_[0] = dx;
+  this->Spacing_[1] = dy;
+  this->Spacing_[2] = dz;
+}
+
+void svtkImageData::GetSpacing(double spacing[3]) const
+{
+  spacing[0] = this->Spacing_[0];
+  spacing[1] = this->Spacing_[1];
+  spacing[2] = this->Spacing_[2];
+}
+
+std::size_t svtkImageData::GetNumberOfPoints() const
+{
+  return static_cast<std::size_t>(this->Dims_[0]) *
+         static_cast<std::size_t>(this->Dims_[1]) *
+         static_cast<std::size_t>(this->Dims_[2]);
+}
+
+std::size_t svtkImageData::GetNumberOfCells() const
+{
+  const auto cells = [](int n) -> std::size_t
+  { return n > 1 ? static_cast<std::size_t>(n - 1) : 1; };
+  return cells(this->Dims_[0]) * cells(this->Dims_[1]) * cells(this->Dims_[2]);
+}

@@ -1,0 +1,207 @@
+#ifndef svtkDataObject_h
+#define svtkDataObject_h
+
+/// @file svtkDataObject.h
+/// Containers of the SENSEI data model: svtkFieldData (a named collection
+/// of data arrays), svtkDataObject (abstract dataset base), svtkTable
+/// (tabular data — the structure the data binning analysis consumes), and
+/// svtkImageData (a uniform Cartesian mesh — the structure data binning
+/// produces).
+
+#include "svtkDataArray.h"
+#include "svtkObjectBase.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// A named, ordered collection of svtkDataArray instances. Arrays are
+/// shared by reference count.
+class svtkFieldData : public svtkObjectBase
+{
+public:
+  static svtkFieldData *New() { return new svtkFieldData; }
+
+  const char *GetClassName() const override { return "svtkFieldData"; }
+
+  /// Append an array, taking a reference. An existing array of the same
+  /// name is replaced.
+  void AddArray(svtkDataArray *array);
+
+  /// Number of arrays held.
+  int GetNumberOfArrays() const
+  {
+    return static_cast<int>(this->Arrays_.size());
+  }
+
+  /// Array by index, nullptr when out of range. No reference is taken.
+  svtkDataArray *GetArray(int index) const;
+
+  /// Array by name, nullptr when absent. No reference is taken.
+  svtkDataArray *GetArray(const std::string &name) const;
+
+  /// True when an array of this name is held.
+  bool HasArray(const std::string &name) const
+  {
+    return this->GetArray(name) != nullptr;
+  }
+
+  /// Remove an array by name; no-op when absent.
+  void RemoveArray(const std::string &name);
+
+  /// Drop all arrays.
+  void Clear();
+
+protected:
+  svtkFieldData() = default;
+  ~svtkFieldData() override;
+
+private:
+  std::vector<svtkDataArray *> Arrays_;
+};
+
+/// Abstract base of datasets exchanged between simulations and analyses.
+class svtkDataObject : public svtkObjectBase
+{
+public:
+  const char *GetClassName() const override { return "svtkDataObject"; }
+
+  /// Uncentered (global) data attached to the object.
+  svtkFieldData *GetFieldData() const { return this->FieldData_; }
+
+protected:
+  svtkDataObject() : FieldData_(svtkFieldData::New()) {}
+  ~svtkDataObject() override { this->FieldData_->UnRegister(); }
+
+private:
+  svtkFieldData *FieldData_;
+};
+
+/// Tabular data: columns are variables, rows are co-occurring
+/// measurements or realizations of those variables (paper Section 4.2).
+class svtkTable : public svtkDataObject
+{
+public:
+  static svtkTable *New() { return new svtkTable; }
+
+  const char *GetClassName() const override { return "svtkTable"; }
+
+  /// Append a column, taking a reference.
+  void AddColumn(svtkDataArray *column)
+  {
+    this->Columns_->AddArray(column);
+  }
+
+  int GetNumberOfColumns() const
+  {
+    return this->Columns_->GetNumberOfArrays();
+  }
+
+  /// Rows = tuples of the first column (all columns must agree).
+  std::size_t GetNumberOfRows() const
+  {
+    const svtkDataArray *c = this->Columns_->GetArray(0);
+    return c ? c->GetNumberOfTuples() : 0;
+  }
+
+  svtkDataArray *GetColumn(int index) const
+  {
+    return this->Columns_->GetArray(index);
+  }
+
+  svtkDataArray *GetColumnByName(const std::string &name) const
+  {
+    return this->Columns_->GetArray(name);
+  }
+
+  /// The column collection.
+  svtkFieldData *GetColumns() const { return this->Columns_; }
+
+protected:
+  svtkTable() : Columns_(svtkFieldData::New()) {}
+  ~svtkTable() override { this->Columns_->UnRegister(); }
+
+private:
+  svtkFieldData *Columns_;
+};
+
+/// A composite dataset: an indexed collection of blocks, each any
+/// svtkDataObject (VTK's svtkMultiBlockDataSet). Simulations whose ranks
+/// own several patches expose one block per patch; analyses iterate the
+/// non-null blocks. Blocks are shared by reference count; slots may be
+/// null.
+class svtkMultiBlockDataSet : public svtkDataObject
+{
+public:
+  static svtkMultiBlockDataSet *New() { return new svtkMultiBlockDataSet; }
+
+  const char *GetClassName() const override
+  {
+    return "svtkMultiBlockDataSet";
+  }
+
+  /// Resize the block table (new slots are null; removed blocks are
+  /// released).
+  void SetNumberOfBlocks(int n);
+
+  int GetNumberOfBlocks() const
+  {
+    return static_cast<int>(this->Blocks_.size());
+  }
+
+  /// Install a block (takes a reference; nullptr clears the slot). The
+  /// table grows to fit the index.
+  void SetBlock(int index, svtkDataObject *block);
+
+  /// Borrowed block pointer; nullptr for empty slots or out of range.
+  svtkDataObject *GetBlock(int index) const;
+
+protected:
+  svtkMultiBlockDataSet() = default;
+  ~svtkMultiBlockDataSet() override;
+
+private:
+  std::vector<svtkDataObject *> Blocks_;
+};
+
+/// A uniform Cartesian mesh with node centered data.
+class svtkImageData : public svtkDataObject
+{
+public:
+  static svtkImageData *New() { return new svtkImageData; }
+
+  const char *GetClassName() const override { return "svtkImageData"; }
+
+  /// Set the number of points along each axis.
+  void SetDimensions(int nx, int ny, int nz);
+  void GetDimensions(int dims[3]) const;
+
+  void SetOrigin(double x, double y, double z);
+  void GetOrigin(double origin[3]) const;
+
+  void SetSpacing(double dx, double dy, double dz);
+  void GetSpacing(double spacing[3]) const;
+
+  std::size_t GetNumberOfPoints() const;
+  std::size_t GetNumberOfCells() const;
+
+  /// Node centered data.
+  svtkFieldData *GetPointData() const { return this->PointData_; }
+
+protected:
+  svtkImageData() : PointData_(svtkFieldData::New())
+  {
+    this->Dims_[0] = this->Dims_[1] = this->Dims_[2] = 1;
+    this->Origin_[0] = this->Origin_[1] = this->Origin_[2] = 0.0;
+    this->Spacing_[0] = this->Spacing_[1] = this->Spacing_[2] = 1.0;
+  }
+  ~svtkImageData() override { this->PointData_->UnRegister(); }
+
+private:
+  int Dims_[3];
+  double Origin_[3];
+  double Spacing_[3];
+  svtkFieldData *PointData_;
+};
+
+#endif

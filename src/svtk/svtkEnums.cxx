@@ -1,0 +1,52 @@
+#include "svtkEnums.h"
+
+#include <cstring>
+
+const char *svtkAllocatorName(svtkAllocator a)
+{
+  switch (a)
+  {
+    case svtkAllocator::none: return "none";
+    case svtkAllocator::malloc_: return "malloc";
+    case svtkAllocator::cpp: return "cpp";
+    case svtkAllocator::cuda_host_pinned: return "cuda_host_pinned";
+    case svtkAllocator::cuda: return "cuda";
+    case svtkAllocator::cuda_async: return "cuda_async";
+    case svtkAllocator::cuda_uva: return "cuda_uva";
+    case svtkAllocator::hip: return "hip";
+    case svtkAllocator::hip_async: return "hip_async";
+    case svtkAllocator::openmp: return "openmp";
+    case svtkAllocator::sycl: return "sycl";
+    case svtkAllocator::sycl_shared: return "sycl_shared";
+  }
+  return "unknown";
+}
+
+svtkAllocator svtkAllocatorFromName(const char *name)
+{
+  if (!name)
+    return svtkAllocator::none;
+
+  const struct
+  {
+    const char *Name;
+    svtkAllocator Value;
+  } table[] = {
+    {"malloc", svtkAllocator::malloc_},
+    {"cpp", svtkAllocator::cpp},
+    {"cuda_host_pinned", svtkAllocator::cuda_host_pinned},
+    {"cuda", svtkAllocator::cuda},
+    {"cuda_async", svtkAllocator::cuda_async},
+    {"cuda_uva", svtkAllocator::cuda_uva},
+    {"hip", svtkAllocator::hip},
+    {"hip_async", svtkAllocator::hip_async},
+    {"openmp", svtkAllocator::openmp},
+    {"sycl", svtkAllocator::sycl},
+    {"sycl_shared", svtkAllocator::sycl_shared},
+  };
+
+  for (const auto &entry : table)
+    if (std::strcmp(entry.Name, name) == 0)
+      return entry.Value;
+  return svtkAllocator::none;
+}

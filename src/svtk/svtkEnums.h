@@ -1,0 +1,79 @@
+#ifndef svtkEnums_h
+#define svtkEnums_h
+
+/// @file svtkEnums.h
+/// Data-model-facing enumerations and the svtkStream abstraction. The
+/// svtkAllocator value passed at svtkHAMRDataArray initialization selects
+/// which PM, and which specific method within the PM, allocates and
+/// subsequently manages the memory (paper Section 2, "Initialization").
+/// svtkStream abstracts PM streams with automatic conversion to/from the
+/// native handles; svtkStreamMode selects synchronous or asynchronous
+/// semantics for data-model operations.
+
+#include "hamrAllocator.h"
+#include "hamrStream.h"
+
+/// PM + allocation method for a svtkHAMRDataArray.
+enum class svtkAllocator : int
+{
+  none = 0,
+  malloc_,          ///< host memory via malloc
+  cpp,              ///< host memory via operator new
+  cuda_host_pinned, ///< page-locked host memory (CUDA PM)
+  cuda,             ///< device memory, synchronous (CUDA PM)
+  cuda_async,       ///< device memory, stream ordered (CUDA PM)
+  cuda_uva,         ///< universally addressable managed memory (CUDA PM)
+  hip,              ///< device memory, synchronous (HIP PM)
+  hip_async,        ///< device memory, stream ordered (HIP PM)
+  openmp,           ///< device memory via OpenMP target offload
+  sycl,             ///< USM device memory (SYCL PM — the paper's future
+                    ///< work, implemented in this reproduction)
+  sycl_shared       ///< USM shared memory (SYCL PM)
+};
+
+/// Synchronization behaviour of data-model operations.
+enum class svtkStreamMode : int
+{
+  sync = 0, ///< operations complete before the API call returns
+  async     ///< operations are stream ordered; user synchronizes
+};
+
+/// PM-agnostic stream with conversions to and from native streams.
+using svtkStream = hamr::stream;
+
+/// Map a svtkAllocator to the underlying HAMR allocator. The HIP variants
+/// share device semantics with CUDA in this reproduction.
+constexpr hamr::allocator svtkToHamr(svtkAllocator a)
+{
+  switch (a)
+  {
+    case svtkAllocator::malloc_: return hamr::allocator::malloc_;
+    case svtkAllocator::cpp: return hamr::allocator::cpp;
+    case svtkAllocator::cuda_host_pinned: return hamr::allocator::host_pinned;
+    case svtkAllocator::cuda: return hamr::allocator::device;
+    case svtkAllocator::cuda_async: return hamr::allocator::device_async;
+    case svtkAllocator::cuda_uva: return hamr::allocator::managed;
+    case svtkAllocator::hip: return hamr::allocator::hip;
+    case svtkAllocator::hip_async: return hamr::allocator::hip_async;
+    case svtkAllocator::openmp: return hamr::allocator::openmp;
+    case svtkAllocator::sycl: return hamr::allocator::sycl_device;
+    case svtkAllocator::sycl_shared: return hamr::allocator::sycl_shared;
+    default: return hamr::allocator::none;
+  }
+}
+
+/// Map a svtkStreamMode to the underlying HAMR mode.
+constexpr hamr::stream_mode svtkToHamr(svtkStreamMode m)
+{
+  return m == svtkStreamMode::sync ? hamr::stream_mode::sync
+                                  : hamr::stream_mode::async;
+}
+
+/// Short human readable name.
+const char *svtkAllocatorName(svtkAllocator a);
+
+/// Parse an allocator name (as used in SENSEI XML configs); returns
+/// svtkAllocator::none for unknown names.
+svtkAllocator svtkAllocatorFromName(const char *name);
+
+#endif

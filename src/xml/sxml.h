@@ -1,0 +1,111 @@
+#ifndef sxml_h
+#define sxml_h
+
+/// @file sxml.h
+/// A small well-formed-XML DOM parser sufficient for SENSEI's run-time
+/// configuration files: elements, attributes, nested children, text
+/// content, comments, XML declarations, and the five predefined entities.
+/// Parse errors throw sxml::ParseError with a line number.
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sxml
+{
+
+/// Error thrown on malformed input.
+class ParseError : public std::runtime_error
+{
+public:
+  ParseError(const std::string &what, int line)
+    : std::runtime_error("XML parse error at line " + std::to_string(line) +
+                         ": " + what),
+      Line_(line)
+  {
+  }
+
+  int Line() const noexcept { return this->Line_; }
+
+private:
+  int Line_ = 0;
+};
+
+/// One element in the document tree.
+class Element
+{
+public:
+  /// Tag name.
+  const std::string &Name() const noexcept { return this->Name_; }
+
+  /// Concatenated character data directly inside this element (trimmed).
+  const std::string &Text() const noexcept { return this->Text_; }
+
+  /// All attributes in document order of first appearance.
+  const std::map<std::string, std::string> &Attributes() const noexcept
+  {
+    return this->Attrs_;
+  }
+
+  /// True when the attribute is present.
+  bool HasAttribute(const std::string &key) const
+  {
+    return this->Attrs_.count(key) > 0;
+  }
+
+  /// Attribute value, or `fallback` when absent.
+  std::string Attribute(const std::string &key,
+                        const std::string &fallback = std::string()) const;
+
+  /// Attribute parsed as integer; `fallback` when absent or malformed.
+  long long AttributeInt(const std::string &key, long long fallback = 0) const;
+
+  /// Attribute parsed as double; `fallback` when absent or malformed.
+  double AttributeDouble(const std::string &key, double fallback = 0.0) const;
+
+  /// Attribute parsed as boolean (1/0, true/false, yes/no, on/off).
+  bool AttributeBool(const std::string &key, bool fallback = false) const;
+
+  /// Child elements in document order.
+  const std::vector<std::unique_ptr<Element>> &Children() const noexcept
+  {
+    return this->Children_;
+  }
+
+  /// First child with the given tag name, or nullptr.
+  const Element *FirstChild(const std::string &name) const;
+
+  /// All children with the given tag name.
+  std::vector<const Element *> ChildrenNamed(const std::string &name) const;
+
+  // mutation (used by the parser and by tests building documents)
+  void SetName(const std::string &n) { this->Name_ = n; }
+  void SetText(const std::string &t) { this->Text_ = t; }
+  void SetAttribute(const std::string &k, const std::string &v)
+  {
+    this->Attrs_[k] = v;
+  }
+  Element *AddChild(const std::string &name);
+
+private:
+  std::string Name_;
+  std::string Text_;
+  std::map<std::string, std::string> Attrs_;
+  std::vector<std::unique_ptr<Element>> Children_;
+};
+
+/// Parse a document from a string; returns the root element.
+std::unique_ptr<Element> Parse(const std::string &text);
+
+/// Parse a document from a file; throws std::runtime_error when the file
+/// cannot be read, ParseError on malformed content.
+std::unique_ptr<Element> ParseFile(const std::string &path);
+
+/// Serialize an element tree (round-trip/diagnostics).
+std::string Serialize(const Element &root, int indent = 0);
+
+} // namespace sxml
+
+#endif

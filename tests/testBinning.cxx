@@ -1,0 +1,607 @@
+// Unit tests for the data binning analysis: correctness of every
+// reduction against a straightforward reference, host/device path
+// equivalence (parameterized), fixed and automatic ranges, 1D/2D/3D
+// meshes, multi-rank reduction through minimpi, asynchronous execution,
+// and file output.
+
+#include "minimpi.h"
+#include "senseiDataBinning.h"
+#include "senseiDataAdaptor.h"
+#include "svtkAOSDataArray.h"
+#include "vcuda.h"
+#include "vomp.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+
+using sensei::AnalysisAdaptor;
+using sensei::BinningOp;
+using sensei::DataBinning;
+
+namespace
+{
+void ResetPlatform(int nodes = 1)
+{
+  vp::PlatformConfig cfg;
+  cfg.NumNodes = nodes;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  vp::Platform::Initialize(cfg);
+  vcuda::SetDevice(0);
+  vomp::SetDefaultDevice(0);
+}
+
+/// Rows with known values: x,y uniform in [-1,1], v = x + 2y, m = 1.
+svtkTable *MakeTable(std::size_t n, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i)
+  {
+    xs[i] = u(gen);
+    ys[i] = u(gen);
+  }
+
+  svtkTable *t = svtkTable::New();
+  auto add = [t](const char *name, const std::vector<double> &v)
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, v.size(), 1);
+    c->GetVector() = v;
+    t->AddColumn(c);
+    c->Delete();
+  };
+  add("x", xs);
+  add("y", ys);
+  std::vector<double> vs(n), ms(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    vs[i] = xs[i] + 2.0 * ys[i];
+  add("v", vs);
+  add("m", ms);
+  return t;
+}
+
+/// Reference 2D binning with fixed range [-1,1]^2.
+struct Reference
+{
+  std::vector<double> Count, Sum, Min, Max;
+  long Res;
+
+  Reference(const svtkTable *t, long res) : Res(res)
+  {
+    const std::size_t nb = static_cast<std::size_t>(res * res);
+    Count.assign(nb, 0.0);
+    Sum.assign(nb, 0.0);
+    Min.assign(nb, std::numeric_limits<double>::infinity());
+    Max.assign(nb, -std::numeric_limits<double>::infinity());
+
+    const svtkDataArray *x = t->GetColumnByName("x");
+    const svtkDataArray *y = t->GetColumnByName("y");
+    const svtkDataArray *v = t->GetColumnByName("v");
+    const std::size_t n = t->GetNumberOfRows();
+    for (std::size_t i = 0; i < n; ++i)
+    {
+      auto bin = [res](double c)
+      {
+        long b = static_cast<long>((c + 1.0) / 2.0 * res);
+        return std::clamp(b, 0L, res - 1);
+      };
+      const std::size_t idx =
+        static_cast<std::size_t>(bin(x->GetVariantValue(i, 0))) +
+        static_cast<std::size_t>(res) *
+          static_cast<std::size_t>(bin(y->GetVariantValue(i, 0)));
+      const double vi = v->GetVariantValue(i, 0);
+      Count[idx] += 1.0;
+      Sum[idx] += vi;
+      Min[idx] = std::min(Min[idx], vi);
+      Max[idx] = std::max(Max[idx], vi);
+    }
+    for (std::size_t i = 0; i < nb; ++i)
+      if (Count[i] == 0.0)
+      {
+        Min[i] = 0.0;
+        Max[i] = 0.0;
+      }
+  }
+};
+
+std::vector<double> GridValues(svtkImageData *img, const std::string &name)
+{
+  const svtkDataArray *a = img->GetPointData()->GetArray(name);
+  EXPECT_NE(a, nullptr) << name;
+  std::vector<double> out(a->GetNumberOfTuples());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = a->GetVariantValue(i, 0);
+  return out;
+}
+
+DataBinning *MakeBinning(int deviceId, long res = 16)
+{
+  DataBinning *b = DataBinning::New();
+  b->SetMeshName("bodies");
+  b->SetAxes({"x", "y"});
+  b->SetResolution({res});
+  b->SetRange(0, -1.0, 1.0);
+  b->SetRange(1, -1.0, 1.0);
+  b->AddOperation("v", BinningOp::Sum);
+  b->AddOperation("v", BinningOp::Min);
+  b->AddOperation("v", BinningOp::Max);
+  b->AddOperation("v", BinningOp::Average);
+  b->SetDeviceId(deviceId);
+  return b;
+}
+} // namespace
+
+// --- op names -------------------------------------------------------------------------
+
+TEST(BinningOps, NamesRoundTrip)
+{
+  for (BinningOp op : {BinningOp::Count, BinningOp::Sum, BinningOp::Min,
+                       BinningOp::Max, BinningOp::Average})
+    EXPECT_EQ(sensei::BinningOpFromName(sensei::BinningOpName(op)), op);
+  EXPECT_EQ(sensei::BinningOpFromName("avg"), BinningOp::Average);
+  EXPECT_THROW(sensei::BinningOpFromName("median"), std::invalid_argument);
+}
+
+// --- correctness, host vs device paths (parameterized) --------------------------------------
+
+class BinningPlacement : public ::testing::TestWithParam<int>
+{
+protected:
+  void SetUp() override { ResetPlatform(); }
+};
+
+TEST_P(BinningPlacement, MatchesReference)
+{
+  const int device = GetParam();
+
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(5000, 3);
+  da->SetTable(t);
+
+  DataBinning *b = MakeBinning(device);
+  ASSERT_TRUE(b->Execute(da));
+  ASSERT_EQ(b->Finalize(), 0);
+
+  svtkImageData *img = b->GetLastResult();
+  ASSERT_NE(img, nullptr);
+
+  const Reference ref(t, 16);
+  EXPECT_EQ(GridValues(img, "count"), ref.Count);
+
+  const std::vector<double> sum = GridValues(img, "v_sum");
+  const std::vector<double> mn = GridValues(img, "v_min");
+  const std::vector<double> mx = GridValues(img, "v_max");
+  const std::vector<double> avg = GridValues(img, "v_avg");
+  for (std::size_t i = 0; i < sum.size(); ++i)
+  {
+    EXPECT_NEAR(sum[i], ref.Sum[i], 1e-12);
+    EXPECT_DOUBLE_EQ(mn[i], ref.Min[i]);
+    EXPECT_DOUBLE_EQ(mx[i], ref.Max[i]);
+    if (ref.Count[i] > 0)
+      EXPECT_NEAR(avg[i], ref.Sum[i] / ref.Count[i], 1e-12);
+    else
+      EXPECT_DOUBLE_EQ(avg[i], 0.0);
+  }
+
+  img->UnRegister();
+  b->Delete();
+  t->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+INSTANTIATE_TEST_SUITE_P(HostAndDevices, BinningPlacement,
+                         ::testing::Values(AnalysisAdaptor::DEVICE_HOST, 0, 1,
+                                           3),
+                         [](const ::testing::TestParamInfo<int> &info)
+                         {
+                           return info.param < 0
+                                    ? std::string("host")
+                                    : "device" + std::to_string(info.param);
+                         });
+
+// --- geometry / ranges ------------------------------------------------------------------
+
+TEST(Binning, AutoRangeFollowsData)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(2000, 11);
+  da->SetTable(t);
+  t->Delete();
+
+  DataBinning *b = DataBinning::New();
+  b->SetMeshName("bodies");
+  b->SetAxes({"x", "y"});
+  b->SetResolution({8});
+  b->AddOperation("m", BinningOp::Sum);
+  ASSERT_TRUE(b->Execute(da));
+
+  svtkImageData *img = b->GetLastResult();
+  double origin[3], spacing[3];
+  img->GetOrigin(origin);
+  img->GetSpacing(spacing);
+  // bounds hug the data inside [-1,1]
+  EXPECT_GE(origin[0], -1.0);
+  EXPECT_LE(origin[0] + 8 * spacing[0], 1.0 + 1e-12);
+
+  // every body lands somewhere
+  double total = 0;
+  for (double c : GridValues(img, "count"))
+    total += c;
+  EXPECT_DOUBLE_EQ(total, 2000.0);
+
+  img->UnRegister();
+  b->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Binning, OneAndThreeDimensionalMeshes)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(3000, 5);
+  da->SetTable(t);
+  t->Delete();
+
+  // 1D
+  {
+    DataBinning *b = DataBinning::New();
+    b->SetMeshName("bodies");
+    b->SetAxes({"x"});
+    b->SetResolution({64});
+    ASSERT_TRUE(b->Execute(da));
+    svtkImageData *img = b->GetLastResult();
+    int dims[3];
+    img->GetDimensions(dims);
+    EXPECT_EQ(dims[0], 64);
+    EXPECT_EQ(dims[1], 1);
+    double total = 0;
+    for (double c : GridValues(img, "count"))
+      total += c;
+    EXPECT_DOUBLE_EQ(total, 3000.0);
+    img->UnRegister();
+    b->Delete();
+  }
+
+  // 3D over (x, y, v)
+  {
+    DataBinning *b = DataBinning::New();
+    b->SetMeshName("bodies");
+    b->SetAxes({"x", "y", "v"});
+    b->SetResolution({8, 8, 4});
+    b->AddOperation("m", BinningOp::Sum);
+    ASSERT_TRUE(b->Execute(da));
+    svtkImageData *img = b->GetLastResult();
+    int dims[3];
+    img->GetDimensions(dims);
+    EXPECT_EQ(dims[2], 4);
+    // mass 1 per body: sum of m == count everywhere
+    EXPECT_EQ(GridValues(img, "count"), GridValues(img, "m_sum"));
+    img->UnRegister();
+    b->Delete();
+  }
+
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Binning, ConfigurationErrors)
+{
+  ResetPlatform();
+  DataBinning *b = DataBinning::New();
+  EXPECT_THROW(b->SetAxes({}), std::invalid_argument);
+  EXPECT_THROW(b->SetAxes({"a", "b", "c", "d"}), std::invalid_argument);
+  EXPECT_THROW(b->SetResolution({4}), std::logic_error); // axes first
+  b->SetAxes({"x", "y"});
+  EXPECT_THROW(b->SetResolution({1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(b->SetResolution({0}), std::invalid_argument);
+  EXPECT_THROW(b->SetRange(5, 0, 1), std::out_of_range);
+  EXPECT_THROW(b->SetRange(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(b->AddOperation("", BinningOp::Sum), std::invalid_argument);
+  EXPECT_NO_THROW(b->AddOperation("", BinningOp::Count));
+  b->Delete();
+}
+
+TEST(Binning, MissingColumnsFailGracefully)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(10, 1);
+  da->SetTable(t);
+  t->Delete();
+
+  DataBinning *b = DataBinning::New();
+  b->SetMeshName("bodies");
+  b->SetAxes({"x", "nope"});
+  EXPECT_FALSE(b->Execute(da));
+  b->Delete();
+
+  DataBinning *c = DataBinning::New();
+  c->SetMeshName("wrong_mesh");
+  c->SetAxes({"x", "y"});
+  EXPECT_FALSE(c->Execute(da));
+  c->Delete();
+
+  da->ReleaseData();
+  da->Delete();
+}
+
+// --- async == lockstep -----------------------------------------------------------------
+
+TEST(Binning, AsynchronousMatchesLockstep)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(4000, 21);
+  da->SetTable(t);
+  t->Delete();
+
+  DataBinning *sync = MakeBinning(AnalysisAdaptor::DEVICE_HOST);
+  DataBinning *async = MakeBinning(1);
+  async->SetAsynchronous(true);
+
+  ASSERT_TRUE(sync->Execute(da));
+  ASSERT_TRUE(async->Execute(da));
+  sync->Finalize();
+  async->Finalize();
+
+  svtkImageData *a = sync->GetLastResult();
+  svtkImageData *b = async->GetLastResult();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(GridValues(a, "count"), GridValues(b, "count"));
+  EXPECT_EQ(GridValues(a, "v_sum"), GridValues(b, "v_sum"));
+
+  a->UnRegister();
+  b->UnRegister();
+  sync->Delete();
+  async->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Binning, AsyncDeepCopyDecouplesFromMutation)
+{
+  // after an async Execute returns, mutating the simulation's table must
+  // not change the analysis result — the deep copy protects it
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(2000, 33);
+  da->SetTable(t);
+
+  DataBinning *lock = MakeBinning(AnalysisAdaptor::DEVICE_HOST);
+  ASSERT_TRUE(lock->Execute(da));
+  svtkImageData *expected = lock->GetLastResult();
+  lock->Delete();
+
+  DataBinning *async = MakeBinning(AnalysisAdaptor::DEVICE_HOST);
+  async->SetAsynchronous(true);
+  ASSERT_TRUE(async->Execute(da));
+
+  // clobber the source data while (or after) the thread runs
+  auto *x = dynamic_cast<svtkAOSDoubleArray *>(t->GetColumnByName("x"));
+  ASSERT_NE(x, nullptr);
+  std::fill(x->GetVector().begin(), x->GetVector().end(), 0.0);
+
+  async->Finalize();
+  svtkImageData *got = async->GetLastResult();
+  EXPECT_EQ(GridValues(got, "count"), GridValues(expected, "count"));
+
+  got->UnRegister();
+  expected->UnRegister();
+  async->Delete();
+  t->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+// --- GPU strategy (the paper's future-work optimization) ----------------------------------
+
+TEST(Binning, PrivatizedStrategyMatchesGlobalAtomics)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(4000, 77);
+  da->SetTable(t);
+  t->Delete();
+
+  DataBinning *naive = MakeBinning(1);
+  naive->SetGpuStrategy(sensei::GpuBinningStrategy::GlobalAtomics);
+  ASSERT_TRUE(naive->Execute(da));
+
+  DataBinning *priv = MakeBinning(1);
+  priv->SetGpuStrategy(sensei::GpuBinningStrategy::Privatized);
+  ASSERT_TRUE(priv->Execute(da));
+
+  svtkImageData *a = naive->GetLastResult();
+  svtkImageData *b = priv->GetLastResult();
+  EXPECT_EQ(GridValues(a, "count"), GridValues(b, "count"));
+  EXPECT_EQ(GridValues(a, "v_sum"), GridValues(b, "v_sum"));
+  EXPECT_EQ(GridValues(a, "v_min"), GridValues(b, "v_min"));
+
+  a->UnRegister();
+  b->UnRegister();
+  naive->Delete();
+  priv->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Binning, PrivatizedStrategyIsFasterOnDevice)
+{
+  // the whole point of the optimization: with the data already resident
+  // on the device (the paper's zero-copy deployment), the privatized
+  // device path beats both the naive device path and the host path
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+
+  // device-resident copy of the synthetic table
+  svtkTable *aos = MakeTable(1 << 20, 78);
+  svtkTable *t = svtkTable::New();
+  vcuda::SetDevice(0);
+  for (int c = 0; c < aos->GetNumberOfColumns(); ++c)
+  {
+    const auto *src =
+      dynamic_cast<const svtkAOSDoubleArray *>(aos->GetColumn(c));
+    svtkHAMRDoubleArray *h = svtkHAMRDoubleArray::New(
+      src->GetName(), src->GetNumberOfTuples(), 1, svtkAllocator::cuda);
+    h->GetBuffer().assign(src->GetVector().data(), src->GetVector().size());
+    t->AddColumn(h);
+    h->Delete();
+  }
+  aos->Delete();
+  da->SetTable(t);
+  t->Delete();
+
+  auto timeOf = [da](int device, sensei::GpuBinningStrategy s) -> double
+  {
+    DataBinning *b = MakeBinning(device, 256);
+    b->SetGpuStrategy(s);
+    const double t0 = vp::ThisClock().Now();
+    EXPECT_TRUE(b->Execute(da));
+    const double dt = vp::ThisClock().Now() - t0;
+    b->Delete();
+    return dt;
+  };
+
+  const double host =
+    timeOf(AnalysisAdaptor::DEVICE_HOST,
+           sensei::GpuBinningStrategy::GlobalAtomics);
+  const double naive =
+    timeOf(0, sensei::GpuBinningStrategy::GlobalAtomics);
+  const double privatized =
+    timeOf(0, sensei::GpuBinningStrategy::Privatized);
+
+  EXPECT_LT(privatized, naive);
+  EXPECT_LT(privatized, host);
+
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Binning, GpuStrategyNamesParse)
+{
+  EXPECT_EQ(sensei::GpuBinningStrategyFromName("privatized"),
+            sensei::GpuBinningStrategy::Privatized);
+  EXPECT_EQ(sensei::GpuBinningStrategyFromName("global_atomics"),
+            sensei::GpuBinningStrategy::GlobalAtomics);
+  EXPECT_EQ(sensei::GpuBinningStrategyFromName(""),
+            sensei::GpuBinningStrategy::GlobalAtomics);
+  EXPECT_THROW(sensei::GpuBinningStrategyFromName("warp_magic"),
+               std::invalid_argument);
+}
+
+// --- multi-rank reduction ----------------------------------------------------------------
+
+TEST(Binning, MultiRankReductionMatchesSerial)
+{
+  ResetPlatform();
+
+  // serial reference over the union of the per-rank tables
+  svtkTable *t0 = MakeTable(1500, 100);
+  svtkTable *t1 = MakeTable(1500, 101);
+  svtkTable *t2 = MakeTable(1500, 102);
+  svtkTable *serialUnion = svtkTable::New();
+  for (const char *name : {"x", "y", "v", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, 0, 1);
+    for (svtkTable *t : {t0, t1, t2})
+    {
+      const auto *src =
+        dynamic_cast<svtkAOSDoubleArray *>(t->GetColumnByName(name));
+      c->GetVector().insert(c->GetVector().end(), src->GetVector().begin(),
+                            src->GetVector().end());
+    }
+    serialUnion->AddColumn(c);
+    c->Delete();
+  }
+  const Reference ref(serialUnion, 16);
+  serialUnion->Delete();
+
+  std::vector<double> counts, sums;
+  minimpi::Run(3,
+               [&](minimpi::Communicator &comm)
+               {
+                 svtkTable *mine =
+                   comm.Rank() == 0 ? t0 : (comm.Rank() == 1 ? t1 : t2);
+
+                 sensei::TableAdaptor *da =
+                   sensei::TableAdaptor::New("bodies");
+                 da->SetTable(mine);
+                 da->SetCommunicator(&comm);
+
+                 DataBinning *b = MakeBinning(AnalysisAdaptor::DEVICE_HOST);
+                 EXPECT_TRUE(b->Execute(da));
+                 b->Finalize();
+
+                 if (comm.Rank() == 0)
+                 {
+                   svtkImageData *img = b->GetLastResult();
+                   counts = GridValues(img, "count");
+                   sums = GridValues(img, "v_sum");
+                   img->UnRegister();
+                 }
+                 b->Delete();
+                 da->ReleaseData();
+                 da->Delete();
+               });
+
+  ASSERT_EQ(counts, ref.Count);
+  for (std::size_t i = 0; i < sums.size(); ++i)
+    EXPECT_NEAR(sums[i], ref.Sum[i], 1e-12);
+
+  t0->Delete();
+  t1->Delete();
+  t2->Delete();
+}
+
+// --- file output ---------------------------------------------------------------------------
+
+TEST(Binning, WritesVtiAtFrequency)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(100, 9);
+  da->SetTable(t);
+  t->Delete();
+
+  DataBinning *b = MakeBinning(AnalysisAdaptor::DEVICE_HOST, 8);
+  b->SetOutput(::testing::TempDir(), "bin_test", 2);
+
+  for (long s = 0; s < 4; ++s)
+  {
+    da->SetDataTimeStep(s);
+    ASSERT_TRUE(b->Execute(da));
+  }
+  b->Finalize();
+
+  for (long s : {0L, 2L})
+  {
+    const std::string f =
+      ::testing::TempDir() + "/bin_test_" + std::to_string(s) + ".vti";
+    std::ifstream check(f);
+    EXPECT_TRUE(check.good()) << f;
+    std::remove(f.c_str());
+  }
+  for (long s : {1L, 3L})
+  {
+    const std::string f =
+      ::testing::TempDir() + "/bin_test_" + std::to_string(s) + ".vti";
+    std::ifstream check(f);
+    EXPECT_FALSE(check.good()) << f;
+  }
+
+  EXPECT_EQ(b->GetExecuteCount(), 4);
+  b->Delete();
+  da->ReleaseData();
+  da->Delete();
+}

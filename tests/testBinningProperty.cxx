@@ -1,0 +1,263 @@
+// Property-based tests for the data binning analysis: for randomized
+// configurations (axis count, resolutions, fixed/auto ranges, operation
+// mixes, placements, execution methods) the analysis must agree with an
+// independent straightforward reference model, conserve counts, and be
+// placement-invariant. Each seed is an independent TEST_P case so
+// failures name the configuration.
+
+#include "senseiDataAdaptor.h"
+#include "senseiDataBinning.h"
+#include "svtkAOSDataArray.h"
+#include "vcuda.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+using sensei::AnalysisAdaptor;
+using sensei::BinningOp;
+using sensei::DataBinning;
+
+namespace
+{
+struct RandomConfig
+{
+  std::size_t Rows;
+  int NumAxes;
+  std::vector<long> Res;
+  bool FixedRanges;
+  std::vector<std::pair<std::string, BinningOp>> Ops;
+  int Device; // DEVICE_HOST or a device id
+  bool Async;
+  sensei::GpuBinningStrategy Strategy;
+};
+
+const char *ColumnNames[4] = {"c0", "c1", "c2", "c3"};
+
+RandomConfig MakeConfig(unsigned seed)
+{
+  std::mt19937_64 gen(seed * 7919u + 13u);
+  RandomConfig c;
+  c.Rows = 200 + gen() % 3000;
+  c.NumAxes = 1 + static_cast<int>(gen() % 3);
+  for (int a = 0; a < c.NumAxes; ++a)
+    c.Res.push_back(2 + static_cast<long>(gen() % 15));
+  c.FixedRanges = gen() % 2;
+
+  const BinningOp kinds[] = {BinningOp::Sum, BinningOp::Min, BinningOp::Max,
+                             BinningOp::Average};
+  const std::size_t nOps = 1 + gen() % 4;
+  for (std::size_t k = 0; k < nOps; ++k)
+    c.Ops.emplace_back(ColumnNames[gen() % 4], kinds[gen() % 4]);
+
+  const int devices[] = {AnalysisAdaptor::DEVICE_HOST, 0, 1, 2, 3};
+  c.Device = devices[gen() % 5];
+  c.Async = gen() % 2;
+  c.Strategy = gen() % 2 ? sensei::GpuBinningStrategy::Privatized
+                         : sensei::GpuBinningStrategy::GlobalAtomics;
+  return c;
+}
+
+svtkTable *MakeData(std::size_t rows, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  svtkTable *t = svtkTable::New();
+  for (const char *name : ColumnNames)
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, rows, 1);
+    for (std::size_t i = 0; i < rows; ++i)
+      c->SetVariantValue(i, 0, u(gen));
+    t->AddColumn(c);
+    c->Delete();
+  }
+  return t;
+}
+
+/// Reference model: straightforward binning over host data.
+struct Reference
+{
+  std::vector<std::vector<double>> Grids; // count first, then per op
+  std::size_t Bins = 1;
+
+  Reference(const svtkTable *t, const RandomConfig &c,
+            const std::vector<double> &lo, const std::vector<double> &hi)
+  {
+    for (long r : c.Res)
+      Bins *= static_cast<std::size_t>(r);
+
+    Grids.emplace_back(Bins, 0.0); // counts
+    for (const auto &op : c.Ops)
+    {
+      const double init =
+        op.second == BinningOp::Min
+          ? std::numeric_limits<double>::infinity()
+          : (op.second == BinningOp::Max
+               ? -std::numeric_limits<double>::infinity()
+               : 0.0);
+      Grids.emplace_back(Bins, init);
+    }
+
+    const std::size_t rows = t->GetNumberOfRows();
+    for (std::size_t i = 0; i < rows; ++i)
+    {
+      std::size_t idx = 0, stride = 1;
+      for (int a = 0; a < c.NumAxes; ++a)
+      {
+        const double v = t->GetColumn(a)->GetVariantValue(i, 0);
+        const double scale =
+          static_cast<double>(c.Res[static_cast<std::size_t>(a)]) /
+          (hi[static_cast<std::size_t>(a)] - lo[static_cast<std::size_t>(a)]);
+        long b = static_cast<long>((v - lo[static_cast<std::size_t>(a)]) * scale);
+        b = std::clamp(b, 0L, c.Res[static_cast<std::size_t>(a)] - 1);
+        idx += static_cast<std::size_t>(b) * stride;
+        stride *= static_cast<std::size_t>(c.Res[static_cast<std::size_t>(a)]);
+      }
+      Grids[0][idx] += 1.0;
+      for (std::size_t k = 0; k < c.Ops.size(); ++k)
+      {
+        const svtkDataArray *col = t->GetColumnByName(c.Ops[k].first);
+        const double v = col->GetVariantValue(i, 0);
+        double &g = Grids[k + 1][idx];
+        switch (c.Ops[k].second)
+        {
+          case BinningOp::Sum:
+          case BinningOp::Average:
+            g += v;
+            break;
+          case BinningOp::Min:
+            g = std::min(g, v);
+            break;
+          case BinningOp::Max:
+            g = std::max(g, v);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+
+    // finalize: averages divide by count; empty min/max bins become 0
+    for (std::size_t k = 0; k < c.Ops.size(); ++k)
+      for (std::size_t i = 0; i < Bins; ++i)
+      {
+        if (c.Ops[k].second == BinningOp::Average)
+          Grids[k + 1][i] =
+            Grids[0][i] > 0 ? Grids[k + 1][i] / Grids[0][i] : 0.0;
+        else if ((c.Ops[k].second == BinningOp::Min ||
+                  c.Ops[k].second == BinningOp::Max) &&
+                 Grids[0][i] == 0)
+          Grids[k + 1][i] = 0.0;
+      }
+  }
+};
+
+class BinningProperty : public ::testing::TestWithParam<unsigned>
+{
+protected:
+  void SetUp() override
+  {
+    vp::PlatformConfig cfg;
+    cfg.DevicesPerNode = 4;
+    cfg.HostCoresPerNode = 8;
+    vp::Platform::Initialize(cfg);
+    vcuda::SetDevice(0);
+  }
+};
+} // namespace
+
+TEST_P(BinningProperty, MatchesReferenceModel)
+{
+  const unsigned seed = GetParam();
+  const RandomConfig c = MakeConfig(seed);
+
+  svtkTable *t = MakeData(c.Rows, seed);
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("t");
+  da->SetTable(t);
+
+  DataBinning *b = DataBinning::New();
+  b->SetMeshName("t");
+  std::vector<std::string> axes(ColumnNames,
+                                ColumnNames + static_cast<std::size_t>(c.NumAxes));
+  b->SetAxes(axes);
+  b->SetResolution(c.Res);
+  b->SetDeviceId(c.Device);
+  b->SetAsynchronous(c.Async);
+  b->SetGpuStrategy(c.Strategy);
+
+  // ranges: fixed covers the data exactly when requested; otherwise auto
+  std::vector<double> lo(static_cast<std::size_t>(c.NumAxes));
+  std::vector<double> hi(static_cast<std::size_t>(c.NumAxes));
+  for (int a = 0; a < c.NumAxes; ++a)
+  {
+    if (c.FixedRanges)
+    {
+      lo[static_cast<std::size_t>(a)] = -2.0;
+      hi[static_cast<std::size_t>(a)] = 2.0;
+      b->SetRange(a, -2.0, 2.0);
+    }
+    else
+    {
+      // replicate the analysis's auto range: column min/max
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -mn;
+      for (std::size_t i = 0; i < c.Rows; ++i)
+      {
+        const double v = t->GetColumn(a)->GetVariantValue(i, 0);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      lo[static_cast<std::size_t>(a)] = mn;
+      hi[static_cast<std::size_t>(a)] = mx > mn ? mx : mn + 1.0;
+    }
+  }
+
+  for (const auto &op : c.Ops)
+    b->AddOperation(op.first, op.second);
+
+  ASSERT_TRUE(b->Execute(da)) << "seed " << seed;
+  b->Finalize();
+
+  svtkImageData *img = b->GetLastResult();
+  ASSERT_NE(img, nullptr);
+
+  const Reference ref(t, c, lo, hi);
+
+  // counts conserve the rows and match bin for bin
+  const svtkDataArray *counts = img->GetPointData()->GetArray("count");
+  ASSERT_NE(counts, nullptr);
+  ASSERT_EQ(counts->GetNumberOfTuples(), ref.Bins);
+  double total = 0;
+  for (std::size_t i = 0; i < ref.Bins; ++i)
+  {
+    EXPECT_DOUBLE_EQ(counts->GetVariantValue(i, 0), ref.Grids[0][i])
+      << "seed " << seed << " bin " << i;
+    total += counts->GetVariantValue(i, 0);
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(c.Rows)) << "seed " << seed;
+
+  // every reduction grid matches
+  for (std::size_t k = 0; k < c.Ops.size(); ++k)
+  {
+    const std::string name =
+      c.Ops[k].first + "_" + sensei::BinningOpName(c.Ops[k].second);
+    const svtkDataArray *g = img->GetPointData()->GetArray(name);
+    ASSERT_NE(g, nullptr) << name;
+    for (std::size_t i = 0; i < ref.Bins; ++i)
+      EXPECT_NEAR(g->GetVariantValue(i, 0), ref.Grids[k + 1][i], 1e-9)
+        << "seed " << seed << " grid " << name << " bin " << i;
+  }
+
+  img->UnRegister();
+  b->Delete();
+  t->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, BinningProperty,
+                         ::testing::Range(0u, 24u));

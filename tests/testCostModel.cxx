@@ -1,0 +1,124 @@
+// Unit tests pinning the analytic cost model: the timing formulas behind
+// every virtual measurement in the reproduction. If these change, every
+// figure changes — so the algebra is spelled out here.
+
+#include "vpCostModel.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+TEST(CostModel, KernelSecondsStreamingDevice)
+{
+  vp::CostModel m;
+  // duration = launch latency + work / device rate
+  const double expected =
+    m.KernelLaunchLatency + 1.0e6 * 10.0 / m.DeviceOpRate;
+  EXPECT_DOUBLE_EQ(m.KernelSeconds(1000000, 10.0, true, 0.0), expected);
+}
+
+TEST(CostModel, KernelSecondsHostHasNoLaunchLatency)
+{
+  vp::CostModel m;
+  EXPECT_DOUBLE_EQ(m.KernelSeconds(1000, 5.0, false, 0.0),
+                   1000 * 5.0 / m.HostOpRate);
+}
+
+TEST(CostModel, AtomicFractionInterpolatesPenalty)
+{
+  vp::CostModel m;
+  const double streaming = m.KernelSeconds(1 << 20, 10.0, true, 0.0);
+  const double full = m.KernelSeconds(1 << 20, 10.0, true, 1.0);
+  const double half = m.KernelSeconds(1 << 20, 10.0, true, 0.5);
+
+  // fully atomic work runs DeviceAtomicPenalty x slower (minus the fixed
+  // launch cost)
+  const double launch = m.KernelLaunchLatency;
+  EXPECT_NEAR((full - launch) / (streaming - launch), m.DeviceAtomicPenalty,
+              1e-9);
+  // interpolation is monotone and lands between the endpoints
+  EXPECT_GT(half, streaming);
+  EXPECT_LT(half, full);
+}
+
+TEST(CostModel, HostAtomicPenaltyIsMuchSmaller)
+{
+  vp::CostModel m;
+  const double hostPenalty =
+    m.KernelSeconds(1 << 20, 10.0, false, 1.0) /
+    m.KernelSeconds(1 << 20, 10.0, false, 0.0);
+  const double devPenalty =
+    (m.KernelSeconds(1 << 20, 10.0, true, 1.0) - m.KernelLaunchLatency) /
+    (m.KernelSeconds(1 << 20, 10.0, true, 0.0) - m.KernelLaunchLatency);
+  EXPECT_LT(hostPenalty, 2.0);
+  EXPECT_GT(devPenalty, 8.0);
+  // this asymmetry is why the paper finds host ~= same-device for binning
+}
+
+TEST(CostModel, CopySecondsIsLatencyPlusBandwidth)
+{
+  vp::CostModel m;
+  EXPECT_DOUBLE_EQ(m.CopySeconds(1 << 20, m.H2DBandwidth),
+                   m.CopyLatency + (1 << 20) / m.H2DBandwidth);
+  // zero-byte copies still pay the latency
+  EXPECT_DOUBLE_EQ(m.CopySeconds(0, m.D2DBandwidth), m.CopyLatency);
+}
+
+TEST(CostModel, DefaultRatesAreOrdered)
+{
+  // sanity ordering of the Perlmutter-like calibration: device >> host
+  // compute; D2D > H2D ~ D2H; pinned transfers faster than pageable
+  vp::CostModel m;
+  EXPECT_GT(m.DeviceOpRate, 4.0 * m.HostOpRate);
+  EXPECT_GT(m.D2DBandwidth, m.H2DBandwidth);
+  EXPECT_GT(m.PinnedBandwidthScale, 1.0);
+  EXPECT_GT(m.DeviceAtomicPenalty, m.HostAtomicPenalty);
+  EXPECT_LT(m.AsyncAllocLatency, m.AllocLatency);
+}
+
+TEST(CostModel, PinnedTransfersAreFasterEndToEnd)
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 2;
+  vp::Platform::Initialize(cfg);
+  vp::Platform &plat = vp::Platform::Get();
+
+  const std::size_t bytes = 8u << 20;
+  void *dev = plat.Allocate(vp::MemSpace::Device, 0, bytes, vp::PmKind::Cuda);
+  void *pageable =
+    plat.Allocate(vp::MemSpace::Host, vp::HostDevice, bytes, vp::PmKind::None);
+  void *pinned = plat.Allocate(vp::MemSpace::HostPinned, vp::HostDevice,
+                               bytes, vp::PmKind::Cuda);
+
+  const double t0 = vp::ThisClock().Now();
+  plat.Copy(dev, pageable, bytes);
+  const double pageableTime = vp::ThisClock().Now() - t0;
+
+  const double t1 = vp::ThisClock().Now();
+  plat.Copy(dev, pinned, bytes);
+  const double pinnedTime = vp::ThisClock().Now() - t1;
+
+  EXPECT_NEAR(pageableTime / pinnedTime,
+              plat.Config().Cost.PinnedBandwidthScale, 0.1);
+
+  plat.Free(dev);
+  plat.Free(pageable);
+  plat.Free(pinned);
+}
+
+TEST(CostModel, ClockScopeNestsAndRestores)
+{
+  vp::ThisClock().Set(10.0);
+  {
+    vp::ClockScope outer(100.0);
+    EXPECT_DOUBLE_EQ(vp::ThisClock().Now(), 100.0);
+    vp::ThisClock().Advance(5.0);
+    {
+      vp::ClockScope inner(0.0);
+      vp::ThisClock().Advance(1.0);
+      EXPECT_DOUBLE_EQ(inner.Now(), 1.0);
+    }
+    EXPECT_DOUBLE_EQ(vp::ThisClock().Now(), 105.0);
+    EXPECT_DOUBLE_EQ(outer.Now(), 105.0);
+  }
+  EXPECT_DOUBLE_EQ(vp::ThisClock().Now(), 10.0);
+}

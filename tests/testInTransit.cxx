@@ -1,0 +1,370 @@
+// Tests for the in transit substrate: communicator splitting, table
+// serialization round trips, the M-to-N layout map, and the full
+// sender/endpoint pipeline — whose binning result must equal an in situ
+// run over the same data.
+
+#include "minimpi.h"
+#include "senseiDataBinning.h"
+#include "senseiInTransit.h"
+#include "senseiSerialization.h"
+#include "svtkAOSDataArray.h"
+#include "svtkHAMRDataArray.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using sensei::InTransitEndpoint;
+using sensei::InTransitLayout;
+using sensei::InTransitSender;
+
+namespace
+{
+void ResetPlatform()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  vp::Platform::Initialize(cfg);
+}
+
+svtkTable *MakeTable(std::size_t n, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  svtkTable *t = svtkTable::New();
+  for (const char *name : {"x", "y", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+      c->SetVariantValue(i, 0, name[0] == 'm' ? 1.0 : u(gen));
+    t->AddColumn(c);
+    c->Delete();
+  }
+  return t;
+}
+} // namespace
+
+// --- Split ------------------------------------------------------------------------
+
+TEST(CommSplit, PartitionsByColorInRankOrder)
+{
+  ResetPlatform();
+  minimpi::Run(6,
+               [](minimpi::Communicator &comm)
+               {
+                 const int color = comm.Rank() % 2;
+                 minimpi::Communicator sub = comm.Split(color);
+
+                 EXPECT_EQ(sub.Size(), 3);
+                 EXPECT_EQ(sub.Rank(), comm.Rank() / 2);
+
+                 // collectives stay inside the group
+                 double v = 1.0;
+                 sub.Allreduce(&v, 1, minimpi::Op::Sum);
+                 EXPECT_DOUBLE_EQ(v, 3.0);
+
+                 // p2p within the subgroup, ring
+                 const int next = (sub.Rank() + 1) % sub.Size();
+                 const int prev = (sub.Rank() + sub.Size() - 1) % sub.Size();
+                 const int payload = 100 * color + sub.Rank();
+                 sub.Send(next, 5, &payload, sizeof(payload));
+                 auto msg = sub.Recv(prev, 5);
+                 EXPECT_EQ(*reinterpret_cast<int *>(msg.data()),
+                           100 * color + prev);
+               });
+}
+
+TEST(CommSplit, UnevenGroups)
+{
+  ResetPlatform();
+  minimpi::Run(5,
+               [](minimpi::Communicator &comm)
+               {
+                 // ranks 0..3 are color 0, rank 4 is color 1
+                 const int color = comm.Rank() == 4 ? 1 : 0;
+                 minimpi::Communicator sub = comm.Split(color);
+                 if (color == 0)
+                 {
+                   EXPECT_EQ(sub.Size(), 4);
+                   EXPECT_EQ(sub.Rank(), comm.Rank());
+                 }
+                 else
+                 {
+                   EXPECT_EQ(sub.Size(), 1);
+                   EXPECT_EQ(sub.Rank(), 0);
+                 }
+                 sub.Barrier();
+               });
+}
+
+// --- serialization ------------------------------------------------------------------
+
+TEST(Serialization, TableRoundTrip)
+{
+  ResetPlatform();
+  svtkTable *t = MakeTable(37, 5);
+  const std::vector<std::uint8_t> bytes = sensei::SerializeTable(t);
+
+  svtkTable *back = sensei::DeserializeTable(bytes);
+  ASSERT_EQ(back->GetNumberOfColumns(), 3);
+  ASSERT_EQ(back->GetNumberOfRows(), 37u);
+  for (int c = 0; c < 3; ++c)
+  {
+    EXPECT_EQ(back->GetColumn(c)->GetName(), t->GetColumn(c)->GetName());
+    for (std::size_t r = 0; r < 37; ++r)
+      EXPECT_DOUBLE_EQ(back->GetColumn(c)->GetVariantValue(r, 0),
+                       t->GetColumn(c)->GetVariantValue(r, 0));
+  }
+  back->UnRegister();
+  t->Delete();
+}
+
+TEST(Serialization, DeviceColumnsSerializeViaHostPath)
+{
+  ResetPlatform();
+  svtkTable *t = svtkTable::New();
+  svtkHAMRDoubleArray *d = svtkHAMRDoubleArray::New(
+    "dev", 8, 1, svtkAllocator::cuda, svtkStream(), svtkStreamMode::sync, 2.5);
+  t->AddColumn(d);
+  d->Delete();
+
+  svtkTable *back = sensei::DeserializeTable(sensei::SerializeTable(t));
+  for (std::size_t r = 0; r < 8; ++r)
+    EXPECT_DOUBLE_EQ(back->GetColumn(0)->GetVariantValue(r, 0), 2.5);
+  back->UnRegister();
+  t->Delete();
+}
+
+TEST(Serialization, MultiComponentAndEmpty)
+{
+  ResetPlatform();
+  svtkTable *t = svtkTable::New();
+  svtkAOSDoubleArray *v = svtkAOSDoubleArray::New("vec", 4, 3);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j)
+      v->SetVariantValue(i, j, 10.0 * i + j);
+  t->AddColumn(v);
+  v->Delete();
+
+  svtkTable *back = sensei::DeserializeTable(sensei::SerializeTable(t));
+  EXPECT_EQ(back->GetColumn(0)->GetNumberOfComponents(), 3);
+  EXPECT_DOUBLE_EQ(back->GetColumn(0)->GetVariantValue(2, 1), 21.0);
+  back->UnRegister();
+  t->Delete();
+
+  // empty table
+  svtkTable *empty = svtkTable::New();
+  svtkTable *back2 = sensei::DeserializeTable(sensei::SerializeTable(empty));
+  EXPECT_EQ(back2->GetNumberOfColumns(), 0);
+  back2->UnRegister();
+  empty->Delete();
+}
+
+TEST(Serialization, MalformedInputThrows)
+{
+  ResetPlatform();
+  const std::uint8_t junk[4] = {1, 2, 3, 4};
+  EXPECT_THROW(sensei::DeserializeTable(junk, sizeof(junk)),
+               std::runtime_error);
+
+  svtkTable *t = MakeTable(5, 1);
+  std::vector<std::uint8_t> bytes = sensei::SerializeTable(t);
+  bytes.resize(bytes.size() / 2); // truncate mid-column
+  EXPECT_THROW(sensei::DeserializeTable(bytes), std::runtime_error);
+  t->Delete();
+}
+
+TEST(Serialization, ConcatenateChecksSchema)
+{
+  ResetPlatform();
+  svtkTable *a = MakeTable(3, 1);
+  svtkTable *b = MakeTable(5, 2);
+  svtkTable *merged = sensei::ConcatenateTables({a, b});
+  EXPECT_EQ(merged->GetNumberOfRows(), 8u);
+  EXPECT_EQ(merged->GetNumberOfColumns(), 3);
+  merged->UnRegister();
+
+  svtkTable *bad = svtkTable::New();
+  svtkAOSDoubleArray *other = svtkAOSDoubleArray::New("zzz", 2, 1);
+  bad->AddColumn(other);
+  other->Delete();
+  EXPECT_THROW(sensei::ConcatenateTables({a, bad}), std::runtime_error);
+  bad->Delete();
+  a->Delete();
+  b->Delete();
+}
+
+// --- layout -------------------------------------------------------------------------
+
+TEST(InTransitLayout, MToNMapIsConsistent)
+{
+  const InTransitLayout layout(8, 3); // 5 senders, 3 endpoints
+  EXPECT_EQ(layout.Senders(), 5);
+  EXPECT_FALSE(layout.IsEndpoint(4));
+  EXPECT_TRUE(layout.IsEndpoint(5));
+
+  // every sender maps to an endpoint that lists it
+  for (int s = 0; s < 5; ++s)
+  {
+    const int e = layout.EndpointOf(s);
+    EXPECT_TRUE(layout.IsEndpoint(e));
+    const std::vector<int> senders = layout.SendersOf(e);
+    EXPECT_NE(std::find(senders.begin(), senders.end(), s), senders.end());
+  }
+
+  // the sender lists partition the senders
+  std::size_t total = 0;
+  for (int e = 5; e < 8; ++e)
+    total += layout.SendersOf(e).size();
+  EXPECT_EQ(total, 5u);
+
+  EXPECT_THROW(InTransitLayout(4, 0), std::invalid_argument);
+  EXPECT_THROW(InTransitLayout(4, 4), std::invalid_argument);
+}
+
+// --- the full pipeline ----------------------------------------------------------------
+
+TEST(InTransit, EndpointBinningMatchesInSitu)
+{
+  ResetPlatform();
+
+  const int senders = 3;
+  const int endpoints = 2;
+  const long steps = 3;
+  const std::size_t rowsPerSender = 500;
+
+  // reference: in situ binning over the union of the senders' tables
+  std::vector<double> reference;
+  {
+    std::vector<svtkTable *> parts;
+    for (int s = 0; s < senders; ++s)
+      parts.push_back(MakeTable(rowsPerSender, 100 + s));
+    svtkTable *all = sensei::ConcatenateTables(parts);
+    for (svtkTable *p : parts)
+      p->Delete();
+
+    sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+    da->SetTable(all);
+    all->UnRegister();
+
+    sensei::DataBinning *b = sensei::DataBinning::New();
+    b->SetMeshName("bodies");
+    b->SetAxes({"x", "y"});
+    b->SetResolution({16});
+    b->SetRange(0, -1, 1);
+    b->SetRange(1, -1, 1);
+    b->AddOperation("m", sensei::BinningOp::Sum);
+    b->SetDeviceId(sensei::AnalysisAdaptor::DEVICE_HOST);
+    EXPECT_TRUE(b->Execute(da));
+
+    svtkImageData *img = b->GetLastResult();
+    const svtkDataArray *g = img->GetPointData()->GetArray("m_sum");
+    reference.resize(g->GetNumberOfTuples());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      reference[i] = g->GetVariantValue(i, 0);
+    img->UnRegister();
+    b->Delete();
+    da->ReleaseData();
+    da->Delete();
+  }
+
+  // in transit: 3 senders ship to 2 endpoints that bin across the
+  // endpoint group
+  std::vector<double> got;
+  long endpointSteps = -1;
+
+  minimpi::Run(senders + endpoints,
+               [&](minimpi::Communicator &world)
+               {
+                 const InTransitLayout layout(world.Size(), endpoints);
+                 const bool isEp = layout.IsEndpoint(world.Rank());
+                 minimpi::Communicator group = world.Split(isEp ? 1 : 0);
+
+                 if (!isEp)
+                 {
+                   InTransitSender sender(&world, layout, "bodies");
+                   sensei::TableAdaptor *da =
+                     sensei::TableAdaptor::New("bodies");
+                   svtkTable *mine =
+                     MakeTable(rowsPerSender, 100 + world.Rank());
+                   da->SetTable(mine);
+                   mine->Delete();
+
+                   for (long s = 0; s < steps; ++s)
+                   {
+                     da->SetDataTimeStep(s);
+                     EXPECT_TRUE(sender.Send(da));
+                   }
+                   sender.Close();
+                   da->ReleaseData();
+                   da->Delete();
+                   return;
+                 }
+
+                 sensei::DataBinning *b = sensei::DataBinning::New();
+                 b->SetMeshName("bodies");
+                 b->SetAxes({"x", "y"});
+                 b->SetResolution({16});
+                 b->SetRange(0, -1, 1);
+                 b->SetRange(1, -1, 1);
+                 b->AddOperation("m", sensei::BinningOp::Sum);
+                 b->SetDeviceId(sensei::AnalysisAdaptor::DEVICE_HOST);
+
+                 InTransitEndpoint endpoint(&world, &group, layout, "bodies");
+                 const long n = endpoint.Run(b);
+
+                 if (group.Rank() == 0)
+                 {
+                   endpointSteps = n;
+                   svtkImageData *img = b->GetLastResult();
+                   const svtkDataArray *g =
+                     img->GetPointData()->GetArray("m_sum");
+                   got.resize(g->GetNumberOfTuples());
+                   for (std::size_t i = 0; i < got.size(); ++i)
+                     got[i] = g->GetVariantValue(i, 0);
+                   img->UnRegister();
+                 }
+                 b->Delete();
+               });
+
+  EXPECT_EQ(endpointSteps, steps);
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], reference[i], 1e-12) << "bin " << i;
+}
+
+TEST(InTransit, MisuseIsRejected)
+{
+  ResetPlatform();
+  minimpi::Run(3,
+               [](minimpi::Communicator &world)
+               {
+                 const InTransitLayout layout(3, 1);
+                 minimpi::Communicator group =
+                   world.Split(layout.IsEndpoint(world.Rank()) ? 1 : 0);
+
+                 if (layout.IsEndpoint(world.Rank()))
+                 {
+                   EXPECT_THROW(InTransitSender(&world, layout),
+                                std::logic_error);
+                   InTransitEndpoint ep(&world, &group, layout);
+                   EXPECT_THROW(ep.Run(nullptr), std::invalid_argument);
+                   // drain the closes the senders are about to send
+                   sensei::DataBinning *b = sensei::DataBinning::New();
+                   b->SetMeshName("bodies");
+                   b->SetAxes({"x", "y"});
+                   EXPECT_EQ(ep.Run(b), 0); // only closes arrive
+                   b->Delete();
+                 }
+                 else
+                 {
+                   EXPECT_THROW(InTransitEndpoint(&world, &group, layout),
+                                std::logic_error);
+                   InTransitSender sender(&world, layout);
+                   sender.Close();
+                   sender.Close(); // idempotent
+                 }
+               });
+}

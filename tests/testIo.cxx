@@ -1,0 +1,179 @@
+// Unit tests for the IO module: CSV and VTI round trips, legacy-VTK
+// particle files, gnuplot series.
+
+#include "sio.h"
+#include "svtkAOSDataArray.h"
+#include "svtkHAMRDataArray.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace
+{
+std::string Tmp(const std::string &name)
+{
+  return ::testing::TempDir() + "/" + name;
+}
+
+svtkTable *MakeTable()
+{
+  svtkTable *t = svtkTable::New();
+  svtkAOSDoubleArray *x = svtkAOSDoubleArray::New("x", 3, 1);
+  svtkAOSDoubleArray *y = svtkAOSDoubleArray::New("y", 3, 1);
+  svtkAOSDoubleArray *z = svtkAOSDoubleArray::New("z", 3, 1);
+  svtkAOSDoubleArray *m = svtkAOSDoubleArray::New("m", 3, 1);
+  for (int i = 0; i < 3; ++i)
+  {
+    x->SetVariantValue(i, 0, i + 0.5);
+    y->SetVariantValue(i, 0, -i);
+    z->SetVariantValue(i, 0, 2 * i);
+    m->SetVariantValue(i, 0, 1.0 + i);
+  }
+  t->AddColumn(x);
+  t->AddColumn(y);
+  t->AddColumn(z);
+  t->AddColumn(m);
+  x->Delete();
+  y->Delete();
+  z->Delete();
+  m->Delete();
+  return t;
+}
+} // namespace
+
+TEST(Io, CsvRoundTrip)
+{
+  svtkTable *t = MakeTable();
+  const std::string path = Tmp("io_test.csv");
+  sio::WriteCSV(path, t);
+
+  svtkTable *back = sio::ReadCSV(path);
+  ASSERT_EQ(back->GetNumberOfColumns(), 4);
+  ASSERT_EQ(back->GetNumberOfRows(), 3u);
+  for (int c = 0; c < 4; ++c)
+    for (std::size_t r = 0; r < 3; ++r)
+      EXPECT_DOUBLE_EQ(back->GetColumn(c)->GetVariantValue(r, 0),
+                       t->GetColumn(c)->GetVariantValue(r, 0));
+  EXPECT_EQ(back->GetColumn(0)->GetName(), "x");
+
+  back->Delete();
+  t->Delete();
+  std::remove(path.c_str());
+}
+
+TEST(Io, CsvWritesHeterogeneousArrays)
+{
+  // a device-resident HDA column must be pulled through the host path
+  vp::PlatformConfig cfg;
+  vp::Platform::Initialize(cfg);
+
+  svtkTable *t = svtkTable::New();
+  svtkHAMRDoubleArray *d = svtkHAMRDoubleArray::New(
+    "d", 4, 1, svtkAllocator::cuda, svtkStream(), svtkStreamMode::sync, 3.5);
+  t->AddColumn(d);
+  d->Delete();
+
+  const std::string path = Tmp("io_hda.csv");
+  sio::WriteCSV(path, t);
+  svtkTable *back = sio::ReadCSV(path);
+  for (std::size_t r = 0; r < 4; ++r)
+    EXPECT_DOUBLE_EQ(back->GetColumn(0)->GetVariantValue(r, 0), 3.5);
+
+  back->Delete();
+  t->Delete();
+  std::remove(path.c_str());
+}
+
+TEST(Io, VtiRoundTrip)
+{
+  svtkImageData *img = svtkImageData::New();
+  img->SetDimensions(4, 3, 1);
+  img->SetOrigin(-1.0, 2.0, 0.0);
+  img->SetSpacing(0.5, 0.25, 1.0);
+
+  svtkAOSDoubleArray *v = svtkAOSDoubleArray::New("mass_sum", 12, 1);
+  for (int i = 0; i < 12; ++i)
+    v->SetVariantValue(i, 0, i * 1.5);
+  img->GetPointData()->AddArray(v);
+  v->Delete();
+
+  const std::string path = Tmp("io_test.vti");
+  sio::WriteVTI(path, img);
+
+  svtkImageData *back = sio::ReadVTI(path);
+  int dims[3];
+  back->GetDimensions(dims);
+  EXPECT_EQ(dims[0], 4);
+  EXPECT_EQ(dims[1], 3);
+  double origin[3], spacing[3];
+  back->GetOrigin(origin);
+  back->GetSpacing(spacing);
+  EXPECT_DOUBLE_EQ(origin[0], -1.0);
+  EXPECT_DOUBLE_EQ(spacing[1], 0.25);
+
+  const svtkDataArray *bv = back->GetPointData()->GetArray("mass_sum");
+  ASSERT_NE(bv, nullptr);
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_DOUBLE_EQ(bv->GetVariantValue(i, 0), i * 1.5);
+
+  back->Delete();
+  img->Delete();
+  std::remove(path.c_str());
+}
+
+TEST(Io, ParticlesVtkHasPointsAndScalars)
+{
+  svtkTable *t = MakeTable();
+  const std::string path = Tmp("io_test.vtk");
+  sio::WriteParticlesVTK(path, t);
+
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("POINTS 3 double"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS m double 1"), std::string::npos);
+  EXPECT_NE(content.find("POINT_DATA 3"), std::string::npos);
+  // coordinate columns do not reappear as scalars
+  EXPECT_EQ(content.find("SCALARS x"), std::string::npos);
+
+  t->Delete();
+  std::remove(path.c_str());
+}
+
+TEST(Io, ParticlesVtkMissingCoordinatesThrows)
+{
+  svtkTable *t = svtkTable::New();
+  svtkAOSDoubleArray *m = svtkAOSDoubleArray::New("m", 2, 1);
+  t->AddColumn(m);
+  m->Delete();
+  EXPECT_THROW(sio::WriteParticlesVTK(Tmp("nope.vtk"), t),
+               std::invalid_argument);
+  t->Delete();
+}
+
+TEST(Io, SeriesIsGnuplotFriendly)
+{
+  const std::string path = Tmp("io_series.dat");
+  sio::WriteSeries(path, {"step", "value"}, {{0, 1.5}, {1, 2.5}});
+
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "# step value");
+  std::getline(f, line);
+  EXPECT_EQ(line, "0 1.5");
+  std::remove(path.c_str());
+}
+
+TEST(Io, ErrorsOnBadPaths)
+{
+  svtkTable *t = MakeTable();
+  EXPECT_THROW(sio::WriteCSV("/nonexistent/dir/x.csv", t),
+               std::runtime_error);
+  EXPECT_THROW(sio::ReadCSV("/nonexistent/x.csv"), std::runtime_error);
+  EXPECT_THROW(sio::WriteCSV(Tmp("x.csv"), nullptr), std::invalid_argument);
+  t->Delete();
+}

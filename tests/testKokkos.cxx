@@ -1,0 +1,146 @@
+// Tests for the Kokkos-style front end and its interoperability with the
+// SENSEI data model: views, parallel dispatch, deep_copy, fences, and
+// zero-copy adoption of a device view by svtkHAMRDataArray with
+// consumption under other PMs.
+
+#include "svtkHAMRDataArray.h"
+#include "vcuda.h"
+#include "vkokkos.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+class KokkosTest : public ::testing::Test
+{
+protected:
+  void SetUp() override
+  {
+    vp::PlatformConfig cfg;
+    cfg.DevicesPerNode = 4;
+    cfg.HostCoresPerNode = 8;
+    vp::Platform::Initialize(cfg);
+    vkokkos::SetDefaultDevice(0);
+    vcuda::SetDevice(0);
+  }
+};
+} // namespace
+
+TEST_F(KokkosTest, ViewAllocatesInTheRightSpace)
+{
+  vkokkos::SetDefaultDevice(2);
+  vkokkos::View<double> dev("forces", 100, vkokkos::Space::Device);
+  vkokkos::View<double> host("mirror", 100, vkokkos::Space::Host);
+
+  EXPECT_EQ(dev.size(), 100u);
+  EXPECT_EQ(dev.label(), "forces");
+  EXPECT_EQ(dev.device(), 2);
+  EXPECT_EQ(host.device(), vp::HostDevice);
+
+  vp::AllocInfo info;
+  ASSERT_TRUE(vp::Platform::Get().Query(dev.data(), info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Device);
+  EXPECT_EQ(info.Device, 2);
+  ASSERT_TRUE(vp::Platform::Get().Query(host.data(), info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Host);
+  vkokkos::SetDefaultDevice(0);
+}
+
+TEST_F(KokkosTest, ParallelForAndFence)
+{
+  vkokkos::View<double> v("v", 256, vkokkos::Space::Device);
+  double *p = v.data();
+  vkokkos::parallel_for(vkokkos::RangePolicy(0, v.size()),
+                        [p](std::size_t i) { p[i] = 2.0 * i; });
+
+  const double before = vp::ThisClock().Now();
+  vkokkos::fence();
+  EXPECT_GE(vp::ThisClock().Now(), before);
+
+  for (std::size_t i = 0; i < v.size(); ++i)
+    ASSERT_DOUBLE_EQ(p[i], 2.0 * i);
+}
+
+TEST_F(KokkosTest, RangePolicyRespectsBounds)
+{
+  vkokkos::View<int> v("v", 10, vkokkos::Space::Host);
+  int *p = v.data();
+  vkokkos::parallel_for(
+    vkokkos::RangePolicy(3, 7, vkokkos::Space::Host),
+    [p](std::size_t i) { p[i] = 1; });
+
+  for (std::size_t i = 0; i < 10; ++i)
+    ASSERT_EQ(p[i], (i >= 3 && i < 7) ? 1 : 0) << i;
+
+  // empty range is a no-op
+  vkokkos::parallel_for(vkokkos::RangePolicy(5, 5, vkokkos::Space::Host),
+                        [p](std::size_t i) { p[i] = 9; });
+  ASSERT_EQ(p[5], 1);
+}
+
+TEST_F(KokkosTest, ParallelReduceSums)
+{
+  vkokkos::View<double> v("v", 1000, vkokkos::Space::Device);
+  vkokkos::deep_copy(v, 0.5);
+
+  const double *p = v.data();
+  double sum = 0.0;
+  vkokkos::parallel_reduce(vkokkos::RangePolicy(0, v.size()),
+                           [p](std::size_t i, double &acc) { acc += p[i]; },
+                           sum);
+  EXPECT_DOUBLE_EQ(sum, 500.0);
+
+  // host execution space gives the same answer
+  double hostSum = 0.0;
+  vkokkos::parallel_reduce(
+    vkokkos::RangePolicy(0, v.size(), vkokkos::Space::Host),
+    [p](std::size_t i, double &acc) { acc += p[i]; }, hostSum);
+  EXPECT_DOUBLE_EQ(hostSum, 500.0);
+}
+
+TEST_F(KokkosTest, DeepCopyBetweenSpacesAndMismatch)
+{
+  vkokkos::View<double> dev("dev", 64, vkokkos::Space::Device);
+  vkokkos::deep_copy(dev, 7.0);
+
+  vkokkos::View<double> host("host", 64, vkokkos::Space::Host);
+  vkokkos::deep_copy(host, dev); // D2H
+  for (std::size_t i = 0; i < 64; ++i)
+    ASSERT_DOUBLE_EQ(host(i), 7.0);
+
+  vkokkos::View<double> small("small", 8, vkokkos::Space::Host);
+  EXPECT_THROW(vkokkos::deep_copy(small, dev), vp::Error);
+}
+
+TEST_F(KokkosTest, ViewSharesIntoDataModelZeroCopy)
+{
+  // a Kokkos view produced by a "simulation" handed to SENSEI zero-copy,
+  // then consumed by CUDA code on another device — the third-party-PM
+  // interop the paper's future work asks for
+  vkokkos::SetDefaultDevice(1);
+  vkokkos::View<double> state("state", 128, vkokkos::Space::Device);
+  vkokkos::deep_copy(state, -3.14);
+
+  svtkHAMRDoubleArray *hda = svtkHAMRDoubleArray::New(
+    "state", state.pointer(), state.size(), 1, svtkAllocator::cuda,
+    svtkStream(), svtkStreamMode::sync, state.device());
+
+  EXPECT_EQ(hda->GetData(), state.data()); // zero copy
+  EXPECT_EQ(hda->GetOwner(), 1);
+
+  vcuda::SetDevice(3);
+  auto view = hda->GetCUDAAccessible();
+  hda->Synchronize();
+  for (int i = 0; i < 128; ++i)
+    ASSERT_DOUBLE_EQ(view.get()[i], -3.14);
+
+  // the view's shared ownership keeps the memory alive even after the
+  // original view goes out of scope
+  state = vkokkos::View<double>();
+  EXPECT_DOUBLE_EQ(hda->GetVariantValue(0, 0), -3.14);
+
+  hda->Delete();
+  vcuda::SetDevice(0);
+  vkokkos::SetDefaultDevice(0);
+}

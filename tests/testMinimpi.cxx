@@ -1,0 +1,301 @@
+// Unit tests for the minimpi threads-as-ranks communicator: point to
+// point with tag matching, collectives (parameterized over rank counts),
+// communicator duplication, node placement, virtual-time semantics, and
+// error propagation out of rank functions.
+
+#include "minimpi.h"
+#include "vpClock.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace
+{
+void ResetPlatform(int nodes = 1, int ranksPerNodeHint = 4)
+{
+  (void)ranksPerNodeHint;
+  vp::PlatformConfig cfg;
+  cfg.NumNodes = nodes;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  vp::Platform::Initialize(cfg);
+}
+
+class MinimpiRanks : public ::testing::TestWithParam<int>
+{
+protected:
+  void SetUp() override { ResetPlatform(); }
+};
+} // namespace
+
+TEST(Minimpi, SingleRankBasics)
+{
+  ResetPlatform();
+  minimpi::Run(1,
+               [](minimpi::Communicator &comm)
+               {
+                 EXPECT_EQ(comm.Rank(), 0);
+                 EXPECT_EQ(comm.Size(), 1);
+                 comm.Barrier(); // trivially completes
+                 double v = 5.0;
+                 comm.Allreduce(&v, 1, minimpi::Op::Sum);
+                 EXPECT_DOUBLE_EQ(v, 5.0);
+               });
+}
+
+TEST(Minimpi, SendRecvMatchesSourceAndTag)
+{
+  ResetPlatform();
+  minimpi::Run(2,
+               [](minimpi::Communicator &comm)
+               {
+                 if (comm.Rank() == 0)
+                 {
+                   // send two tagged messages out of order
+                   const int a = 111, b = 222;
+                   comm.Send(1, /*tag=*/7, &a, sizeof(a));
+                   comm.Send(1, /*tag=*/3, &b, sizeof(b));
+                 }
+                 else
+                 {
+                   // receive by tag, not arrival order
+                   auto mb = comm.Recv(0, 3);
+                   auto ma = comm.Recv(0, 7);
+                   EXPECT_EQ(*reinterpret_cast<int *>(mb.data()), 222);
+                   EXPECT_EQ(*reinterpret_cast<int *>(ma.data()), 111);
+                 }
+               });
+}
+
+TEST(Minimpi, TypedVectorsRoundTrip)
+{
+  ResetPlatform();
+  minimpi::Run(2,
+               [](minimpi::Communicator &comm)
+               {
+                 if (comm.Rank() == 0)
+                 {
+                   std::vector<double> v{1.5, 2.5, 3.5};
+                   comm.SendVec(1, 0, v);
+                 }
+                 else
+                 {
+                   auto v = comm.RecvAs<double>(0, 0);
+                   EXPECT_EQ(v, (std::vector<double>{1.5, 2.5, 3.5}));
+                 }
+               });
+}
+
+TEST_P(MinimpiRanks, AllreduceSumMinMax)
+{
+  const int P = GetParam();
+  minimpi::Run(P,
+               [P](minimpi::Communicator &comm)
+               {
+                 const double r = comm.Rank() + 1.0;
+                 double s = r, mn = r, mx = r;
+                 comm.Allreduce(&s, 1, minimpi::Op::Sum);
+                 comm.Allreduce(&mn, 1, minimpi::Op::Min);
+                 comm.Allreduce(&mx, 1, minimpi::Op::Max);
+                 EXPECT_DOUBLE_EQ(s, P * (P + 1) / 2.0);
+                 EXPECT_DOUBLE_EQ(mn, 1.0);
+                 EXPECT_DOUBLE_EQ(mx, static_cast<double>(P));
+               });
+}
+
+TEST_P(MinimpiRanks, AllreduceVectorsAndIntegers)
+{
+  const int P = GetParam();
+  minimpi::Run(P,
+               [P](minimpi::Communicator &comm)
+               {
+                 std::vector<int> v{comm.Rank(), 2 * comm.Rank()};
+                 comm.Allreduce(v.data(), v.size(), minimpi::Op::Sum);
+                 EXPECT_EQ(v[0], P * (P - 1) / 2);
+                 EXPECT_EQ(v[1], P * (P - 1));
+
+                 std::size_t n = 3;
+                 comm.Allreduce(&n, 1, minimpi::Op::Sum);
+                 EXPECT_EQ(n, static_cast<std::size_t>(3 * P));
+               });
+}
+
+TEST_P(MinimpiRanks, BcastFromEveryRoot)
+{
+  const int P = GetParam();
+  minimpi::Run(P,
+               [P](minimpi::Communicator &comm)
+               {
+                 for (int root = 0; root < P; ++root)
+                 {
+                   double v = comm.Rank() == root ? 42.0 + root : -1.0;
+                   comm.Bcast(&v, 1, root);
+                   EXPECT_DOUBLE_EQ(v, 42.0 + root);
+                 }
+               });
+}
+
+TEST_P(MinimpiRanks, GatherAndAllgatherInRankOrder)
+{
+  const int P = GetParam();
+  minimpi::Run(P,
+               [P](minimpi::Communicator &comm)
+               {
+                 const double mine = 10.0 * comm.Rank();
+                 std::vector<double> all = comm.Allgather(&mine, 1);
+                 ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+                 for (int r = 0; r < P; ++r)
+                   EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], 10.0 * r);
+
+                 std::vector<double> g = comm.Gather(&mine, 1, 0);
+                 if (comm.Rank() == 0)
+                   EXPECT_EQ(g, all);
+                 else
+                   EXPECT_TRUE(g.empty());
+               });
+}
+
+TEST_P(MinimpiRanks, BarrierAlignsVirtualClocks)
+{
+  const int P = GetParam();
+  minimpi::Run(P,
+               [](minimpi::Communicator &comm)
+               {
+                 // rank r does r seconds of virtual work; after the
+                 // barrier every clock is at least the max
+                 vp::ThisClock().Advance(static_cast<double>(comm.Rank()));
+                 comm.Barrier();
+                 EXPECT_GE(vp::ThisClock().Now(),
+                           static_cast<double>(comm.Size() - 1));
+               });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MinimpiRanks, ::testing::Values(2, 3, 4, 8));
+
+TEST(Minimpi, DupIsolatesCollectives)
+{
+  ResetPlatform();
+  minimpi::Run(3,
+               [](minimpi::Communicator &comm)
+               {
+                 minimpi::Communicator dup = comm.Dup();
+                 EXPECT_EQ(dup.Rank(), comm.Rank());
+                 EXPECT_EQ(dup.Size(), comm.Size());
+
+                 // interleave collectives on both communicators
+                 double a = 1.0, b = 2.0;
+                 dup.Allreduce(&b, 1, minimpi::Op::Sum);
+                 comm.Allreduce(&a, 1, minimpi::Op::Sum);
+                 EXPECT_DOUBLE_EQ(a, 3.0);
+                 EXPECT_DOUBLE_EQ(b, 6.0);
+
+                 // p2p on the dup does not collide with same-tag p2p on
+                 // the parent
+                 const int self = comm.Rank();
+                 const int next = (self + 1) % comm.Size();
+                 const int prev = (self + comm.Size() - 1) % comm.Size();
+                 const int vp1 = 100 + self, vp2 = 200 + self;
+                 comm.Send(next, 0, &vp1, sizeof(int));
+                 dup.Send(next, 0, &vp2, sizeof(int));
+                 auto m1 = comm.Recv(prev, 0);
+                 auto m2 = dup.Recv(prev, 0);
+                 EXPECT_EQ(*reinterpret_cast<int *>(m1.data()), 100 + prev);
+                 EXPECT_EQ(*reinterpret_cast<int *>(m2.data()), 200 + prev);
+               });
+}
+
+TEST(Minimpi, RanksAreBoundToNodes)
+{
+  ResetPlatform(/*nodes=*/2);
+  minimpi::LaunchOptions opts;
+  opts.Ranks = 8;
+  opts.RanksPerNode = 4;
+  minimpi::Run(opts,
+               [](minimpi::Communicator &comm)
+               {
+                 EXPECT_EQ(comm.Node(), comm.Rank() / 4);
+                 EXPECT_EQ(vp::Platform::GetThisNode(), comm.Rank() / 4);
+                 EXPECT_EQ(comm.RanksPerNode(), 4);
+               });
+  ResetPlatform();
+}
+
+TEST(Minimpi, TooFewNodesThrows)
+{
+  ResetPlatform(/*nodes=*/1);
+  minimpi::LaunchOptions opts;
+  opts.Ranks = 8;
+  opts.RanksPerNode = 2; // needs 4 nodes
+  EXPECT_THROW(minimpi::Run(opts, [](minimpi::Communicator &) {}),
+               std::invalid_argument);
+}
+
+TEST(Minimpi, RankExceptionsPropagate)
+{
+  ResetPlatform();
+  EXPECT_THROW(minimpi::Run(3,
+                            [](minimpi::Communicator &comm)
+                            {
+                              // every rank still reaches its end state
+                              if (comm.Rank() == 1)
+                                throw std::runtime_error("rank 1 fails");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Minimpi, MessageVolumeChargesVirtualTime)
+{
+  ResetPlatform();
+  minimpi::Run(2,
+               [](minimpi::Communicator &comm)
+               {
+                 const vp::CostModel &cost =
+                   vp::Platform::Get().Config().Cost;
+                 if (comm.Rank() == 0)
+                 {
+                   std::vector<double> big(1u << 20, 1.0); // 8 MB
+                   comm.SendVec(1, 0, big);
+                 }
+                 else
+                 {
+                   const double t0 = vp::ThisClock().Now();
+                   auto v = comm.RecvAs<double>(0, 0);
+                   const double dt = vp::ThisClock().Now() - t0;
+                   const double expected =
+                     (1u << 20) * sizeof(double) / cost.MessageBandwidth;
+                   EXPECT_GE(dt, 0.5 * expected);
+                 }
+               });
+}
+
+TEST(Minimpi, RunReturnsMaxFinalTime)
+{
+  ResetPlatform();
+  const double start = vp::ThisClock().Now();
+  const double finish = minimpi::Run(4,
+                                     [](minimpi::Communicator &comm)
+                                     {
+                                       vp::ThisClock().Advance(
+                                         comm.Rank() == 2 ? 5.0 : 1.0);
+                                     });
+  EXPECT_GE(finish - start, 5.0);
+  EXPECT_GE(vp::ThisClock().Now(), finish);
+}
+
+TEST(Minimpi, InvalidArgumentsThrow)
+{
+  ResetPlatform();
+  EXPECT_THROW(minimpi::Run(0, [](minimpi::Communicator &) {}),
+               std::invalid_argument);
+  minimpi::Run(2,
+               [](minimpi::Communicator &comm)
+               {
+                 int v = 0;
+                 EXPECT_THROW(comm.Send(5, 0, &v, sizeof(v)),
+                              std::out_of_range);
+                 EXPECT_THROW(comm.Recv(-1, 0), std::out_of_range);
+               });
+}

@@ -1,0 +1,208 @@
+// Tests for svtkMultiBlockDataSet and multi-block analysis support: block
+// management, reference counting, a multi-block DataAdaptor, and the
+// equivalence of binning a multi-block mesh with binning the
+// concatenation of its blocks.
+
+#include "senseiDataAdaptor.h"
+#include "senseiDataBinning.h"
+#include "senseiSerialization.h"
+#include "svtkAOSDataArray.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace
+{
+void ResetPlatform()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  vp::Platform::Initialize(cfg);
+}
+
+svtkTable *MakeTable(std::size_t n, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  svtkTable *t = svtkTable::New();
+  for (const char *name : {"x", "y", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+      c->SetVariantValue(i, 0, name[0] == 'm' ? 1.0 : u(gen));
+    t->AddColumn(c);
+    c->Delete();
+  }
+  return t;
+}
+
+/// DataAdaptor exposing a multi-block mesh of tables.
+class MultiBlockAdaptor : public sensei::DataAdaptor
+{
+public:
+  static MultiBlockAdaptor *New(svtkMultiBlockDataSet *mb)
+  {
+    auto *a = new MultiBlockAdaptor;
+    mb->Register();
+    a->Mb_ = mb;
+    return a;
+  }
+
+  std::vector<std::string> GetMeshNames() override { return {"bodies"}; }
+
+  svtkDataObject *GetMesh(const std::string &name) override
+  {
+    if (name != "bodies")
+      return nullptr;
+    this->Mb_->Register();
+    return this->Mb_;
+  }
+
+protected:
+  ~MultiBlockAdaptor() override { this->Mb_->UnRegister(); }
+
+private:
+  svtkMultiBlockDataSet *Mb_ = nullptr;
+};
+} // namespace
+
+TEST(MultiBlock, BlockManagementAndRefCounts)
+{
+  ResetPlatform();
+  svtkMultiBlockDataSet *mb = svtkMultiBlockDataSet::New();
+  EXPECT_EQ(mb->GetNumberOfBlocks(), 0);
+  EXPECT_EQ(mb->GetBlock(0), nullptr);
+  EXPECT_EQ(mb->GetBlock(-1), nullptr);
+
+  svtkTable *t = MakeTable(4, 1);
+  EXPECT_EQ(t->GetReferenceCount(), 1);
+
+  mb->SetBlock(2, t); // grows the table, slots 0..1 null
+  EXPECT_EQ(mb->GetNumberOfBlocks(), 3);
+  EXPECT_EQ(mb->GetBlock(0), nullptr);
+  EXPECT_EQ(mb->GetBlock(2), t);
+  EXPECT_EQ(t->GetReferenceCount(), 2);
+
+  // replacing releases the old block
+  svtkTable *t2 = MakeTable(4, 2);
+  mb->SetBlock(2, t2);
+  t2->Delete();
+  EXPECT_EQ(t->GetReferenceCount(), 1);
+  EXPECT_EQ(mb->GetBlock(2), t2);
+
+  // clearing a slot
+  mb->SetBlock(2, nullptr);
+  EXPECT_EQ(mb->GetBlock(2), nullptr);
+
+  // shrink releases
+  mb->SetBlock(1, t);
+  mb->SetNumberOfBlocks(1);
+  EXPECT_EQ(t->GetReferenceCount(), 1);
+
+  t->Delete();
+  mb->Delete();
+}
+
+TEST(MultiBlock, BinningMatchesConcatenation)
+{
+  ResetPlatform();
+
+  svtkTable *b0 = MakeTable(700, 10);
+  svtkTable *b1 = MakeTable(300, 11);
+  svtkTable *b2 = MakeTable(500, 12);
+
+  // reference: binning of the concatenated rows
+  svtkTable *merged = sensei::ConcatenateTables({b0, b1, b2});
+  std::vector<double> refCounts, refSums;
+  {
+    sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+    da->SetTable(merged);
+
+    sensei::DataBinning *bin = sensei::DataBinning::New();
+    bin->SetMeshName("bodies");
+    bin->SetAxes({"x", "y"});
+    bin->SetResolution({12});
+    bin->AddOperation("m", sensei::BinningOp::Sum);
+    EXPECT_TRUE(bin->Execute(da));
+
+    svtkImageData *img = bin->GetLastResult();
+    const svtkDataArray *c = img->GetPointData()->GetArray("count");
+    const svtkDataArray *s = img->GetPointData()->GetArray("m_sum");
+    for (std::size_t i = 0; i < c->GetNumberOfTuples(); ++i)
+    {
+      refCounts.push_back(c->GetVariantValue(i, 0));
+      refSums.push_back(s->GetVariantValue(i, 0));
+    }
+    img->UnRegister();
+    bin->Delete();
+    da->ReleaseData();
+    da->Delete();
+  }
+  merged->UnRegister();
+
+  // multi-block: one block per part plus a null slot, binned in place
+  svtkMultiBlockDataSet *mb = svtkMultiBlockDataSet::New();
+  mb->SetBlock(0, b0);
+  mb->SetBlock(1, nullptr);
+  mb->SetBlock(2, b1);
+  mb->SetBlock(3, b2);
+  b0->Delete();
+  b1->Delete();
+  b2->Delete();
+
+  MultiBlockAdaptor *da = MultiBlockAdaptor::New(mb);
+  mb->Delete();
+
+  for (int device : {sensei::AnalysisAdaptor::DEVICE_HOST, 1})
+  {
+    sensei::DataBinning *bin = sensei::DataBinning::New();
+    bin->SetMeshName("bodies");
+    bin->SetAxes({"x", "y"});
+    bin->SetResolution({12});
+    bin->AddOperation("m", sensei::BinningOp::Sum);
+    bin->SetDeviceId(device);
+    ASSERT_TRUE(bin->Execute(da)) << "device " << device;
+
+    svtkImageData *img = bin->GetLastResult();
+    const svtkDataArray *c = img->GetPointData()->GetArray("count");
+    const svtkDataArray *s = img->GetPointData()->GetArray("m_sum");
+    ASSERT_EQ(c->GetNumberOfTuples(), refCounts.size());
+    for (std::size_t i = 0; i < refCounts.size(); ++i)
+    {
+      EXPECT_DOUBLE_EQ(c->GetVariantValue(i, 0), refCounts[i]);
+      EXPECT_NEAR(s->GetVariantValue(i, 0), refSums[i], 1e-12);
+    }
+    img->UnRegister();
+    bin->Delete();
+  }
+
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(MultiBlock, NonTableBlockFailsGracefully)
+{
+  ResetPlatform();
+  svtkMultiBlockDataSet *mb = svtkMultiBlockDataSet::New();
+  svtkTable *t = MakeTable(10, 3);
+  svtkImageData *img = svtkImageData::New();
+  mb->SetBlock(0, t);
+  mb->SetBlock(1, img); // not a table
+  t->Delete();
+  img->Delete();
+
+  MultiBlockAdaptor *da = MultiBlockAdaptor::New(mb);
+  mb->Delete();
+
+  sensei::DataBinning *bin = sensei::DataBinning::New();
+  bin->SetMeshName("bodies");
+  bin->SetAxes({"x", "y"});
+  EXPECT_FALSE(bin->Execute(da));
+
+  bin->Delete();
+  da->ReleaseData();
+  da->Delete();
+}

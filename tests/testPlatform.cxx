@@ -1,0 +1,440 @@
+// Unit tests for the virtual heterogeneous platform: virtual clocks,
+// resource timelines, memory registry and spaces, stream ordering, kernel
+// and copy cost accounting, synchronization, and scoped threads.
+
+#include "vpClock.h"
+#include "vpMemory.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace
+{
+vp::PlatformConfig DefaultConfig()
+{
+  vp::PlatformConfig cfg;
+  cfg.NumNodes = 1;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  return cfg;
+}
+
+class PlatformTest : public ::testing::Test
+{
+protected:
+  void SetUp() override { vp::Platform::Initialize(DefaultConfig()); }
+};
+} // namespace
+
+// --- clocks ------------------------------------------------------------------
+
+TEST(ThreadClock, AdvanceAndAdvanceTo)
+{
+  vp::ThreadClock c;
+  EXPECT_DOUBLE_EQ(c.Now(), 0.0);
+  c.Advance(1.5);
+  EXPECT_DOUBLE_EQ(c.Now(), 1.5);
+  c.AdvanceTo(1.0); // no going back
+  EXPECT_DOUBLE_EQ(c.Now(), 1.5);
+  c.AdvanceTo(2.0);
+  EXPECT_DOUBLE_EQ(c.Now(), 2.0);
+}
+
+TEST(ResourceTimeline, SerializesClaims)
+{
+  vp::ResourceTimeline r;
+  // back to back claims queue up
+  EXPECT_DOUBLE_EQ(r.Claim(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.Claim(0.0, 1.0), 2.0); // waits for the first
+  EXPECT_DOUBLE_EQ(r.Claim(5.0, 1.0), 6.0); // idle gap then run
+  EXPECT_DOUBLE_EQ(r.Available(), 6.0);
+}
+
+TEST(PoolTimeline, ParallelLanes)
+{
+  vp::PoolTimeline pool(4);
+  // four 1s tasks on 4 lanes all complete at t=1
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(pool.ClaimOne(0.0, 1.0), 1.0);
+  // the fifth waits for a lane
+  EXPECT_DOUBLE_EQ(pool.ClaimOne(0.0, 1.0), 2.0);
+}
+
+TEST(PoolTimeline, ClaimManyDividesWork)
+{
+  vp::PoolTimeline pool(4);
+  // 8 serial seconds over 4 lanes = 2 seconds of wall time
+  EXPECT_DOUBLE_EQ(pool.ClaimMany(0.0, 8.0, 4), 2.0);
+  // next full-width region queues behind it
+  EXPECT_DOUBLE_EQ(pool.ClaimMany(0.0, 4.0, 4), 3.0);
+}
+
+TEST(PoolTimeline, WidthClamped)
+{
+  vp::PoolTimeline pool(2);
+  EXPECT_DOUBLE_EQ(pool.ClaimMany(0.0, 4.0, 100), 2.0);
+}
+
+// --- memory registry -----------------------------------------------------------
+
+TEST(MemoryRegistry, InsertQueryErase)
+{
+  vp::MemoryRegistry reg;
+  std::vector<char> block(128);
+
+  vp::AllocInfo info;
+  info.Space = vp::MemSpace::Device;
+  info.Device = 2;
+  info.Bytes = 128;
+  reg.Insert(block.data(), info);
+
+  vp::AllocInfo out;
+  ASSERT_TRUE(reg.Query(block.data(), out));
+  EXPECT_EQ(out.Device, 2);
+
+  // interior pointers resolve to the containing allocation
+  ASSERT_TRUE(reg.Query(block.data() + 64, out));
+  EXPECT_EQ(out.Bytes, 128u);
+
+  // one past the end does not
+  EXPECT_FALSE(reg.Query(block.data() + 128, out));
+
+  EXPECT_TRUE(reg.Erase(block.data()));
+  EXPECT_FALSE(reg.Query(block.data(), out));
+  EXPECT_FALSE(reg.Erase(block.data()));
+}
+
+TEST(MemoryRegistry, ClassifyCopy)
+{
+  vp::AllocInfo host;
+  vp::AllocInfo dev0;
+  dev0.Space = vp::MemSpace::Device;
+  dev0.Device = 0;
+  vp::AllocInfo dev1 = dev0;
+  dev1.Device = 1;
+
+  EXPECT_EQ(vp::ClassifyCopy(host, host), vp::CopyKind::HostToHost);
+  EXPECT_EQ(vp::ClassifyCopy(dev0, host), vp::CopyKind::HostToDevice);
+  EXPECT_EQ(vp::ClassifyCopy(host, dev0), vp::CopyKind::DeviceToHost);
+  EXPECT_EQ(vp::ClassifyCopy(dev1, dev0), vp::CopyKind::DeviceToDevice);
+  EXPECT_EQ(vp::ClassifyCopy(dev0, dev0), vp::CopyKind::OnDevice);
+}
+
+// --- platform memory -------------------------------------------------------------
+
+TEST_F(PlatformTest, AllocateTagsAndZeroInitializes)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  void *p = plat.Allocate(vp::MemSpace::Device, 1, 256, vp::PmKind::Cuda);
+  ASSERT_NE(p, nullptr);
+
+  vp::AllocInfo info;
+  ASSERT_TRUE(plat.Query(p, info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Device);
+  EXPECT_EQ(info.Device, 1);
+  EXPECT_EQ(info.Bytes, 256u);
+  EXPECT_EQ(info.Pm, vp::PmKind::Cuda);
+
+  // zero initialized
+  const char *c = static_cast<char *>(p);
+  for (int i = 0; i < 256; ++i)
+    ASSERT_EQ(c[i], 0);
+
+  EXPECT_EQ(plat.Registry().BytesIn(vp::MemSpace::Device, 1), 256u);
+  plat.Free(p);
+  EXPECT_EQ(plat.Registry().BytesIn(vp::MemSpace::Device, 1), 0u);
+}
+
+TEST_F(PlatformTest, FreeUnknownPointerThrows)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  int onStack = 0;
+  EXPECT_THROW(plat.Free(&onStack), vp::Error);
+  EXPECT_NO_THROW(plat.Free(nullptr));
+}
+
+TEST_F(PlatformTest, InvalidDeviceThrows)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  EXPECT_THROW(plat.Allocate(vp::MemSpace::Device, 7, 16, vp::PmKind::Cuda),
+               vp::Error);
+  EXPECT_THROW(plat.Allocate(vp::MemSpace::Device, -1, 16, vp::PmKind::Cuda),
+               vp::Error);
+  EXPECT_THROW(plat.DefaultStream(99), vp::Error);
+}
+
+TEST(PlatformLimits, DeviceMemoryLimitEnforced)
+{
+  vp::PlatformConfig cfg = DefaultConfig();
+  cfg.DeviceMemoryLimit = 1024;
+  vp::Platform::Initialize(cfg);
+  vp::Platform &plat = vp::Platform::Get();
+
+  void *a = plat.Allocate(vp::MemSpace::Device, 0, 800, vp::PmKind::Cuda);
+  EXPECT_THROW(plat.Allocate(vp::MemSpace::Device, 0, 800, vp::PmKind::Cuda),
+               vp::Error);
+  // a different device has its own budget
+  void *b = plat.Allocate(vp::MemSpace::Device, 1, 800, vp::PmKind::Cuda);
+  plat.Free(a);
+  plat.Free(b);
+
+  vp::Platform::Initialize(DefaultConfig());
+}
+
+TEST(PlatformLifecycle, InitializeWithLiveAllocationsThrows)
+{
+  vp::Platform::Initialize(DefaultConfig());
+  vp::Platform &plat = vp::Platform::Get();
+  void *p = plat.Allocate(vp::MemSpace::Host, vp::HostDevice, 64,
+                          vp::PmKind::None);
+  EXPECT_THROW(vp::Platform::Initialize(DefaultConfig()), vp::Error);
+  plat.Free(p);
+  EXPECT_NO_THROW(vp::Platform::Initialize(DefaultConfig()));
+}
+
+// --- kernels, copies, and virtual time ---------------------------------------------
+
+TEST_F(PlatformTest, KernelExecutesEagerly)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  std::vector<double> data(100, 0.0);
+  double *p = data.data();
+
+  vp::Stream s = plat.DefaultStream(0);
+  plat.LaunchKernel(
+    s, vp::KernelDesc{100, 1.0, 0.0, "fill"},
+    [p](std::size_t b, std::size_t e)
+    {
+      for (std::size_t i = b; i < e; ++i)
+        p[i] = 2.0;
+    });
+  plat.StreamSynchronize(s);
+
+  for (double v : data)
+    ASSERT_DOUBLE_EQ(v, 2.0);
+  EXPECT_GE(plat.Stats().KernelsLaunched, 1u);
+}
+
+TEST_F(PlatformTest, AsyncKernelAdvancesClockOnlyAtSync)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  const double launch = plat.Config().Cost.KernelLaunchLatency;
+
+  vp::Stream s = vp::Stream::New(0, 0);
+  const double t0 = vp::ThisClock().Now();
+
+  // a kernel with substantial virtual work
+  plat.LaunchKernel(s, vp::KernelDesc{1u << 20, 100.0, 0.0, "work"},
+                    nullptr);
+  const double afterSubmit = vp::ThisClock().Now();
+  // submit overhead only, far less than the kernel duration
+  EXPECT_LT(afterSubmit - t0, 1e-4);
+
+  plat.StreamSynchronize(s);
+  const double afterSync = vp::ThisClock().Now();
+  const double expected = (1u << 20) * 100.0 / plat.Config().Cost.DeviceOpRate;
+  EXPECT_GT(afterSync - t0, expected * 0.9);
+  EXPECT_GT(afterSync - t0, launch);
+}
+
+TEST_F(PlatformTest, StreamOrderSerializesOnEngine)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::Stream s1 = vp::Stream::New(0, 0);
+  vp::Stream s2 = vp::Stream::New(0, 0); // same device engine
+
+  const double t0 = vp::ThisClock().Now();
+  plat.LaunchKernel(s1, vp::KernelDesc{1u << 20, 100.0, 0.0, "a"}, nullptr);
+  plat.LaunchKernel(s2, vp::KernelDesc{1u << 20, 100.0, 0.0, "b"}, nullptr);
+  plat.StreamSynchronize(s1);
+  plat.StreamSynchronize(s2);
+
+  const double each = (1u << 20) * 100.0 / plat.Config().Cost.DeviceOpRate;
+  // both kernels share one compute engine: total is ~2x one kernel
+  EXPECT_GT(vp::ThisClock().Now() - t0, 1.9 * each);
+}
+
+TEST_F(PlatformTest, DifferentDevicesOverlap)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::Stream s1 = vp::Stream::New(0, 0);
+  vp::Stream s2 = vp::Stream::New(0, 1); // another engine
+
+  const double t0 = vp::ThisClock().Now();
+  plat.LaunchKernel(s1, vp::KernelDesc{1u << 20, 100.0, 0.0, "a"}, nullptr);
+  plat.LaunchKernel(s2, vp::KernelDesc{1u << 20, 100.0, 0.0, "b"}, nullptr);
+  plat.StreamSynchronize(s1);
+  plat.StreamSynchronize(s2);
+
+  const double each = (1u << 20) * 100.0 / plat.Config().Cost.DeviceOpRate;
+  // devices run concurrently: total stays near one kernel duration
+  EXPECT_LT(vp::ThisClock().Now() - t0, 1.5 * each);
+}
+
+TEST_F(PlatformTest, AtomicPenaltySlowsDeviceKernels)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::Stream s = vp::Stream::New(0, 0);
+  const double t0 = vp::ThisClock().Now();
+  plat.LaunchKernel(s, vp::KernelDesc{1u << 18, 10.0, 0.0, "streaming"},
+                    nullptr, true);
+  const double streaming = vp::ThisClock().Now() - t0;
+
+  const double t1 = vp::ThisClock().Now();
+  plat.LaunchKernel(s, vp::KernelDesc{1u << 18, 10.0, 1.0, "atomic"},
+                    nullptr, true);
+  const double atomic = vp::ThisClock().Now() - t1;
+
+  EXPECT_GT(atomic, 3.0 * streaming);
+}
+
+TEST_F(PlatformTest, CopyMovesBytesAndCountsKinds)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  plat.Stats().Reset();
+
+  const std::size_t n = 1000;
+  std::vector<double> host(n, 7.0);
+  auto *dev = static_cast<double *>(
+    plat.Allocate(vp::MemSpace::Device, 0, n * sizeof(double),
+                  vp::PmKind::Cuda));
+
+  plat.Copy(dev, host.data(), n * sizeof(double)); // H2D
+  std::vector<double> back(n, 0.0);
+  plat.Copy(back.data(), dev, n * sizeof(double)); // D2H
+
+  for (double v : back)
+    ASSERT_DOUBLE_EQ(v, 7.0);
+
+  EXPECT_EQ(plat.Stats().Copies(vp::CopyKind::HostToDevice), 1u);
+  EXPECT_EQ(plat.Stats().Copies(vp::CopyKind::DeviceToHost), 1u);
+  EXPECT_EQ(plat.Stats().Bytes(vp::CopyKind::HostToDevice),
+            n * sizeof(double));
+
+  plat.Free(dev);
+}
+
+TEST_F(PlatformTest, HostParallelForUsesPool)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  std::vector<int> marks(64, 0);
+  int *p = marks.data();
+  const double t0 = vp::ThisClock().Now();
+  plat.HostParallelFor(vp::KernelDesc{64, 1.0, 0.0, "host"},
+                       [p](std::size_t b, std::size_t e)
+                       {
+                         for (std::size_t i = b; i < e; ++i)
+                           p[i] = 1;
+                       });
+  EXPECT_GT(vp::ThisClock().Now(), t0);
+  for (int v : marks)
+    ASSERT_EQ(v, 1);
+  EXPECT_GE(plat.Stats().HostRegions, 1u);
+}
+
+TEST_F(PlatformTest, DeviceSynchronizeWaitsAllStreams)
+{
+  vp::Platform &plat = vp::Platform::Get();
+
+  vp::Stream s1 = vp::Stream::New(0, 2);
+  vp::Stream s2 = vp::Stream::New(0, 2);
+  plat.LaunchKernel(s1, vp::KernelDesc{1u << 18, 50.0, 0.0, "a"}, nullptr);
+  plat.LaunchKernel(s2, vp::KernelDesc{1u << 18, 50.0, 0.0, "b"}, nullptr);
+
+  plat.DeviceSynchronize(2);
+  const double now = vp::ThisClock().Now();
+  EXPECT_GE(now, s1.Get()->Completion());
+  EXPECT_GE(now, s2.Get()->Completion());
+}
+
+TEST_F(PlatformTest, TimingOnlyModeSkipsExecution)
+{
+  vp::PlatformConfig cfg = DefaultConfig();
+  cfg.ExecuteKernels = false;
+  vp::Platform::Initialize(cfg);
+  vp::Platform &plat = vp::Platform::Get();
+
+  std::vector<double> data(16, 0.0);
+  double *p = data.data();
+  vp::Stream s = plat.DefaultStream(0);
+  plat.LaunchKernel(
+    s, vp::KernelDesc{16, 1.0, 0.0, "skipped"},
+    [p](std::size_t b, std::size_t e)
+    {
+      for (std::size_t i = b; i < e; ++i)
+        p[i] = 5.0;
+    },
+    true);
+
+  for (double v : data)
+    ASSERT_DOUBLE_EQ(v, 0.0); // body did not run
+
+  vp::Platform::Initialize(DefaultConfig());
+}
+
+// --- scoped threads --------------------------------------------------------------
+
+TEST_F(PlatformTest, ScopedThreadPropagatesClock)
+{
+  vp::ThisClock().Advance(1.0);
+  const double parentAtSpawn = vp::ThisClock().Now();
+
+  double childStart = -1.0;
+  vp::ScopedThread t(
+    [&childStart]()
+    {
+      childStart = vp::ThisClock().Now();
+      vp::ThisClock().Advance(3.0);
+    });
+  t.Join();
+
+  // child starts at (or just after) the parent's spawn time
+  EXPECT_GE(childStart, parentAtSpawn);
+  EXPECT_LT(childStart, parentAtSpawn + 1e-3);
+  // parent merged the child's final time
+  EXPECT_GE(vp::ThisClock().Now(), childStart + 3.0);
+}
+
+TEST_F(PlatformTest, ScopedThreadJoinIsIdempotent)
+{
+  vp::ScopedThread t([]() { vp::ThisClock().Advance(0.5); });
+  t.Join();
+  EXPECT_NO_THROW(t.Join());
+  EXPECT_FALSE(t.Joinable());
+}
+
+// --- node binding -----------------------------------------------------------------
+
+TEST(PlatformNodes, MultiNodeResourcesAreIndependent)
+{
+  vp::PlatformConfig cfg = DefaultConfig();
+  cfg.NumNodes = 2;
+  vp::Platform::Initialize(cfg);
+  vp::Platform &plat = vp::Platform::Get();
+
+  EXPECT_EQ(plat.NumNodes(), 2);
+  // same device id on different nodes is a different engine
+  vp::Stream a = vp::Stream::New(0, 0);
+  vp::Stream b = vp::Stream::New(1, 0);
+  plat.LaunchKernel(a, vp::KernelDesc{1u << 20, 100.0, 0.0, "n0"}, nullptr);
+  plat.LaunchKernel(b, vp::KernelDesc{1u << 20, 100.0, 0.0, "n1"}, nullptr);
+
+  const double each = (1u << 20) * 100.0 / plat.Config().Cost.DeviceOpRate;
+  EXPECT_LT(std::max(a.Get()->Completion(), b.Get()->Completion()),
+            vp::ThisClock().Now() + 1.5 * each);
+
+  EXPECT_THROW(vp::Platform::SetThisNode(5), vp::Error);
+  vp::Platform::SetThisNode(1);
+  EXPECT_EQ(vp::Platform::GetThisNode(), 1);
+  vp::Platform::SetThisNode(0);
+
+  vp::Platform::Initialize(DefaultConfig());
+}

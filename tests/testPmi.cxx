@@ -1,0 +1,264 @@
+// Unit tests for the programming-model front ends: the CUDA-style vcuda
+// API and the OpenMP-target-style vomp API, including cross-PM pointer
+// interoperability through the shared platform registry.
+
+#include "vcuda.h"
+#include "vomp.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace
+{
+class PmiTest : public ::testing::Test
+{
+protected:
+  void SetUp() override
+  {
+    vp::PlatformConfig cfg;
+    cfg.DevicesPerNode = 4;
+    cfg.HostCoresPerNode = 8;
+    vp::Platform::Initialize(cfg);
+    vcuda::SetDevice(0);
+    vomp::SetDefaultDevice(0);
+  }
+};
+} // namespace
+
+// --- vcuda ---------------------------------------------------------------------
+
+TEST_F(PmiTest, CudaDeviceManagement)
+{
+  EXPECT_EQ(vcuda::GetDeviceCount(), 4);
+  vcuda::SetDevice(2);
+  EXPECT_EQ(vcuda::GetDevice(), 2);
+  EXPECT_THROW(vcuda::SetDevice(9), vp::Error);
+  vcuda::SetDevice(0);
+}
+
+TEST_F(PmiTest, CudaMallocTagsCurrentDevice)
+{
+  vcuda::SetDevice(3);
+  void *p = vcuda::Malloc(64);
+
+  vp::AllocInfo info;
+  ASSERT_TRUE(vp::Platform::Get().Query(p, info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Device);
+  EXPECT_EQ(info.Device, 3);
+  EXPECT_EQ(info.Pm, vp::PmKind::Cuda);
+
+  vcuda::Free(p);
+  vcuda::SetDevice(0);
+}
+
+TEST_F(PmiTest, CudaHostAndManagedSpaces)
+{
+  void *pinned = vcuda::MallocHost(64);
+  void *managed = vcuda::MallocManaged(64);
+
+  vp::AllocInfo info;
+  ASSERT_TRUE(vp::Platform::Get().Query(pinned, info));
+  EXPECT_EQ(info.Space, vp::MemSpace::HostPinned);
+  ASSERT_TRUE(vp::Platform::Get().Query(managed, info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Managed);
+
+  vcuda::Free(pinned);
+  vcuda::Free(managed);
+}
+
+TEST_F(PmiTest, CudaStreamOrderedRoundTrip)
+{
+  const std::size_t n = 256;
+  vcuda::SetDevice(1);
+  vcuda::stream_t strm = vcuda::StreamCreate();
+
+  auto *dev = static_cast<double *>(vcuda::MallocAsync(n * sizeof(double), strm));
+
+  std::vector<double> host(n);
+  for (std::size_t i = 0; i < n; ++i)
+    host[i] = static_cast<double>(i);
+
+  vcuda::MemcpyAsync(dev, host.data(), n * sizeof(double), strm);
+
+  // square on the device
+  vcuda::LaunchN(strm, n,
+                 [dev](std::size_t b, std::size_t e)
+                 {
+                   for (std::size_t i = b; i < e; ++i)
+                     dev[i] *= dev[i];
+                 });
+
+  std::vector<double> back(n, 0.0);
+  vcuda::MemcpyAsync(back.data(), dev, n * sizeof(double), strm);
+  vcuda::StreamSynchronize(strm);
+
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_DOUBLE_EQ(back[i], static_cast<double>(i) * static_cast<double>(i));
+
+  vcuda::FreeAsync(dev, strm);
+  vcuda::SetDevice(0);
+}
+
+TEST_F(PmiTest, CudaLaunchGridCoversExactlyN)
+{
+  const std::size_t n = 1000;
+  std::vector<int> hits(n + 28, 0); // slack to catch overruns
+  int *p = hits.data();
+
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  const std::size_t threads = 128;
+  const std::size_t blocks = n / threads + (n % threads ? 1 : 0);
+  vcuda::LaunchGrid(strm, blocks, threads, n,
+                    [p](std::size_t i) { p[i] += 1; });
+  vcuda::StreamSynchronize(strm);
+
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  for (std::size_t i = n; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i], 0) << "overrun at " << i;
+}
+
+TEST_F(PmiTest, CudaDeviceSynchronizeAdvancesClock)
+{
+  vcuda::SetDevice(0);
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  vcuda::LaunchN(strm, 1u << 20, nullptr,
+                 vcuda::LaunchBounds{100.0, 0.0, "work"});
+  const double before = vp::ThisClock().Now();
+  vcuda::DeviceSynchronize();
+  EXPECT_GT(vp::ThisClock().Now(), before);
+}
+
+// --- vomp ----------------------------------------------------------------------
+
+TEST_F(PmiTest, OmpDeviceIds)
+{
+  EXPECT_EQ(vomp::GetNumDevices(), 4);
+  EXPECT_EQ(vomp::GetInitialDevice(), 4);
+  EXPECT_TRUE(vomp::IsInitialDevice(4));
+  EXPECT_TRUE(vomp::IsInitialDevice(-1));
+  EXPECT_FALSE(vomp::IsInitialDevice(2));
+}
+
+TEST_F(PmiTest, OmpTargetAllocOnDeviceAndHost)
+{
+  void *dev = vomp::TargetAlloc(64, 2);
+  void *host = vomp::TargetAlloc(64, vomp::GetInitialDevice());
+
+  vp::AllocInfo info;
+  ASSERT_TRUE(vp::Platform::Get().Query(dev, info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Device);
+  EXPECT_EQ(info.Device, 2);
+  EXPECT_EQ(info.Pm, vp::PmKind::OpenMP);
+
+  ASSERT_TRUE(vp::Platform::Get().Query(host, info));
+  EXPECT_EQ(info.Space, vp::MemSpace::Host);
+
+  vomp::TargetFree(dev, 2);
+  vomp::TargetFree(host, vomp::GetInitialDevice());
+}
+
+TEST_F(PmiTest, OmpTargetMemcpyWithOffsets)
+{
+  const std::size_t n = 16;
+  auto *dev = static_cast<double *>(vomp::TargetAlloc(n * sizeof(double), 0));
+  std::vector<double> host(n);
+  for (std::size_t i = 0; i < n; ++i)
+    host[i] = static_cast<double>(i + 1);
+
+  // copy the second half of host into the first half of dev
+  ASSERT_EQ(vomp::TargetMemcpy(dev, host.data(), (n / 2) * sizeof(double), 0,
+                               (n / 2) * sizeof(double), 0,
+                               vomp::GetInitialDevice()),
+            0);
+
+  std::vector<double> back(n / 2, 0.0);
+  ASSERT_EQ(vomp::TargetMemcpy(back.data(), dev, (n / 2) * sizeof(double), 0,
+                               0, vomp::GetInitialDevice(), 0),
+            0);
+  for (std::size_t i = 0; i < n / 2; ++i)
+    ASSERT_DOUBLE_EQ(back[i], static_cast<double>(n / 2 + i + 1));
+
+  vomp::TargetFree(dev, 0);
+}
+
+TEST_F(PmiTest, OmpTargetParallelForSynchronous)
+{
+  const std::size_t n = 100;
+  auto *dev = static_cast<double *>(vomp::TargetAlloc(n * sizeof(double), 1));
+
+  const double t0 = vp::ThisClock().Now();
+  vomp::TargetParallelFor(1, n,
+                          [dev](std::size_t b, std::size_t e)
+                          {
+                            for (std::size_t i = b; i < e; ++i)
+                              dev[i] = -3.14;
+                          });
+  // synchronous: clock includes kernel duration (launch latency dominates)
+  EXPECT_GE(vp::ThisClock().Now() - t0,
+            vp::Platform::Get().Config().Cost.KernelLaunchLatency);
+
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_DOUBLE_EQ(dev[i], -3.14);
+
+  vomp::TargetFree(dev, 1);
+}
+
+TEST_F(PmiTest, OmpNowaitAndTaskwait)
+{
+  vomp::TargetParallelForNowait(0, 1u << 20, nullptr,
+                                vomp::TargetBounds{100.0, 0.0, "work"});
+  const double afterSubmit = vp::ThisClock().Now();
+  vomp::TargetTaskwait(0);
+  EXPECT_GT(vp::ThisClock().Now(), afterSubmit);
+}
+
+TEST_F(PmiTest, OmpHostFallback)
+{
+  const std::size_t n = 32;
+  std::vector<double> host(n, 0.0);
+  double *p = host.data();
+  vomp::TargetParallelFor(vomp::GetInitialDevice(), n,
+                          [p](std::size_t b, std::size_t e)
+                          {
+                            for (std::size_t i = b; i < e; ++i)
+                              p[i] = 1.0;
+                          });
+  for (double v : host)
+    ASSERT_DOUBLE_EQ(v, 1.0);
+}
+
+// --- PM interoperability ----------------------------------------------------------
+
+TEST_F(PmiTest, PointersInteroperateAcrossPms)
+{
+  // data allocated with the OpenMP PM on device 1, consumed by a CUDA
+  // kernel on device 1: same physical space, zero-copy (the scenario the
+  // paper's data model mediates)
+  const std::size_t n = 64;
+  auto *dev = static_cast<double *>(vomp::TargetAlloc(n * sizeof(double), 1));
+  vomp::TargetParallelFor(1, n,
+                          [dev](std::size_t b, std::size_t e)
+                          {
+                            for (std::size_t i = b; i < e; ++i)
+                              dev[i] = 2.0;
+                          });
+
+  vcuda::SetDevice(1);
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  vcuda::LaunchN(strm, n,
+                 [dev](std::size_t b, std::size_t e)
+                 {
+                   for (std::size_t i = b; i < e; ++i)
+                     dev[i] += 1.0;
+                 });
+  vcuda::StreamSynchronize(strm);
+
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_DOUBLE_EQ(dev[i], 3.0);
+
+  vomp::TargetFree(dev, 1);
+  vcuda::SetDevice(0);
+}

@@ -1,0 +1,513 @@
+// Unit tests for the SENSEI core: the AnalysisAdaptor execution-model
+// extensions (placement Eq. 1 as a parameterized sweep, execution
+// methods), TableAdaptor, Histogram back end on host and device, the
+// ConfigurableAnalysis XML front end, and the profiler.
+
+#include "senseiConfigurableAnalysis.h"
+#include "senseiDataAdaptor.h"
+#include "senseiHistogram.h"
+#include "senseiPosthocIO.h"
+#include "senseiProfiler.h"
+#include "svtkAOSDataArray.h"
+#include "svtkHAMRDataArray.h"
+#include "vcuda.h"
+#include "vomp.h"
+#include "vpPlatform.h"
+
+#include "sxml.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+
+using sensei::AnalysisAdaptor;
+
+namespace
+{
+void ResetPlatform(int devices = 4)
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = devices;
+  cfg.HostCoresPerNode = 8;
+  vp::Platform::Initialize(cfg);
+  vcuda::SetDevice(0);
+  vomp::SetDefaultDevice(0);
+}
+
+/// A trivial adaptor counting Execute calls, for base-class testing.
+class CountingAnalysis : public AnalysisAdaptor
+{
+public:
+  static CountingAnalysis *New() { return new CountingAnalysis; }
+  bool Execute(sensei::DataAdaptor *) override
+  {
+    ++this->Count;
+    return true;
+  }
+  int Count = 0;
+};
+
+svtkTable *MakeTable(std::size_t n, unsigned seed = 7)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+
+  svtkTable *t = svtkTable::New();
+  for (const char *name : {"x", "y", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+      c->SetVariantValue(i, 0, name[0] == 'm' ? 1.0 : u(gen));
+    t->AddColumn(c);
+    c->Delete();
+  }
+  return t;
+}
+} // namespace
+
+// --- placement: Eq. 1 ---------------------------------------------------------------
+
+struct PlacementCase
+{
+  int Rank, DevicesToUse, Stride, Start, Na, Expected;
+};
+
+class PlacementEq1 : public ::testing::TestWithParam<PlacementCase>
+{
+};
+
+TEST_P(PlacementEq1, MatchesFormula)
+{
+  const PlacementCase &c = GetParam();
+  CountingAnalysis *a = CountingAnalysis::New();
+  a->SetDevicesToUse(c.DevicesToUse);
+  a->SetDeviceStride(c.Stride);
+  a->SetDeviceStart(c.Start);
+  EXPECT_EQ(a->GetPlacementDevice(c.Rank, c.Na), c.Expected);
+  a->Delete();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Sweep, PlacementEq1,
+  ::testing::Values(
+    // defaults: n_u = n_a, s = 1, d0 = 0 -> d = r mod n_a
+    PlacementCase{0, 0, 1, 0, 4, 0}, PlacementCase{1, 0, 1, 0, 4, 1},
+    PlacementCase{5, 0, 1, 0, 4, 1}, PlacementCase{7, 0, 1, 0, 4, 3},
+    // the paper's 1-dedicated-device config: n_u=1, d0=3 -> always 3
+    PlacementCase{0, 1, 1, 3, 4, 3}, PlacementCase{1, 1, 1, 3, 4, 3},
+    PlacementCase{2, 1, 1, 3, 4, 3}, PlacementCase{299, 1, 1, 3, 4, 3},
+    // the 2-dedicated-devices config: n_u=2, d0=2 -> 2 or 3 paired by rank
+    PlacementCase{0, 2, 1, 2, 4, 2}, PlacementCase{1, 2, 1, 2, 4, 3},
+    PlacementCase{2, 2, 1, 2, 4, 2}, PlacementCase{3, 2, 1, 2, 4, 3},
+    // stride spreads ranks across devices
+    PlacementCase{1, 2, 2, 0, 4, 2}, PlacementCase{3, 4, 2, 1, 8, 7},
+    // wraparound through mod n_a
+    PlacementCase{3, 4, 2, 3, 4, 1}));
+
+TEST(Placement, ExplicitAndHostSelection)
+{
+  CountingAnalysis *a = CountingAnalysis::New();
+
+  a->SetDeviceId(2);
+  EXPECT_EQ(a->GetPlacementDevice(17, 4), 2);
+  a->SetDeviceId(6); // out of range ids wrap
+  EXPECT_EQ(a->GetPlacementDevice(0, 4), 2);
+
+  a->SetDeviceId(AnalysisAdaptor::DEVICE_HOST);
+  EXPECT_EQ(a->GetPlacementDevice(17, 4), AnalysisAdaptor::DEVICE_HOST);
+
+  a->SetDeviceId(AnalysisAdaptor::DEVICE_AUTO);
+  EXPECT_EQ(a->GetPlacementDevice(5, 0), AnalysisAdaptor::DEVICE_HOST)
+    << "no accelerators -> host";
+
+  a->Delete();
+}
+
+TEST(Placement, ExecutionMethodToggles)
+{
+  CountingAnalysis *a = CountingAnalysis::New();
+  EXPECT_EQ(a->GetExecutionMethod(), sensei::ExecutionMethod::Lockstep);
+  a->SetAsynchronous(true);
+  EXPECT_TRUE(a->GetAsynchronous());
+  a->SetExecutionMethod(sensei::ExecutionMethod::Lockstep);
+  EXPECT_FALSE(a->GetAsynchronous());
+  a->Delete();
+}
+
+// --- TableAdaptor ----------------------------------------------------------------------
+
+TEST(TableAdaptor, SharesTableZeroCopy)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(10);
+  da->SetTable(t);
+
+  EXPECT_EQ(da->GetMeshNames(), std::vector<std::string>{"bodies"});
+  svtkDataObject *mesh = da->GetMesh("bodies");
+  EXPECT_EQ(mesh, t); // the very same object
+  mesh->UnRegister();
+
+  EXPECT_EQ(da->GetMesh("wrong"), nullptr);
+
+  da->SetDataTime(1.5);
+  da->SetDataTimeStep(3);
+  EXPECT_DOUBLE_EQ(da->GetDataTime(), 1.5);
+  EXPECT_EQ(da->GetDataTimeStep(), 3);
+
+  da->ReleaseData();
+  EXPECT_EQ(da->GetMesh("bodies"), nullptr);
+
+  t->Delete();
+  da->Delete();
+}
+
+// --- Histogram -----------------------------------------------------------------------
+
+namespace
+{
+void CheckUniformHistogram(const std::vector<double> &counts, std::size_t n)
+{
+  double total = 0;
+  for (double c : counts)
+    total += c;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n));
+  // uniform data: every bin within 5 sigma of the mean
+  const double mean = total / static_cast<double>(counts.size());
+  for (double c : counts)
+    EXPECT_NEAR(c, mean, 5.0 * std::sqrt(mean));
+}
+} // namespace
+
+TEST(Histogram, HostAndDeviceAgree)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(20000);
+  da->SetTable(t);
+  t->Delete();
+
+  auto runWith = [da](int deviceId) -> std::vector<double>
+  {
+    sensei::Histogram *h = sensei::Histogram::New();
+    h->SetMeshName("bodies");
+    h->SetColumn("x");
+    h->SetBins(32);
+    h->SetDeviceId(deviceId);
+    EXPECT_TRUE(h->Execute(da));
+    std::vector<double> counts;
+    double lo = 0, hi = 0;
+    EXPECT_TRUE(h->GetLastResult(counts, lo, hi));
+    EXPECT_LT(lo, hi);
+    h->Delete();
+    return counts;
+  };
+
+  const std::vector<double> host = runWith(AnalysisAdaptor::DEVICE_HOST);
+  const std::vector<double> dev = runWith(2);
+  EXPECT_EQ(host, dev);
+  CheckUniformHistogram(host, 20000);
+
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Histogram, FixedRangeClampsOutliers)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(1000);
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::Histogram *h = sensei::Histogram::New();
+  h->SetMeshName("bodies");
+  h->SetColumn("x");
+  h->SetBins(4);
+  h->SetRange(-0.5, 0.5); // half the data is outside and clamps to edges
+  ASSERT_TRUE(h->Execute(da));
+
+  std::vector<double> counts;
+  double lo = 0, hi = 0;
+  ASSERT_TRUE(h->GetLastResult(counts, lo, hi));
+  EXPECT_DOUBLE_EQ(lo, -0.5);
+  EXPECT_DOUBLE_EQ(hi, 0.5);
+  double total = 0;
+  for (double c : counts)
+    total += c;
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+  // edge bins hold the clamped outliers
+  EXPECT_GT(counts.front(), counts[1]);
+  EXPECT_GT(counts.back(), counts[2]);
+
+  h->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Histogram, AsynchronousMatchesLockstep)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(5000);
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::Histogram *sync = sensei::Histogram::New();
+  sync->SetMeshName("bodies");
+  sync->SetColumn("x");
+  sync->SetBins(16);
+
+  sensei::Histogram *async = sensei::Histogram::New();
+  async->SetMeshName("bodies");
+  async->SetColumn("x");
+  async->SetBins(16);
+  async->SetAsynchronous(true);
+
+  ASSERT_TRUE(sync->Execute(da));
+  ASSERT_TRUE(async->Execute(da));
+  async->Finalize(); // drain the thread
+
+  std::vector<double> a, b;
+  double lo, hi;
+  ASSERT_TRUE(sync->GetLastResult(a, lo, hi));
+  ASSERT_TRUE(async->GetLastResult(b, lo, hi));
+  EXPECT_EQ(a, b);
+
+  sync->Delete();
+  async->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(Histogram, MultiRankReductionMatchesSerial)
+{
+  ResetPlatform();
+
+  // serial reference over the union of three per-rank tables
+  svtkTable *parts[3] = {MakeTable(1000, 61), MakeTable(1500, 62),
+                        MakeTable(500, 63)};
+  std::vector<double> ref(16, 0.0);
+  double lo = 1e300, hi = -1e300;
+  for (svtkTable *t : parts)
+    for (std::size_t i = 0; i < t->GetNumberOfRows(); ++i)
+    {
+      const double v = t->GetColumnByName("x")->GetVariantValue(i, 0);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  for (svtkTable *t : parts)
+    for (std::size_t i = 0; i < t->GetNumberOfRows(); ++i)
+    {
+      const double v = t->GetColumnByName("x")->GetVariantValue(i, 0);
+      long b = static_cast<long>((v - lo) / (hi - lo) * 16);
+      b = std::clamp(b, 0L, 15L);
+      ref[static_cast<std::size_t>(b)] += 1.0;
+    }
+
+  std::vector<double> got;
+  minimpi::Run(3,
+               [&](minimpi::Communicator &comm)
+               {
+                 sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+                 da->SetTable(parts[comm.Rank()]);
+                 da->SetCommunicator(&comm);
+
+                 sensei::Histogram *h = sensei::Histogram::New();
+                 h->SetMeshName("bodies");
+                 h->SetColumn("x");
+                 h->SetBins(16);
+                 EXPECT_TRUE(h->Execute(da));
+
+                 if (comm.Rank() == 0)
+                 {
+                   double l, u;
+                   EXPECT_TRUE(h->GetLastResult(got, l, u));
+                   EXPECT_DOUBLE_EQ(l, lo);
+                   EXPECT_DOUBLE_EQ(u, hi);
+                 }
+                 h->Delete();
+                 da->ReleaseData();
+                 da->Delete();
+               });
+
+  EXPECT_EQ(got, ref);
+  for (svtkTable *t : parts)
+    t->Delete();
+}
+
+TEST(Histogram, MissingColumnFailsGracefully)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(10);
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::Histogram *h = sensei::Histogram::New();
+  h->SetMeshName("bodies");
+  h->SetColumn("nonexistent");
+  EXPECT_FALSE(h->Execute(da));
+  h->SetColumn("");
+  EXPECT_FALSE(h->Execute(da));
+  h->SetMeshName("wrong");
+  h->SetColumn("x");
+  EXPECT_FALSE(h->Execute(da));
+
+  h->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+// --- ConfigurableAnalysis ----------------------------------------------------------------
+
+TEST(ConfigurableAnalysis, BuildsChainFromXml)
+{
+  ResetPlatform();
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  ca->InitializeString(R"(<sensei>
+    <analysis type="histogram" mesh="bodies" column="x" bins="8"
+              device="host" async="1"/>
+    <analysis type="histogram" mesh="bodies" column="y" bins="16"
+              device="2"/>
+    <analysis type="histogram" mesh="bodies" column="m" enabled="0"/>
+    <analysis type="data_binning" mesh="bodies" axes="x,y"
+              resolution="32,32" ops="sum" values="m"
+              device="auto" devices_to_use="1" device_start="3"/>
+  </sensei>)");
+
+  ASSERT_EQ(ca->GetNumberOfAnalyses(), 3); // the disabled one is skipped
+
+  AnalysisAdaptor *h0 = ca->GetAnalysis(0);
+  EXPECT_STREQ(h0->GetClassName(), "sensei::Histogram");
+  EXPECT_TRUE(h0->GetAsynchronous());
+  EXPECT_EQ(h0->GetDeviceId(), AnalysisAdaptor::DEVICE_HOST);
+
+  AnalysisAdaptor *h1 = ca->GetAnalysis(1);
+  EXPECT_EQ(h1->GetDeviceId(), 2);
+  EXPECT_FALSE(h1->GetAsynchronous());
+
+  AnalysisAdaptor *b = ca->GetAnalysis(2);
+  EXPECT_STREQ(b->GetClassName(), "sensei::DataBinning");
+  EXPECT_EQ(b->GetDeviceId(), AnalysisAdaptor::DEVICE_AUTO);
+  EXPECT_EQ(b->GetDevicesToUse(), 1);
+  EXPECT_EQ(b->GetDeviceStart(), 3);
+  EXPECT_EQ(b->GetPlacementDevice(1, 4), 3);
+
+  EXPECT_EQ(ca->GetAnalysis(7), nullptr);
+  ca->Delete();
+}
+
+TEST(ConfigurableAnalysis, ExecutesAllBackEnds)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(2000);
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  ca->InitializeString(R"(<sensei>
+    <analysis type="histogram" mesh="bodies" column="x" bins="8"/>
+    <analysis type="histogram" mesh="bodies" column="y" bins="8"/>
+  </sensei>)");
+
+  EXPECT_TRUE(ca->Execute(da));
+  EXPECT_EQ(ca->Finalize(), 0);
+
+  std::vector<double> counts;
+  double lo, hi;
+  auto *h = dynamic_cast<sensei::Histogram *>(ca->GetAnalysis(1));
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->GetLastResult(counts, lo, hi));
+
+  ca->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+TEST(ConfigurableAnalysis, RejectsBadConfigs)
+{
+  ResetPlatform();
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  EXPECT_THROW(ca->InitializeString("<wrong/>"), std::runtime_error);
+  EXPECT_THROW(ca->InitializeString(
+                 "<sensei><analysis type='bogus'/></sensei>"),
+               std::runtime_error);
+  EXPECT_THROW(ca->InitializeString(
+                 "<sensei><analysis type='data_binning' axes='x' "
+                 "range_0='1'/></sensei>"),
+               std::runtime_error);
+  EXPECT_THROW(ca->InitializeString("not xml"), sxml::ParseError);
+  ca->Delete();
+}
+
+// --- PosthocIO -----------------------------------------------------------------------
+
+TEST(PosthocIO, WritesAtConfiguredFrequency)
+{
+  ResetPlatform();
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+  svtkTable *t = MakeTable(8);
+  da->SetTable(t);
+  t->Delete();
+
+  sensei::PosthocIO *io = sensei::PosthocIO::New();
+  io->SetMeshName("bodies");
+  io->SetOutputDir(::testing::TempDir());
+  io->SetPrefix("ph_test");
+  io->SetFrequency(2);
+
+  for (long s = 0; s < 4; ++s)
+  {
+    da->SetDataTimeStep(s);
+    EXPECT_TRUE(io->Execute(da));
+  }
+  io->Finalize();
+  EXPECT_EQ(io->GetWriteCount(), 2); // steps 0 and 2
+
+  for (long s : {0L, 2L})
+  {
+    const std::string f =
+      ::testing::TempDir() + "/ph_test_r0_s" + std::to_string(s) + ".csv";
+    std::ifstream check(f);
+    EXPECT_TRUE(check.good()) << f;
+    std::remove(f.c_str());
+  }
+
+  io->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+// --- profiler -------------------------------------------------------------------------
+
+TEST(Profiler, AccumulatesAndSummarizes)
+{
+  sensei::Profiler p;
+  p.Event("solver", 2.0);
+  p.Event("solver", 4.0);
+  p.Event("insitu", 1.0);
+
+  EXPECT_DOUBLE_EQ(p.Total("solver"), 6.0);
+  EXPECT_EQ(p.Count("solver"), 2);
+  EXPECT_DOUBLE_EQ(p.Mean("solver"), 3.0);
+  EXPECT_DOUBLE_EQ(p.Max("solver"), 4.0);
+  EXPECT_DOUBLE_EQ(p.Total("unknown"), 0.0);
+  EXPECT_EQ(p.Names(), (std::vector<std::string>{"insitu", "solver"}));
+
+  p.Clear();
+  EXPECT_EQ(p.Count("solver"), 0);
+}
+
+TEST(Profiler, ScopedEventMeasuresVirtualTime)
+{
+  sensei::Profiler p;
+  {
+    sensei::ScopedEvent ev(p, "span");
+    vp::ThisClock().Advance(1.5);
+  }
+  EXPECT_DOUBLE_EQ(p.Total("span"), 1.5);
+}

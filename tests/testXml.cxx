@@ -1,0 +1,105 @@
+// Unit tests for the minimal XML parser behind SENSEI's run-time
+// configuration.
+
+#include "sxml.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+TEST(Xml, ParsesElementsAttributesText)
+{
+  auto root = sxml::Parse(R"(<?xml version="1.0"?>
+<sensei version='2'>
+  <!-- a comment -->
+  <analysis type="data_binning" enabled="1">hello</analysis>
+  <analysis type="histogram" bins="64"/>
+</sensei>)");
+
+  EXPECT_EQ(root->Name(), "sensei");
+  EXPECT_EQ(root->Attribute("version"), "2");
+  ASSERT_EQ(root->Children().size(), 2u);
+
+  const sxml::Element *a = root->FirstChild("analysis");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->Attribute("type"), "data_binning");
+  EXPECT_TRUE(a->AttributeBool("enabled"));
+  EXPECT_EQ(a->Text(), "hello");
+
+  auto all = root->ChildrenNamed("analysis");
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1]->AttributeInt("bins"), 64);
+}
+
+TEST(Xml, TypedAttributeFallbacks)
+{
+  auto root = sxml::Parse(R"(<e i="42" d="2.5" b="true" junk="zz"/>)");
+  EXPECT_EQ(root->AttributeInt("i"), 42);
+  EXPECT_EQ(root->AttributeInt("missing", -7), -7);
+  EXPECT_EQ(root->AttributeInt("junk", -7), -7);
+  EXPECT_DOUBLE_EQ(root->AttributeDouble("d"), 2.5);
+  EXPECT_DOUBLE_EQ(root->AttributeDouble("missing", 0.5), 0.5);
+  EXPECT_TRUE(root->AttributeBool("b"));
+  EXPECT_FALSE(root->AttributeBool("missing", false));
+  EXPECT_TRUE(root->AttributeBool("junk", true));
+  EXPECT_FALSE(root->HasAttribute("nope"));
+}
+
+TEST(Xml, EntitiesDecode)
+{
+  auto root = sxml::Parse(R"(<e a="&lt;&gt;&amp;&quot;&apos;">x &amp; y</e>)");
+  EXPECT_EQ(root->Attribute("a"), "<>&\"'");
+  EXPECT_EQ(root->Text(), "x & y");
+}
+
+TEST(Xml, NestedStructure)
+{
+  auto root = sxml::Parse("<a><b><c k='v'/></b><b/></a>");
+  EXPECT_EQ(root->ChildrenNamed("b").size(), 2u);
+  const sxml::Element *c = root->FirstChild("b")->FirstChild("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Attribute("k"), "v");
+}
+
+TEST(Xml, ErrorsCarryLineNumbers)
+{
+  try
+  {
+    sxml::Parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  }
+  catch (const sxml::ParseError &e)
+  {
+    EXPECT_EQ(e.Line(), 3);
+  }
+
+  EXPECT_THROW(sxml::Parse("<a"), sxml::ParseError);
+  EXPECT_THROW(sxml::Parse("<a attr=unquoted/>"), sxml::ParseError);
+  EXPECT_THROW(sxml::Parse("<a/><b/>"), sxml::ParseError);
+  EXPECT_THROW(sxml::Parse("<a>&bogus;</a>"), sxml::ParseError);
+}
+
+TEST(Xml, SerializeRoundTrip)
+{
+  const std::string doc =
+    "<sensei><analysis type=\"histogram\" bins=\"8\"/></sensei>";
+  auto root = sxml::Parse(doc);
+  auto again = sxml::Parse(sxml::Serialize(*root));
+  EXPECT_EQ(again->Name(), "sensei");
+  EXPECT_EQ(again->FirstChild("analysis")->AttributeInt("bins"), 8);
+}
+
+TEST(Xml, ParseFile)
+{
+  const std::string path = ::testing::TempDir() + "/sxml_test.xml";
+  {
+    std::ofstream f(path);
+    f << "<sensei><analysis type='x'/></sensei>";
+  }
+  auto root = sxml::ParseFile(path);
+  EXPECT_EQ(root->FirstChild("analysis")->Attribute("type"), "x");
+  std::remove(path.c_str());
+
+  EXPECT_THROW(sxml::ParseFile("/nonexistent/file.xml"), std::runtime_error);
+}
