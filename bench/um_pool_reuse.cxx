@@ -1,0 +1,256 @@
+// Microbenchmark / ablation: the stream-ordered caching memory pool
+// (src/pool) against per-use platform allocation, driven by a
+// binning-style in situ iteration — per-pass device views of host-owned
+// columns (each one allocates a movement temporary) plus stream-ordered
+// scratch grids, repeated every step with identical sizes. Reported
+// "time" is virtual seconds from the platform's discrete-event clock
+// (UseManualTime).
+//
+// Beyond the google-benchmark output, main() runs a fixed-shape pooled
+// vs non-pooled campaign and writes BENCH_pool.json into the working
+// directory (scripts/run_campaign.sh collects it under results/):
+// per-iteration virtual timings, the pool counter block (hit rate,
+// cached bytes, fragmentation, trims), and the profiler dump.
+
+#include "hamrBuffer.h"
+#include "senseiProfiler.h"
+#include "vcuda.h"
+#include "vpMemoryPool.h"
+#include "vpPlatform.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using hamr::allocator;
+using hamr::buffer;
+
+namespace
+{
+constexpr std::size_t kColumnElems = 4096; // per-column payload
+constexpr long kBins = 1024;               // scratch grid resolution
+constexpr int kOpsPerStep = 30;            // binned passes per step
+
+void Reset(bool pooled)
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  vp::Platform::Initialize(cfg);
+  vcuda::SetDevice(0);
+
+  vp::PoolConfig pool;
+  pool.Enabled = pooled;
+  vp::PoolManager::Get().Configure(pool);
+  vp::PoolManager::Get().ResetStats();
+}
+
+double Elapsed(double t0)
+{
+  return vp::ThisClock().Now() - t0;
+}
+
+/// One binning-style in situ step: every op takes device views of the
+/// three host-owned columns (x, y, value), allocates stream-ordered
+/// scratch for the grid, runs the binning kernel, and releases
+/// everything — the same sizes every time, which is exactly the pattern
+/// a caching pool serves.
+double BinningStep(buffer<double> &x, buffer<double> &y, buffer<double> &v,
+                   const vcuda::stream_t &strm)
+{
+  const double t0 = vp::ThisClock().Now();
+  for (int op = 0; op < kOpsPerStep; ++op)
+  {
+    auto dx = x.get_device_accessible(0);
+    auto dy = y.get_device_accessible(0);
+    auto dv = v.get_device_accessible(0);
+
+    auto *cnt = static_cast<double *>(
+      vcuda::MallocAsync(kBins * sizeof(double), strm));
+    auto *grid = static_cast<double *>(
+      vcuda::MallocAsync(kBins * sizeof(double), strm));
+
+    const double *px = dx.get();
+    const double *pv = dv.get();
+    vcuda::LaunchBounds bounds;
+    bounds.OpsPerElement = 8.0;
+    bounds.AtomicFraction = 0.1;
+    bounds.Name = "pool_bench_bin";
+    vcuda::LaunchN(strm, kColumnElems,
+                   [px, pv, cnt, grid](std::size_t b, std::size_t e)
+                   {
+                     for (std::size_t i = b; i < e; ++i)
+                     {
+                       const auto bin = static_cast<std::size_t>(px[i]) %
+                                        static_cast<std::size_t>(kBins);
+                       cnt[bin] += 1.0;
+                       grid[bin] += pv[i];
+                     }
+                   },
+                   bounds);
+
+    vcuda::FreeAsync(cnt, strm);
+    vcuda::FreeAsync(grid, strm);
+  }
+  vcuda::StreamSynchronize(strm);
+  return vp::ThisClock().Now() - t0;
+}
+
+struct CampaignResult
+{
+  std::vector<double> StepSeconds;
+  double TotalSeconds = 0.0;
+  vp::PoolStats Pool;
+};
+
+CampaignResult RunCampaign(bool pooled, int nSteps)
+{
+  Reset(pooled);
+  buffer<double> x(allocator::malloc_, kColumnElems, 1.0);
+  buffer<double> y(allocator::malloc_, kColumnElems, 2.0);
+  buffer<double> v(allocator::malloc_, kColumnElems, 3.0);
+  vcuda::stream_t strm = vcuda::StreamCreate();
+
+  CampaignResult res;
+  res.StepSeconds.reserve(static_cast<std::size_t>(nSteps));
+  for (int s = 0; s < nSteps; ++s)
+  {
+    sensei::ScopedEvent ev(pooled ? "pool_bench::step_pooled"
+                                  : "pool_bench::step_unpooled");
+    const double dt = BinningStep(x, y, v, strm);
+    res.StepSeconds.push_back(dt);
+    res.TotalSeconds += dt;
+  }
+  res.Pool = vp::PoolManager::Get().AggregateStats();
+  return res;
+}
+
+void WriteJson(const CampaignResult &unpooled, const CampaignResult &pooled,
+               const std::string &path)
+{
+  auto meanOf = [](const CampaignResult &r)
+  {
+    return r.StepSeconds.empty()
+             ? 0.0
+             : r.TotalSeconds / static_cast<double>(r.StepSeconds.size());
+  };
+  auto series = [](const std::vector<double> &v)
+  {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+    {
+      if (i)
+        out += ',';
+      out += std::to_string(v[i]);
+    }
+    out += ']';
+    return out;
+  };
+
+  const double mu = meanOf(unpooled);
+  const double mp = meanOf(pooled);
+
+  std::ofstream os(path);
+  os.precision(12);
+  os << "{\n"
+     << "  \"bench\": \"um_pool_reuse\",\n"
+     << "  \"column_elems\": " << kColumnElems << ",\n"
+     << "  \"bins\": " << kBins << ",\n"
+     << "  \"ops_per_step\": " << kOpsPerStep << ",\n"
+     << "  \"steps\": " << unpooled.StepSeconds.size() << ",\n"
+     << "  \"unpooled\": {\n"
+     << "    \"mean_step_seconds\": " << mu << ",\n"
+     << "    \"total_seconds\": " << unpooled.TotalSeconds << ",\n"
+     << "    \"step_seconds\": " << series(unpooled.StepSeconds) << "\n"
+     << "  },\n"
+     << "  \"pooled\": {\n"
+     << "    \"mean_step_seconds\": " << mp << ",\n"
+     << "    \"total_seconds\": " << pooled.TotalSeconds << ",\n"
+     << "    \"step_seconds\": " << series(pooled.StepSeconds) << ",\n"
+     << "    \"pool\": {\n"
+     << "      \"hits\": " << pooled.Pool.Hits << ",\n"
+     << "      \"misses\": " << pooled.Pool.Misses << ",\n"
+     << "      \"frees\": " << pooled.Pool.Frees << ",\n"
+     << "      \"trims\": " << pooled.Pool.Trims << ",\n"
+     << "      \"hit_rate\": " << pooled.Pool.HitRate() << ",\n"
+     << "      \"bytes_cached\": " << pooled.Pool.BytesCached << ",\n"
+     << "      \"peak_bytes_cached\": " << pooled.Pool.PeakBytesCached
+     << ",\n"
+     << "      \"fragmentation\": " << pooled.Pool.Fragmentation() << "\n"
+     << "    }\n"
+     << "  },\n"
+     << "  \"mean_step_speedup\": " << (mp > 0.0 ? mu / mp : 0.0) << ",\n"
+     << "  \"profiler\": " << sensei::Profiler::Global().ToJson() << "\n"
+     << "}\n";
+}
+} // namespace
+
+static void BM_BinningIteration_Unpooled(benchmark::State &state)
+{
+  Reset(false);
+  buffer<double> x(allocator::malloc_, kColumnElems, 1.0);
+  buffer<double> y(allocator::malloc_, kColumnElems, 2.0);
+  buffer<double> v(allocator::malloc_, kColumnElems, 3.0);
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  for (auto _ : state)
+    state.SetIterationTime(BinningStep(x, y, v, strm));
+  state.SetLabel("per-use platform allocation");
+}
+BENCHMARK(BM_BinningIteration_Unpooled)->UseManualTime();
+
+static void BM_BinningIteration_Pooled(benchmark::State &state)
+{
+  Reset(true);
+  buffer<double> x(allocator::malloc_, kColumnElems, 1.0);
+  buffer<double> y(allocator::malloc_, kColumnElems, 2.0);
+  buffer<double> v(allocator::malloc_, kColumnElems, 3.0);
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  // warm the cache so steady-state reuse is what gets measured
+  BinningStep(x, y, v, strm);
+  for (auto _ : state)
+    state.SetIterationTime(BinningStep(x, y, v, strm));
+  const vp::PoolStats s = vp::PoolManager::Get().AggregateStats();
+  state.SetLabel("pool hit rate " + std::to_string(s.HitRate()));
+}
+BENCHMARK(BM_BinningIteration_Pooled)->UseManualTime();
+
+static void BM_ExplicitPoolAllocator(benchmark::State &state)
+{
+  Reset(false); // explicit pool allocators pool regardless of Enabled
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    buffer<double> b(allocator::pool_device, n);
+    benchmark::DoNotOptimize(b.data());
+    state.SetIterationTime(Elapsed(t0));
+  }
+  state.SetLabel("hamr::allocator::pool_device alloc+free");
+}
+BENCHMARK(BM_ExplicitPoolAllocator)->Arg(1 << 16)->UseManualTime();
+
+int main(int argc, char **argv)
+{
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // fixed-shape campaign for BENCH_pool.json
+  constexpr int nSteps = 50;
+  sensei::Profiler::Global().Clear();
+  const CampaignResult unpooled = RunCampaign(false, nSteps);
+  const CampaignResult pooled = RunCampaign(true, nSteps);
+  WriteJson(unpooled, pooled, "BENCH_pool.json");
+
+  const double mu =
+    unpooled.TotalSeconds / static_cast<double>(nSteps);
+  const double mp = pooled.TotalSeconds / static_cast<double>(nSteps);
+  std::printf("BENCH_pool.json: unpooled %.3e s/step, pooled %.3e s/step "
+              "(%.2fx), hit rate %.3f\n",
+              mu, mp, mp > 0.0 ? mu / mp : 0.0, pooled.Pool.HitRate());
+  return 0;
+}

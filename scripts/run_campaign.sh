@@ -31,6 +31,12 @@ for b in ../build/bench/um_*; do
   "$b" --benchmark_min_time=0.05 | tee "$name.txt"
 done
 
+# um_pool_reuse additionally writes the pooled-vs-unpooled campaign
+# (per-iteration virtual timings + pool hit rate) as machine-readable JSON
+if [ -f BENCH_pool.json ]; then
+  echo "wrote results/BENCH_pool.json"
+fi
+
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp
   echo "wrote results/fig2.png, results/fig3.png"

@@ -6,6 +6,7 @@
 #include "senseiHistogram.h"
 #include "senseiPosthocIO.h"
 #include "sxml.h"
+#include "vpMemoryPool.h"
 
 #include <sstream>
 #include <stdexcept>
@@ -55,6 +56,24 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
   if (root.Name() != "sensei")
     throw std::runtime_error(
       "ConfigurableAnalysis: document element must be <sensei>");
+
+  // optional <pool> element configures the stream-ordered caching
+  // allocator shared by all analyses in this run
+  if (const sxml::Element *pe = root.FirstChild("pool"))
+  {
+    vp::PoolConfig cfg = vp::PoolManager::Get().Config();
+    cfg.Enabled = pe->AttributeBool("enabled", cfg.Enabled);
+    cfg.MaxCachedBytes = static_cast<std::size_t>(pe->AttributeInt(
+      "max_cached_bytes", static_cast<long long>(cfg.MaxCachedBytes)));
+    cfg.TrimThreshold = pe->AttributeDouble("trim_threshold",
+                                            cfg.TrimThreshold);
+    cfg.MinBlockBytes = static_cast<std::size_t>(pe->AttributeInt(
+      "min_block_bytes", static_cast<long long>(cfg.MinBlockBytes)));
+    if (cfg.TrimThreshold < 0.0 || cfg.TrimThreshold > 1.0)
+      throw std::runtime_error(
+        "ConfigurableAnalysis: <pool> trim_threshold must be in [0,1]");
+    vp::PoolManager::Get().Configure(cfg);
+  }
 
   for (const sxml::Element *el : root.ChildrenNamed("analysis"))
   {

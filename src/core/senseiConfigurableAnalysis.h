@@ -10,6 +10,8 @@
 /// <analysis> element:
 ///
 ///   <sensei>
+///     <pool enabled="1" max_cached_bytes="268435456"
+///           trim_threshold="0.5"/>
 ///     <analysis type="data_binning" mesh="bodies"
 ///               axes="x,y" resolution="256,256"
 ///               ops="sum" values="m"

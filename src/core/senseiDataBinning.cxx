@@ -220,7 +220,7 @@ bool DataBinning::Execute(DataAdaptor *data)
 
   if (this->GetAsynchronous())
   {
-    ScopedEvent ev(Profiler::Global(), "binning::execute_async_visible");
+    ScopedEvent ev("binning::execute_async_visible");
 
     if (!this->AsyncComm_ && data->GetCommunicator())
       this->AsyncComm_.emplace(data->GetCommunicator()->Dup());
@@ -234,7 +234,7 @@ bool DataBinning::Execute(DataAdaptor *data)
     return true;
   }
 
-  ScopedEvent ev(Profiler::Global(), "binning::execute_lockstep");
+  ScopedEvent ev("binning::execute_lockstep");
   Snapshot snap;
   if (!this->GatherInputs(data, /*deepCopy=*/false, snap))
     return false;
@@ -313,7 +313,7 @@ void PointerRange(const double *p, std::size_t n, int device, double &lo,
 
 void DataBinning::RunBinning(const Snapshot &snap)
 {
-  ScopedEvent ev(Profiler::Global(), "binning::run");
+  ScopedEvent ev("binning::run");
 
   const std::size_t nAxes = this->Axes_.size();
   const std::size_t nBlocks = snap.Blocks.size();

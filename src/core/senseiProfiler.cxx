@@ -1,5 +1,9 @@
 #include "senseiProfiler.h"
 
+#include "vpMemoryPool.h"
+
+#include <sstream>
+
 namespace sensei
 {
 
@@ -7,6 +11,59 @@ Profiler &Profiler::Global()
 {
   static Profiler instance;
   return instance;
+}
+
+std::string Profiler::ToJson() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+
+  auto quote = [](const std::string &s)
+  {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s)
+    {
+      if (c == '"' || c == '\\')
+        out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"events\":{";
+  bool first = true;
+  for (const auto &kv : this->Series_)
+  {
+    if (!first)
+      os << ',';
+    first = false;
+    const Stats &s = kv.second;
+    const double mean =
+      s.Count ? s.Total / static_cast<double>(s.Count) : 0.0;
+    os << quote(kv.first) << ":{\"count\":" << s.Count
+       << ",\"total\":" << s.Total << ",\"mean\":" << mean
+       << ",\"max\":" << s.Max << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+void ExportPoolStats(Profiler &prof)
+{
+  const vp::PoolStats s = vp::PoolManager::Get().AggregateStats();
+  prof.Event("pool::hits", static_cast<double>(s.Hits));
+  prof.Event("pool::misses", static_cast<double>(s.Misses));
+  prof.Event("pool::frees", static_cast<double>(s.Frees));
+  prof.Event("pool::trims", static_cast<double>(s.Trims));
+  prof.Event("pool::hit_rate", s.HitRate());
+  prof.Event("pool::bytes_cached", static_cast<double>(s.BytesCached));
+  prof.Event("pool::peak_bytes_cached",
+             static_cast<double>(s.PeakBytesCached));
+  prof.Event("pool::fragmentation", s.Fragmentation());
 }
 
 } // namespace sensei

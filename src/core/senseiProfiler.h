@@ -83,6 +83,10 @@ public:
     this->Series_.clear();
   }
 
+  /// Serialize every event as JSON:
+  /// {"events":{"name":{"count":N,"total":T,"mean":M,"max":X},...}}
+  std::string ToJson() const;
+
   /// The process-wide profiler instance.
   static Profiler &Global();
 
@@ -108,6 +112,12 @@ public:
   {
   }
 
+  /// Record into Profiler::Global().
+  explicit ScopedEvent(std::string name)
+    : ScopedEvent(Profiler::Global(), std::move(name))
+  {
+  }
+
   ~ScopedEvent()
   {
     this->Prof_.Event(this->Name_, vp::ThisClock().Now() - this->Begin_);
@@ -121,6 +131,13 @@ private:
   std::string Name_;
   double Begin_;
 };
+
+/// Record the memory-pool counters (vp::PoolManager::AggregateStats) as
+/// profiler events: pool::hits, pool::misses, pool::frees, pool::trims,
+/// pool::hit_rate, pool::bytes_cached, pool::peak_bytes_cached,
+/// pool::fragmentation. Counts are recorded as event totals so they ride
+/// along in ToJson() next to the timing data.
+void ExportPoolStats(Profiler &prof);
 
 } // namespace sensei
 

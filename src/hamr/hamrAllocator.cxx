@@ -19,6 +19,8 @@ const char *to_string(allocator a)
     case allocator::hip_async: return "hip_async";
     case allocator::sycl_device: return "sycl_device";
     case allocator::sycl_shared: return "sycl_shared";
+    case allocator::pool_device: return "pool_device";
+    case allocator::pool_host_pinned: return "pool_host_pinned";
   }
   return "unknown";
 }

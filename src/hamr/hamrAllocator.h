@@ -28,7 +28,10 @@ enum class allocator : int
   hip,          ///< device memory, synchronous allocation (vhip)
   hip_async,    ///< device memory, stream-ordered allocation (vhip)
   sycl_device,  ///< USM device memory (vsycl) — the paper's future work
-  sycl_shared   ///< USM shared memory (vsycl), host + device addressable
+  sycl_shared,  ///< USM shared memory (vsycl), host + device addressable
+  pool_device,  ///< device memory from the stream-ordered caching pool
+                ///< (vp::MemoryPool; cudaMallocFromPoolAsync semantics)
+  pool_host_pinned ///< page-locked host memory from the caching pool
 };
 
 /// True when storage from `a` can be dereferenced on the host without
@@ -37,7 +40,7 @@ constexpr bool host_accessible(allocator a)
 {
   return a == allocator::malloc_ || a == allocator::cpp ||
          a == allocator::host_pinned || a == allocator::managed ||
-         a == allocator::sycl_shared;
+         a == allocator::sycl_shared || a == allocator::pool_host_pinned;
 }
 
 /// True when storage from `a` can be dereferenced on some device without
@@ -47,14 +50,23 @@ constexpr bool device_accessible(allocator a)
   return a == allocator::device || a == allocator::device_async ||
          a == allocator::managed || a == allocator::openmp ||
          a == allocator::hip || a == allocator::hip_async ||
-         a == allocator::sycl_device || a == allocator::sycl_shared;
+         a == allocator::sycl_device || a == allocator::sycl_shared ||
+         a == allocator::pool_device;
 }
 
 /// True for stream-ordered allocators that require a stream at
 /// construction.
 constexpr bool asynchronous(allocator a)
 {
-  return a == allocator::device_async || a == allocator::hip_async;
+  return a == allocator::device_async || a == allocator::hip_async ||
+         a == allocator::pool_device || a == allocator::pool_host_pinned;
+}
+
+/// True for allocators whose storage is managed by the caching memory
+/// pool (vp::MemoryPool) rather than allocated and freed per use.
+constexpr bool pooled(allocator a)
+{
+  return a == allocator::pool_device || a == allocator::pool_host_pinned;
 }
 
 /// The PM that owns storage from `a`.
@@ -66,6 +78,8 @@ constexpr vp::PmKind pm_of(allocator a)
     case allocator::device:
     case allocator::device_async:
     case allocator::managed:
+    case allocator::pool_device:
+    case allocator::pool_host_pinned:
       return vp::PmKind::Cuda;
     case allocator::openmp:
       return vp::PmKind::OpenMP;
@@ -86,6 +100,7 @@ constexpr vp::MemSpace space_of(allocator a)
   switch (a)
   {
     case allocator::host_pinned:
+    case allocator::pool_host_pinned:
       return vp::MemSpace::HostPinned;
     case allocator::device:
     case allocator::device_async:
@@ -93,6 +108,7 @@ constexpr vp::MemSpace space_of(allocator a)
     case allocator::hip:
     case allocator::hip_async:
     case allocator::sycl_device:
+    case allocator::pool_device:
       return vp::MemSpace::Device;
     case allocator::managed:
     case allocator::sycl_shared:

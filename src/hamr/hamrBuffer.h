@@ -25,6 +25,7 @@
 #include "vcuda.h"
 #include "vhip.h"
 #include "vomp.h"
+#include "vpMemoryPool.h"
 #include "vpPlatform.h"
 #include "vsycl.h"
 
@@ -107,6 +108,11 @@ public:
       this->Data_ = std::shared_ptr<T>(ptr,
         [](T *p)
         {
+          if (vp::PoolManager::Get().Owns(p))
+          {
+            vp::PoolManager::Get().Deallocate(p);
+            return;
+          }
           vp::AllocInfo info;
           if (vp::Platform::Get().Query(p, info))
             vp::Platform::Get().Free(p);
@@ -403,6 +409,7 @@ private:
       case allocator::device:
       case allocator::device_async:
       case allocator::managed:
+      case allocator::pool_device:
         this->Owner_ = vcuda::GetDevice();
         break;
       case allocator::hip:
@@ -474,6 +481,15 @@ private:
     if (hamr::asynchronous(this->Alloc_))
       strm = this->ResolveStream(owner);
 
+    if (hamr::pooled(this->Alloc_))
+    {
+      T *p = static_cast<T *>(vp::PoolManager::Get().Allocate(
+        realSpace, owner, n * sizeof(T), pm, strm));
+      this->Data_ = std::shared_ptr<T>(p,
+        [strm](T *q) { vp::PoolManager::Get().Deallocate(q, strm); });
+      return;
+    }
+
     T *p = static_cast<T *>(
       plat.Allocate(realSpace, owner, n * sizeof(T), pm, strm));
     this->Data_ = std::shared_ptr<T>(p, [](T *q) { vp::Platform::Get().Free(q); });
@@ -518,11 +534,31 @@ private:
   std::shared_ptr<const T> MoveTo(vp::MemSpace space, int device) const
   {
     vp::Platform &plat = vp::Platform::Get();
-    T *tmp = static_cast<T *>(plat.Allocate(space, device,
-                                            this->Size_ * sizeof(T),
-                                            pm_of(this->Alloc_)));
     vp::Stream strm = this->ResolveStream(
       space == vp::MemSpace::Device ? device : this->Owner_);
+
+    // the short-lived movement temporaries produced here are the pool's
+    // primary customer: per-pass views in analysis codes allocate and
+    // free the same sizes every time step
+    T *tmp;
+    if (vp::PoolManager::Enabled() || hamr::pooled(this->Alloc_))
+    {
+      tmp = static_cast<T *>(vp::PoolManager::Get().Allocate(
+        space, device, this->Size_ * sizeof(T), pm_of(this->Alloc_), strm));
+      this->LastOp_ = strm;
+      plat.CopyAsync(strm, tmp, this->Data_.get(), this->Size_ * sizeof(T));
+      this->MaybeSynchronize();
+      return std::shared_ptr<const T>(tmp,
+                                      [strm](const T *p)
+                                      {
+                                        vp::PoolManager::Get().Deallocate(
+                                          const_cast<T *>(p), strm);
+                                      });
+    }
+
+    tmp = static_cast<T *>(plat.Allocate(space, device,
+                                         this->Size_ * sizeof(T),
+                                         pm_of(this->Alloc_)));
     this->LastOp_ = strm;
     plat.CopyAsync(strm, tmp, this->Data_.get(), this->Size_ * sizeof(T));
     this->MaybeSynchronize();

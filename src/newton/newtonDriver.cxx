@@ -44,21 +44,19 @@ double Driver::Run(long nSteps)
   {
     {
       const double t0 = vp::ThisClock().Now();
+      sensei::ScopedEvent ev("driver::solver");
       this->Solver_->Step();
-      const double dt = vp::ThisClock().Now() - t0;
-      this->SolverSeconds_ += dt;
-      sensei::Profiler::Global().Event("driver::solver", dt);
+      this->SolverSeconds_ += vp::ThisClock().Now() - t0;
     }
 
     if (this->Analysis_)
     {
       const double t0 = vp::ThisClock().Now();
+      sensei::ScopedEvent ev("driver::insitu");
       this->Bridge_->Update();
       this->Analysis_->Execute(this->Bridge_);
       this->Bridge_->ReleaseData();
-      const double dt = vp::ThisClock().Now() - t0;
-      this->InSituSeconds_ += dt;
-      sensei::Profiler::Global().Event("driver::insitu", dt);
+      this->InSituSeconds_ += vp::ThisClock().Now() - t0;
     }
   }
 

@@ -37,6 +37,16 @@ bool MemoryRegistry::Query(const void *p, AllocInfo &info) const
   return true;
 }
 
+bool MemoryRegistry::SetPooled(const void *p, bool pooled)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  auto it = this->Map_.find(p);
+  if (it == this->Map_.end())
+    return false;
+  it->second.Pooled = pooled;
+  return true;
+}
+
 std::size_t MemoryRegistry::Size() const
 {
   std::lock_guard<std::mutex> lock(this->Mutex_);

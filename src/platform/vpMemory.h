@@ -29,6 +29,9 @@ struct AllocInfo
   int Node = 0;                 ///< node the owning device belongs to
   std::size_t Bytes = 0;
   PmKind Pm = PmKind::None;
+  bool Pooled = false; ///< block is managed by a vp::MemoryPool; frees must
+                       ///< return it to the pool, and reuse hits charge
+                       ///< AsyncAllocLatency instead of AllocLatency
 };
 
 /// Thread-safe map from base pointer to allocation metadata. Interior
@@ -45,6 +48,10 @@ public:
   /// Look up the allocation containing `p` (base or interior pointer).
   /// Returns true and fills `info` when found.
   bool Query(const void *p, AllocInfo &info) const;
+
+  /// Mark/unmark the allocation based at `p` as pool managed. Returns
+  /// false when `p` is not a registered base pointer.
+  bool SetPooled(const void *p, bool pooled);
 
   /// Number of live tracked allocations.
   std::size_t Size() const;

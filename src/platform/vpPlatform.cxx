@@ -19,6 +19,15 @@ int &ThisNodeRef()
 
 Platform *GlobalPlatform = nullptr;
 std::mutex GlobalMutex;
+
+/// Hooks run at the start of every Initialize (guarded by its own mutex so
+/// hook bodies may call back into the platform).
+std::vector<std::function<void()>> &InitializeHooks()
+{
+  static std::vector<std::function<void()>> hooks;
+  return hooks;
+}
+std::mutex HookMutex;
 } // namespace
 
 const char *ToString(MemSpace s)
@@ -71,9 +80,24 @@ Platform &Platform::Get()
   return *GlobalPlatform;
 }
 
+void Platform::AtInitialize(std::function<void()> hook)
+{
+  std::lock_guard<std::mutex> lock(HookMutex);
+  InitializeHooks().push_back(std::move(hook));
+}
+
 void Platform::Initialize(const PlatformConfig &config)
 {
   Platform &inst = Platform::Get();
+  {
+    std::vector<std::function<void()>> hooks;
+    {
+      std::lock_guard<std::mutex> lock(HookMutex);
+      hooks = InitializeHooks();
+    }
+    for (const auto &hook : hooks)
+      hook();
+  }
   if (inst.Registry_.Size() != 0)
   {
     std::ostringstream oss;

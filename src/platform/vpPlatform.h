@@ -110,9 +110,17 @@ public:
   /// Access the singleton, creating it with a default config on first use.
   static Platform &Get();
 
-  /// Recreate the machine with a new configuration. Throws vp::Error if
-  /// tracked allocations are still live.
+  /// Recreate the machine with a new configuration. Registered
+  /// AtInitialize hooks run first (so caching layers such as the memory
+  /// pool can release platform memory they hold); then throws vp::Error
+  /// if tracked allocations are still live.
   static void Initialize(const PlatformConfig &config);
+
+  /// Register a hook invoked at the start of every Initialize, before the
+  /// live-allocation check. Subsystems that cache platform allocations
+  /// (e.g. vp::PoolManager) release them here. Hooks persist for the
+  /// process lifetime.
+  static void AtInitialize(std::function<void()> hook);
 
   /// The active configuration.
   const PlatformConfig &Config() const noexcept { return this->Config_; }
@@ -157,6 +165,13 @@ public:
 
   /// The allocation registry (read-mostly introspection).
   const MemoryRegistry &Registry() const noexcept { return this->Registry_; }
+
+  /// Mark/unmark a tracked allocation as managed by a vp::MemoryPool so
+  /// that copy classification and frees can recognize pooled blocks.
+  bool TagPooled(void *p, bool pooled)
+  {
+    return this->Registry_.SetPooled(p, pooled);
+  }
 
   // --- execution ----------------------------------------------------------
 

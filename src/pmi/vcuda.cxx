@@ -1,5 +1,7 @@
 #include "vcuda.h"
 
+#include "vpMemoryPool.h"
+
 namespace vcuda
 {
 
@@ -38,8 +40,13 @@ void *MallocAsync(std::size_t bytes, const stream_t &stream)
 {
   vp::Platform &plat = vp::Platform::Get();
   const int dev = stream ? stream.Get()->Device : CurrentDevice();
-  return plat.Allocate(vp::MemSpace::Device, dev, bytes, vp::PmKind::Cuda,
-                       stream ? stream : plat.DefaultStream(dev));
+  const stream_t &s = stream ? stream : plat.DefaultStream(dev);
+  // stream-ordered allocations draw from the device's memory pool when
+  // pooling is on (cudaMallocAsync semantics)
+  if (vp::PoolManager::Enabled())
+    return vp::PoolManager::Get().Allocate(vp::MemSpace::Device, dev, bytes,
+                                           vp::PmKind::Cuda, s);
+  return plat.Allocate(vp::MemSpace::Device, dev, bytes, vp::PmKind::Cuda, s);
 }
 
 void *MallocHost(std::size_t bytes)
@@ -56,11 +63,23 @@ void *MallocManaged(std::size_t bytes)
 
 void Free(void *p)
 {
+  // pool-managed blocks go back to their pool (reusable at the calling
+  // thread's current virtual time); everything else frees directly
+  if (p && vp::PoolManager::Get().Owns(p))
+  {
+    vp::PoolManager::Get().Deallocate(p);
+    return;
+  }
   vp::Platform::Get().Free(p);
 }
 
 void FreeAsync(void *p, const stream_t &stream)
 {
+  if (p && vp::PoolManager::Get().Owns(p))
+  {
+    vp::PoolManager::Get().Deallocate(p, stream);
+    return;
+  }
   vp::Platform &plat = vp::Platform::Get();
   if (stream)
     stream.Get()->Extend(vp::ThisClock().Now() +

@@ -1,5 +1,7 @@
 #include "vhip.h"
 
+#include "vpMemoryPool.h"
+
 namespace vhip
 {
 
@@ -38,8 +40,13 @@ void *MallocAsync(std::size_t bytes, const stream_t &stream)
 {
   vp::Platform &plat = vp::Platform::Get();
   const int dev = stream ? stream.Get()->Device : CurrentDevice();
-  return plat.Allocate(vp::MemSpace::Device, dev, bytes, vp::PmKind::Hip,
-                       stream ? stream : plat.DefaultStream(dev));
+  const stream_t &s = stream ? stream : plat.DefaultStream(dev);
+  // stream-ordered allocations draw from the device's memory pool when
+  // pooling is on (hipMallocAsync semantics)
+  if (vp::PoolManager::Enabled())
+    return vp::PoolManager::Get().Allocate(vp::MemSpace::Device, dev, bytes,
+                                           vp::PmKind::Hip, s);
+  return plat.Allocate(vp::MemSpace::Device, dev, bytes, vp::PmKind::Hip, s);
 }
 
 void *MallocHost(std::size_t bytes)
@@ -56,6 +63,11 @@ void *MallocManaged(std::size_t bytes)
 
 void Free(void *p)
 {
+  if (p && vp::PoolManager::Get().Owns(p))
+  {
+    vp::PoolManager::Get().Deallocate(p);
+    return;
+  }
   vp::Platform::Get().Free(p);
 }
 

@@ -18,6 +18,8 @@ const char *svtkAllocatorName(svtkAllocator a)
     case svtkAllocator::openmp: return "openmp";
     case svtkAllocator::sycl: return "sycl";
     case svtkAllocator::sycl_shared: return "sycl_shared";
+    case svtkAllocator::pool_device: return "pool_device";
+    case svtkAllocator::pool_host_pinned: return "pool_host_pinned";
   }
   return "unknown";
 }
@@ -43,6 +45,8 @@ svtkAllocator svtkAllocatorFromName(const char *name)
     {"openmp", svtkAllocator::openmp},
     {"sycl", svtkAllocator::sycl},
     {"sycl_shared", svtkAllocator::sycl_shared},
+    {"pool_device", svtkAllocator::pool_device},
+    {"pool_host_pinned", svtkAllocator::pool_host_pinned},
   };
 
   for (const auto &entry : table)

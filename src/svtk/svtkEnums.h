@@ -28,7 +28,9 @@ enum class svtkAllocator : int
   openmp,           ///< device memory via OpenMP target offload
   sycl,             ///< USM device memory (SYCL PM — the paper's future
                     ///< work, implemented in this reproduction)
-  sycl_shared       ///< USM shared memory (SYCL PM)
+  sycl_shared,      ///< USM shared memory (SYCL PM)
+  pool_device,      ///< device memory from the caching memory pool
+  pool_host_pinned  ///< page-locked host memory from the caching pool
 };
 
 /// Synchronization behaviour of data-model operations.
@@ -58,6 +60,9 @@ constexpr hamr::allocator svtkToHamr(svtkAllocator a)
     case svtkAllocator::openmp: return hamr::allocator::openmp;
     case svtkAllocator::sycl: return hamr::allocator::sycl_device;
     case svtkAllocator::sycl_shared: return hamr::allocator::sycl_shared;
+    case svtkAllocator::pool_device: return hamr::allocator::pool_device;
+    case svtkAllocator::pool_host_pinned:
+      return hamr::allocator::pool_host_pinned;
     default: return hamr::allocator::none;
   }
 }

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 namespace
@@ -105,6 +107,97 @@ TEST(MemoryRegistry, InsertQueryErase)
   EXPECT_TRUE(reg.Erase(block.data()));
   EXPECT_FALSE(reg.Query(block.data(), out));
   EXPECT_FALSE(reg.Erase(block.data()));
+}
+
+TEST(MemoryRegistry, QueryBoundaryCases)
+{
+  vp::MemoryRegistry reg;
+  std::vector<char> arena(256);
+  char *a = arena.data();       // [0, 128)
+  char *b = arena.data() + 128; // [128, 192)
+
+  vp::AllocInfo ia;
+  ia.Device = 1;
+  ia.Bytes = 128;
+  reg.Insert(a, ia);
+
+  vp::AllocInfo ib;
+  ib.Device = 2;
+  ib.Bytes = 64;
+  reg.Insert(b, ib);
+
+  vp::AllocInfo out;
+  // the last byte of each block resolves to that block
+  ASSERT_TRUE(reg.Query(a + 127, out));
+  EXPECT_EQ(out.Device, 1);
+  ASSERT_TRUE(reg.Query(b + 63, out));
+  EXPECT_EQ(out.Device, 2);
+
+  // one past the end of A is the base of the adjacent B, never A
+  ASSERT_TRUE(reg.Query(a + 128, out));
+  EXPECT_EQ(out.Device, 2);
+  EXPECT_EQ(out.Bytes, 64u);
+
+  // one past the end of the last block resolves to nothing
+  EXPECT_FALSE(reg.Query(b + 64, out));
+
+  // erasing A leaves a hole; interior pointers of A no longer resolve
+  EXPECT_TRUE(reg.Erase(a));
+  EXPECT_FALSE(reg.Query(a + 64, out));
+  ASSERT_TRUE(reg.Query(b, out));
+  EXPECT_EQ(out.Device, 2);
+  EXPECT_TRUE(reg.Erase(b));
+}
+
+TEST(MemoryRegistry, ConcurrentInsertEraseQuery)
+{
+  vp::MemoryRegistry reg;
+
+  // a stable block queried throughout while other threads churn
+  std::vector<char> stable(64);
+  vp::AllocInfo si;
+  si.Device = 3;
+  si.Bytes = 64;
+  reg.Insert(stable.data(), si);
+
+  constexpr int nThreads = 4;
+  constexpr int nIters = 500;
+  std::vector<std::vector<char>> blocks(nThreads,
+                                        std::vector<char>(nIters));
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nThreads; ++t)
+  {
+    threads.emplace_back(
+      [&, t]()
+      {
+        char *base = blocks[static_cast<std::size_t>(t)].data();
+        for (int i = 0; i < nIters; ++i)
+        {
+          // overlapping erase/insert of a 1-byte region per iteration
+          vp::AllocInfo info;
+          info.Device = t;
+          info.Bytes = 1;
+          reg.Insert(base + i, info);
+
+          vp::AllocInfo out;
+          if (!reg.Query(base + i, out) || out.Device != t)
+            failed = true;
+          if (!reg.Query(stable.data() + 32, out) || out.Device != 3)
+            failed = true;
+          if (!reg.Erase(base + i))
+            failed = true;
+        }
+      });
+  }
+  for (std::thread &th : threads)
+    th.join();
+
+  EXPECT_FALSE(failed.load());
+  // only the stable block remains
+  EXPECT_EQ(reg.Size(), 1u);
+  EXPECT_TRUE(reg.Erase(stable.data()));
 }
 
 TEST(MemoryRegistry, ClassifyCopy)

@@ -1,0 +1,461 @@
+// Unit tests for the stream-ordered caching memory pool: size classes,
+// hit/miss reuse, the stream-ordered reuse rule, high-water trimming,
+// statistics, cost accounting, and the integrations (vcuda MallocAsync
+// routing, hamr pool allocators, XML configuration, profiler export).
+
+#include "hamrBuffer.h"
+#include "senseiConfigurableAnalysis.h"
+#include "senseiProfiler.h"
+#include "vcuda.h"
+#include "vpMemoryPool.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+vp::PlatformConfig DefaultConfig()
+{
+  vp::PlatformConfig cfg;
+  cfg.NumNodes = 1;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  return cfg;
+}
+
+class PoolTest : public ::testing::Test
+{
+protected:
+  void SetUp() override
+  {
+    // Platform::Initialize releases every cached block through the
+    // PoolManager's AtInitialize hook; start each test from defaults
+    vp::PoolManager::Get().Configure(vp::PoolConfig());
+    vp::Platform::Initialize(DefaultConfig());
+    vp::PoolManager::Get().ResetStats();
+  }
+
+  void TearDown() override
+  {
+    vp::PoolManager::Get().Configure(vp::PoolConfig());
+  }
+};
+} // namespace
+
+// --- size classes -----------------------------------------------------------
+
+TEST(PoolSizeClass, RoundsToPowerOfTwoAtLeastMin)
+{
+  EXPECT_EQ(vp::PoolSizeClass(1, 256), 256u);
+  EXPECT_EQ(vp::PoolSizeClass(256, 256), 256u);
+  EXPECT_EQ(vp::PoolSizeClass(257, 256), 512u);
+  EXPECT_EQ(vp::PoolSizeClass(1000, 256), 1024u);
+  EXPECT_EQ(vp::PoolSizeClass(1024, 256), 1024u);
+  EXPECT_EQ(vp::PoolSizeClass(1u << 20, 256), std::size_t(1) << 20);
+  EXPECT_EQ(vp::PoolSizeClass(100, 64), 128u);
+}
+
+// --- hit / miss reuse -------------------------------------------------------
+
+TEST_F(PoolTest, FreedBlockIsReusedByNextAllocation)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 1000, vp::PmKind::Cuda);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(mgr.Owns(p));
+
+  // the registry holds the size-class rounded block, tagged pooled
+  vp::AllocInfo info;
+  ASSERT_TRUE(vp::Platform::Get().Query(p, info));
+  EXPECT_TRUE(info.Pooled);
+  EXPECT_EQ(info.Bytes, 1024u);
+  EXPECT_EQ(info.Space, vp::MemSpace::Device);
+
+  mgr.Deallocate(p);
+  EXPECT_FALSE(mgr.Owns(p));
+
+  // thread-ordered free: the block is immediately reusable here
+  void *q = mgr.Allocate(vp::MemSpace::Device, 0, 900, vp::PmKind::Cuda);
+  EXPECT_EQ(q, p);
+
+  const vp::PoolStats s = mgr.AggregateStats();
+  EXPECT_EQ(s.Hits, 1u);
+  EXPECT_EQ(s.Misses, 1u);
+  EXPECT_EQ(s.Frees, 1u);
+
+  mgr.Deallocate(q);
+}
+
+TEST_F(PoolTest, ReusedMemoryIsZeroed)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  auto *p = static_cast<char *>(
+    mgr.Allocate(vp::MemSpace::Host, vp::HostDevice, 512, vp::PmKind::None));
+  for (int i = 0; i < 512; ++i)
+    p[i] = 'x';
+  mgr.Deallocate(p);
+
+  auto *q = static_cast<char *>(
+    mgr.Allocate(vp::MemSpace::Host, vp::HostDevice, 512, vp::PmKind::None));
+  ASSERT_EQ(q, p); // really a reuse
+  for (int i = 0; i < 512; ++i)
+    ASSERT_EQ(q[i], 0);
+  mgr.Deallocate(q);
+}
+
+TEST_F(PoolTest, DifferentSizeClassIsAMiss)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 1024, vp::PmKind::Cuda);
+  mgr.Deallocate(p);
+
+  void *q = mgr.Allocate(vp::MemSpace::Device, 0, 4096, vp::PmKind::Cuda);
+  EXPECT_NE(q, p);
+  EXPECT_EQ(mgr.AggregateStats().Misses, 2u);
+
+  mgr.Deallocate(q);
+}
+
+TEST_F(PoolTest, PoolsAreSeparatedByDeviceAndSpace)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  void *d0 = mgr.Allocate(vp::MemSpace::Device, 0, 1024, vp::PmKind::Cuda);
+  mgr.Deallocate(d0);
+
+  // same size on another device or space cannot hit device 0's cache
+  void *d1 = mgr.Allocate(vp::MemSpace::Device, 1, 1024, vp::PmKind::Cuda);
+  EXPECT_NE(d1, d0);
+  void *h = mgr.Allocate(vp::MemSpace::Host, vp::HostDevice, 1024,
+                         vp::PmKind::None);
+  EXPECT_NE(h, d0);
+  EXPECT_EQ(mgr.AggregateStats().Hits, 0u);
+
+  mgr.Deallocate(d1);
+  mgr.Deallocate(h);
+}
+
+// --- stream-ordered reuse rule ----------------------------------------------
+
+TEST_F(PoolTest, CrossStreamReuseWaitsForFreeingStreamPoint)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  vp::Stream s1 = vp::Stream::New(0, 0);
+  vp::Stream s2 = vp::Stream::New(0, 0);
+
+  void *p =
+    mgr.Allocate(vp::MemSpace::Device, 0, 2048, vp::PmKind::Cuda, s1);
+
+  // queue substantial virtual work on s1, then free p in s1's order: the
+  // block's free point is far in the future
+  plat.LaunchKernel(s1, vp::KernelDesc{1u << 20, 100.0, 0.0, "busy"},
+                    nullptr);
+  mgr.Deallocate(p, s1);
+
+  // another stream cannot reuse it before the free point is reached
+  void *q =
+    mgr.Allocate(vp::MemSpace::Device, 0, 2048, vp::PmKind::Cuda, s2);
+  EXPECT_NE(q, p);
+  EXPECT_EQ(mgr.AggregateStats().Hits, 0u);
+  mgr.Deallocate(q, s2);
+
+  // once the calling thread has passed s1's free point the block is fair
+  // game for any stream
+  plat.StreamSynchronize(s1);
+  plat.StreamSynchronize(s2);
+  const std::uint64_t hitsBefore = mgr.AggregateStats().Hits;
+  void *r =
+    mgr.Allocate(vp::MemSpace::Device, 0, 2048, vp::PmKind::Cuda, s2);
+  EXPECT_EQ(mgr.AggregateStats().Hits, hitsBefore + 1);
+  mgr.Deallocate(r, s2);
+}
+
+TEST_F(PoolTest, SameStreamReuseIsImmediate)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  vp::Stream s1 = vp::Stream::New(0, 0);
+
+  void *p =
+    mgr.Allocate(vp::MemSpace::Device, 0, 2048, vp::PmKind::Cuda, s1);
+  plat.LaunchKernel(s1, vp::KernelDesc{1u << 20, 100.0, 0.0, "busy"},
+                    nullptr);
+  mgr.Deallocate(p, s1);
+
+  // in-order streams make reuse on the freeing stream safe right away
+  void *q =
+    mgr.Allocate(vp::MemSpace::Device, 0, 2048, vp::PmKind::Cuda, s1);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(mgr.AggregateStats().Hits, 1u);
+
+  mgr.Deallocate(q, s1);
+  plat.StreamSynchronize(s1);
+}
+
+// --- trimming ---------------------------------------------------------------
+
+TEST_F(PoolTest, TrimKeepsCacheUnderHighWaterMark)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  vp::PoolConfig cfg;
+  cfg.MaxCachedBytes = 4096;
+  cfg.TrimThreshold = 0.5;
+  mgr.Configure(cfg);
+
+  void *blocks[8];
+  for (void *&b : blocks)
+    b = mgr.Allocate(vp::MemSpace::Device, 0, 1024, vp::PmKind::Cuda);
+  for (void *b : blocks)
+    mgr.Deallocate(b);
+
+  const vp::PoolStats s = mgr.AggregateStats();
+  EXPECT_GT(s.Trims, 0u);
+  EXPECT_LE(s.BytesCached, 2048u); // trimmed to threshold * max
+  EXPECT_EQ(s.Frees, 8u);
+
+  // trimmed blocks really went back to the platform
+  EXPECT_EQ(vp::Platform::Get().Registry().BytesIn(vp::MemSpace::Device, 0),
+            s.BytesCached);
+}
+
+TEST_F(PoolTest, ZeroMaxCachedBytesNeverTrims)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  vp::PoolConfig cfg;
+  cfg.MaxCachedBytes = 0; // unlimited
+  mgr.Configure(cfg);
+
+  void *blocks[16];
+  for (void *&b : blocks)
+    b = mgr.Allocate(vp::MemSpace::Device, 0, 4096, vp::PmKind::Cuda);
+  for (void *b : blocks)
+    mgr.Deallocate(b);
+
+  const vp::PoolStats s = mgr.AggregateStats();
+  EXPECT_EQ(s.Trims, 0u);
+  EXPECT_EQ(s.BytesCached, 16u * 4096u);
+}
+
+TEST_F(PoolTest, PlatformReinitializeReleasesCachedBlocks)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 8192, vp::PmKind::Cuda);
+  mgr.Deallocate(p);
+  EXPECT_GT(mgr.AggregateStats().BytesCached, 0u);
+
+  // the cached block still holds platform memory; the AtInitialize hook
+  // must release it or this would throw on the live-allocation check
+  EXPECT_NO_THROW(vp::Platform::Initialize(DefaultConfig()));
+  EXPECT_EQ(mgr.AggregateStats().BytesCached, 0u);
+}
+
+// --- statistics and cost accounting -----------------------------------------
+
+TEST_F(PoolTest, StatsTrackBytesAndFragmentation)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 1000, vp::PmKind::Cuda);
+  vp::PoolStats s = mgr.AggregateStats();
+  EXPECT_EQ(s.BytesInUse, 1024u);
+  EXPECT_EQ(s.PeakBytesInUse, 1024u);
+  EXPECT_EQ(s.RequestedBytes, 1000u);
+  EXPECT_EQ(s.RoundedBytes, 1024u);
+  EXPECT_NEAR(s.Fragmentation(), 1.0 - 1000.0 / 1024.0, 1e-12);
+
+  mgr.Deallocate(p);
+  s = mgr.AggregateStats();
+  EXPECT_EQ(s.BytesInUse, 0u);
+  EXPECT_EQ(s.BytesCached, 1024u);
+  EXPECT_EQ(s.PeakBytesCached, 1024u);
+
+  void *q = mgr.Allocate(vp::MemSpace::Device, 0, 1024, vp::PmKind::Cuda);
+  s = mgr.AggregateStats();
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.5); // one miss, one hit
+  mgr.Deallocate(q);
+}
+
+TEST_F(PoolTest, HitChargesAsyncAllocLatency)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+  const vp::CostModel &cost = vp::Platform::Get().Config().Cost;
+
+  // miss: the platform's synchronous allocation latency
+  double t0 = vp::ThisClock().Now();
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 4096, vp::PmKind::Cuda);
+  const double missDt = vp::ThisClock().Now() - t0;
+  EXPECT_GE(missDt, cost.AllocLatency);
+  mgr.Deallocate(p);
+
+  // hit: only the stream-ordered allocation latency
+  t0 = vp::ThisClock().Now();
+  void *q = mgr.Allocate(vp::MemSpace::Device, 0, 4096, vp::PmKind::Cuda);
+  const double hitDt = vp::ThisClock().Now() - t0;
+  ASSERT_EQ(q, p);
+  EXPECT_NEAR(hitDt, cost.AsyncAllocLatency, 1e-12);
+  EXPECT_LT(hitDt, missDt);
+  mgr.Deallocate(q);
+}
+
+TEST_F(PoolTest, ExportPoolStatsPublishesCounters)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+  sensei::Profiler prof;
+
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 1024, vp::PmKind::Cuda);
+  mgr.Deallocate(p);
+  void *q = mgr.Allocate(vp::MemSpace::Device, 0, 1024, vp::PmKind::Cuda);
+  mgr.Deallocate(q);
+
+  sensei::ExportPoolStats(prof);
+  EXPECT_DOUBLE_EQ(prof.Total("pool::hits"), 1.0);
+  EXPECT_DOUBLE_EQ(prof.Total("pool::misses"), 1.0);
+  EXPECT_DOUBLE_EQ(prof.Total("pool::hit_rate"), 0.5);
+  EXPECT_DOUBLE_EQ(prof.Total("pool::bytes_cached"), 1024.0);
+
+  const std::string json = prof.ToJson();
+  EXPECT_NE(json.find("\"pool::hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+}
+
+// --- PM front end routing ---------------------------------------------------
+
+TEST_F(PoolTest, VcudaMallocAsyncRoutesThroughPoolWhenEnabled)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  vp::PoolConfig cfg;
+  cfg.Enabled = true;
+  mgr.Configure(cfg);
+
+  vcuda::stream_t s = vcuda::StreamCreate();
+  void *p = vcuda::MallocAsync(4096, s);
+  EXPECT_TRUE(mgr.Owns(p));
+  vcuda::FreeAsync(p, s);
+  EXPECT_FALSE(mgr.Owns(p));
+
+  // same stream: the next stream-ordered allocation reuses the block
+  void *q = vcuda::MallocAsync(4096, s);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(mgr.AggregateStats().Hits, 1u);
+  vcuda::Free(q);
+  vcuda::StreamSynchronize(s);
+}
+
+TEST_F(PoolTest, VcudaMallocAsyncBypassesPoolWhenDisabled)
+{
+  vcuda::stream_t s = vcuda::StreamCreate();
+  void *p = vcuda::MallocAsync(4096, s);
+  EXPECT_FALSE(vp::PoolManager::Get().Owns(p));
+  vcuda::FreeAsync(p, s);
+  vcuda::StreamSynchronize(s);
+  EXPECT_EQ(vp::PoolManager::Get().AggregateStats().Misses, 0u);
+}
+
+// --- hamr integration -------------------------------------------------------
+
+TEST_F(PoolTest, HamrPoolDeviceBufferReusesStorage)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  const void *first = nullptr;
+  {
+    hamr::buffer<double> b(hamr::allocator::pool_device, 100);
+    first = b.data();
+    ASSERT_NE(first, nullptr);
+    EXPECT_TRUE(mgr.Owns(first));
+    EXPECT_FALSE(b.host_accessible());
+    EXPECT_TRUE(b.device_accessible(0));
+  }
+  EXPECT_FALSE(mgr.Owns(first)); // returned to the cache, not freed
+
+  hamr::buffer<double> c(hamr::allocator::pool_device, 100);
+  EXPECT_EQ(c.data(), first);
+  EXPECT_EQ(mgr.AggregateStats().Hits, 1u);
+
+  // the storage is zeroed and fully usable after reuse
+  c.fill(3.0);
+  std::vector<double> v = c.to_vector();
+  for (double x : v)
+    ASSERT_DOUBLE_EQ(x, 3.0);
+}
+
+TEST_F(PoolTest, HamrPoolHostPinnedIsHostAccessible)
+{
+  hamr::buffer<float> b(hamr::allocator::pool_host_pinned, 64, 2.5f);
+  EXPECT_TRUE(b.host_accessible());
+  EXPECT_EQ(b.owner(), vp::HostDevice);
+
+  vp::AllocInfo info;
+  ASSERT_TRUE(vp::Platform::Get().Query(b.data(), info));
+  EXPECT_EQ(info.Space, vp::MemSpace::HostPinned);
+  EXPECT_TRUE(info.Pooled);
+
+  for (std::size_t i = 0; i < b.size(); ++i)
+    ASSERT_FLOAT_EQ(b.data()[i], 2.5f);
+}
+
+TEST_F(PoolTest, MoveToTemporariesUsePoolWhenEnabled)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+
+  vp::PoolConfig cfg;
+  cfg.Enabled = true;
+  mgr.Configure(cfg);
+
+  hamr::buffer<double> host(hamr::allocator::malloc_, 256, 1.0);
+
+  const void *tmp1 = nullptr;
+  {
+    auto view = host.get_device_accessible(0);
+    host.synchronize();
+    tmp1 = view.get();
+    EXPECT_TRUE(mgr.Owns(tmp1));
+  }
+
+  // the per-pass temporary is recycled on the next access
+  {
+    auto view = host.get_device_accessible(0);
+    host.synchronize();
+    EXPECT_EQ(view.get(), tmp1);
+  }
+  EXPECT_GE(mgr.AggregateStats().Hits, 1u);
+}
+
+// --- XML configuration ------------------------------------------------------
+
+TEST_F(PoolTest, ConfigurableAnalysisParsesPoolElement)
+{
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  ca->InitializeString(
+    "<sensei>"
+    "  <pool enabled=\"1\" max_cached_bytes=\"1048576\""
+    "        trim_threshold=\"0.25\" min_block_bytes=\"512\"/>"
+    "</sensei>");
+
+  const vp::PoolConfig cfg = vp::PoolManager::Get().Config();
+  EXPECT_TRUE(cfg.Enabled);
+  EXPECT_EQ(cfg.MaxCachedBytes, 1048576u);
+  EXPECT_DOUBLE_EQ(cfg.TrimThreshold, 0.25);
+  EXPECT_EQ(cfg.MinBlockBytes, 512u);
+  ca->UnRegister();
+}
+
+TEST_F(PoolTest, ConfigurableAnalysisRejectsBadTrimThreshold)
+{
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  EXPECT_THROW(ca->InitializeString(
+                 "<sensei><pool enabled=\"1\" trim_threshold=\"1.5\"/>"
+                 "</sensei>"),
+               std::runtime_error);
+  ca->UnRegister();
+}
