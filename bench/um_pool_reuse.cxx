@@ -15,6 +15,7 @@
 #include "hamrBuffer.h"
 #include "senseiProfiler.h"
 #include "vcuda.h"
+#include "vpChecker.h"
 #include "vpMemoryPool.h"
 #include "vpPlatform.h"
 
@@ -45,6 +46,10 @@ void Reset(bool pooled)
   pool.Enabled = pooled;
   vp::PoolManager::Get().Configure(pool);
   vp::PoolManager::Get().ResetStats();
+
+  // re-initializing the platform invalidates the checker's stream
+  // identities; start each scenario from a clean happens-before state
+  vp::check::Reset();
 }
 
 double Elapsed(double t0)
@@ -244,6 +249,22 @@ int main(int argc, char **argv)
   sensei::Profiler::Global().Clear();
   const CampaignResult unpooled = RunCampaign(false, nSteps);
   const CampaignResult pooled = RunCampaign(true, nSteps);
+
+  // under VP_CHECK the pooled campaign doubles as a race/lifetime gate:
+  // any violation (including leaks at finalize) fails the run
+  if (vp::check::Enabled())
+  {
+    const vp::check::Report report = vp::check::Finalize();
+    sensei::ExportCheckReport(sensei::Profiler::Global(), report);
+    if (report.Total())
+    {
+      std::fprintf(stderr, "um_pool_reuse: VP_CHECK failed\n%s",
+                   report.Summary().c_str());
+      return 2;
+    }
+    std::printf("VP_CHECK: 0 violations across the pooled campaign\n");
+  }
+
   WriteJson(unpooled, pooled, "BENCH_pool.json");
 
   const double mu =

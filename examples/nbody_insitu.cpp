@@ -16,7 +16,10 @@
 #include "newtonDriver.h"
 #include "senseiConfigurableAnalysis.h"
 #include "senseiDataBinning.h"
+#include "senseiProfiler.h"
 #include "sio.h"
+#include "vpChecker.h"
+#include "vpFaultInjector.h"
 #include "vpPlatform.h"
 
 #include <iostream>
@@ -112,5 +115,29 @@ int main(int argc, char **argv)
             << "avg in situ time / iteration : " << meanInsitu
             << " s (apparent; binning ran asynchronously)\n"
             << "wrote nbody_mass_xy.vti and nbody_bodies_r*_s*.csv\n";
+
+  // with <check> (or VP_CHECK=1) the run doubles as a race/lifetime gate:
+  // all ranks have joined, so finalize the checker once from the main
+  // thread and fail the run on any violation
+  if (vp::check::Enabled())
+  {
+    const vp::check::Report report = vp::check::Finalize();
+    sensei::ExportCheckReport(sensei::Profiler::Global(), report);
+    if (vp::fault::Enabled())
+    {
+      const vp::fault::FaultStats f = vp::fault::Stats();
+      std::cout << "fault injection: " << f.AllocFailures
+                << " allocation failures absorbed by the pool, "
+                << f.EventsDropped << " events dropped, " << f.DelaysApplied
+                << " stream delays applied\n";
+    }
+    if (report.Total())
+    {
+      std::cerr << "VP_CHECK: " << report.Total() << " violations\n"
+                << report.Summary();
+      return 2;
+    }
+    std::cout << "VP_CHECK: 0 violations\n";
+  }
   return 0;
 }

@@ -37,6 +37,15 @@ if [ -f BENCH_pool.json ]; then
   echo "wrote results/BENCH_pool.json"
 fi
 
+echo "== checked pooled campaign (VP_CHECK=1) =="
+# the race/lifetime checker instruments the whole pooled campaign; any
+# violation (use-after-free, unsynced access, cross-stream race, double
+# free, leak) makes um_pool_reuse exit nonzero and aborts the script
+VP_CHECK=1 ../build/bench/um_pool_reuse --benchmark_min_time=0.05 \
+  | tee um_pool_reuse_checked.txt
+echo "== checker-labelled tests =="
+ctest --test-dir ../build -L check --output-on-failure
+
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp
   echo "wrote results/fig2.png, results/fig3.png"

@@ -1,0 +1,123 @@
+#include "vpFaultInjector.h"
+
+#include <mutex>
+#include <random>
+
+namespace vp
+{
+namespace fault
+{
+
+namespace
+{
+
+struct Injector
+{
+  std::mutex Mutex;
+  FaultConfig Config;
+  FaultStats Counts;
+  std::mt19937_64 Rng{1};
+  std::uint64_t AllocN = 0;
+  std::uint64_t EventN = 0;
+};
+
+Injector &Self()
+{
+  static Injector inj;
+  return inj;
+}
+
+} // namespace
+
+void Configure(const FaultConfig &cfg)
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  inj.Config = cfg;
+  inj.Counts = FaultStats{};
+  inj.Rng.seed(cfg.Seed);
+  inj.AllocN = 0;
+  inj.EventN = 0;
+}
+
+FaultConfig GetConfig()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  return inj.Config;
+}
+
+bool Enabled()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  return inj.Config.Enabled;
+}
+
+void Reset()
+{
+  Configure(FaultConfig{});
+}
+
+FaultStats Stats()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  return inj.Counts;
+}
+
+bool ShouldFailAllocation()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  if (!inj.Config.Enabled)
+    return false;
+  const std::uint64_t n = ++inj.AllocN;
+  bool fail = inj.Config.FailAllocNth && n == inj.Config.FailAllocNth;
+  if (!fail && inj.Config.FailAllocProb > 0.0)
+  {
+    // always draw so the decision stream is a pure function of the seed
+    // and the allocation index, independent of which knobs are set
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    fail = u(inj.Rng) < inj.Config.FailAllocProb;
+  }
+  if (fail)
+    inj.Counts.AllocFailures++;
+  return fail;
+}
+
+bool ShouldDropEvent()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  if (!inj.Config.Enabled || !inj.Config.DropEventNth)
+    return false;
+  const bool drop = ++inj.EventN == inj.Config.DropEventNth;
+  if (drop)
+    inj.Counts.EventsDropped++;
+  return drop;
+}
+
+double StreamDelay(int node, DeviceId device)
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  if (!inj.Config.Enabled || inj.Config.StreamDelaySeconds <= 0.0)
+    return 0.0;
+  if (inj.Config.DelayNode >= 0 && inj.Config.DelayNode != node)
+    return 0.0;
+  if (inj.Config.DelayDevice >= 0 && inj.Config.DelayDevice != device)
+    return 0.0;
+  inj.Counts.DelaysApplied++;
+  return inj.Config.StreamDelaySeconds;
+}
+
+bool PrematureReuseEnabled()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  return inj.Config.Enabled && inj.Config.PrematureReuse;
+}
+
+} // namespace fault
+} // namespace vp

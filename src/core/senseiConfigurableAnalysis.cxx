@@ -6,6 +6,8 @@
 #include "senseiHistogram.h"
 #include "senseiPosthocIO.h"
 #include "sxml.h"
+#include "vpChecker.h"
+#include "vpFaultInjector.h"
 #include "vpMemoryPool.h"
 
 #include <sstream>
@@ -73,6 +75,36 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
       throw std::runtime_error(
         "ConfigurableAnalysis: <pool> trim_threshold must be in [0,1]");
     vp::PoolManager::Get().Configure(cfg);
+  }
+
+  // optional <check> element turns the race/lifetime checker on (same
+  // switch as the VP_CHECK environment variable)
+  if (const sxml::Element *ce = root.FirstChild("check"))
+  {
+    vp::check::CheckConfig cfg = vp::check::GetConfig();
+    cfg.Enabled = ce->AttributeBool("enabled", true);
+    cfg.MaxReports = static_cast<std::size_t>(ce->AttributeInt(
+      "max_reports", static_cast<long long>(cfg.MaxReports)));
+    cfg.FailFast = ce->AttributeBool("fail_fast", cfg.FailFast);
+    vp::check::Configure(cfg);
+  }
+
+  // optional <fault> element arms the deterministic fault injector
+  if (const sxml::Element *fe = root.FirstChild("fault"))
+  {
+    vp::fault::FaultConfig cfg;
+    cfg.Enabled = fe->AttributeBool("enabled", true);
+    cfg.Seed = static_cast<std::uint64_t>(fe->AttributeInt("seed", 1));
+    cfg.FailAllocNth =
+      static_cast<std::uint64_t>(fe->AttributeInt("fail_alloc_nth", 0));
+    cfg.FailAllocProb = fe->AttributeDouble("fail_alloc_prob", 0.0);
+    cfg.DropEventNth =
+      static_cast<std::uint64_t>(fe->AttributeInt("drop_event_nth", 0));
+    cfg.StreamDelaySeconds = fe->AttributeDouble("stream_delay", 0.0);
+    cfg.DelayNode = static_cast<int>(fe->AttributeInt("delay_node", -1));
+    cfg.DelayDevice = static_cast<int>(fe->AttributeInt("delay_device", -1));
+    cfg.PrematureReuse = fe->AttributeBool("premature_reuse", false);
+    vp::fault::Configure(cfg);
   }
 
   for (const sxml::Element *el : root.ChildrenNamed("analysis"))

@@ -1,7 +1,10 @@
 #include "senseiProfiler.h"
 
+#include "vpChecker.h"
+#include "vpFaultInjector.h"
 #include "vpMemoryPool.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace sensei
@@ -17,6 +20,11 @@ std::string Profiler::ToJson() const
 {
   std::lock_guard<std::mutex> lock(this->Mutex_);
 
+  // escape per RFC 8259: quote, backslash, the common control shorthands,
+  // and \u00XX for the remaining control bytes, so hostile event names
+  // (embedded newlines, tabs, NULs) still produce parseable, diffable
+  // output. key order is the map's lexicographic order, so two runs that
+  // record the same events serialize byte identically.
   auto quote = [](const std::string &s)
   {
     std::string out;
@@ -24,9 +32,26 @@ std::string Profiler::ToJson() const
     out += '"';
     for (char c : s)
     {
-      if (c == '"' || c == '\\')
-        out += '\\';
-      out += c;
+      switch (c)
+      {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20)
+          {
+            char u[8];
+            std::snprintf(u, sizeof(u), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += u;
+          }
+          else
+            out += c;
+      }
     }
     out += '"';
     return out;
@@ -64,6 +89,20 @@ void ExportPoolStats(Profiler &prof)
   prof.Event("pool::peak_bytes_cached",
              static_cast<double>(s.PeakBytesCached));
   prof.Event("pool::fragmentation", s.Fragmentation());
+  prof.Event("pool::alloc_retries", static_cast<double>(s.AllocRetries));
+}
+
+void ExportCheckReport(Profiler &prof, const vp::check::Report &report)
+{
+  prof.Event("check::violations", static_cast<double>(report.Total()));
+  for (int k = 0; k < 5; ++k)
+    prof.Event(std::string("check::") +
+                 vp::check::ToString(static_cast<vp::check::ViolationKind>(k)),
+               static_cast<double>(report.Counts[k]));
+  const vp::fault::FaultStats f = vp::fault::Stats();
+  prof.Event("fault::alloc_failures", static_cast<double>(f.AllocFailures));
+  prof.Event("fault::events_dropped", static_cast<double>(f.EventsDropped));
+  prof.Event("fault::delays_applied", static_cast<double>(f.DelaysApplied));
 }
 
 } // namespace sensei

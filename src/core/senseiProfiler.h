@@ -7,6 +7,7 @@
 /// means. This is how the benchmark reproduces Figure 3's "average time
 /// per iteration of the solver and in situ processing".
 
+#include "vpChecker.h"
 #include "vpClock.h"
 
 #include <map>
@@ -138,6 +139,13 @@ private:
 /// pool::fragmentation. Counts are recorded as event totals so they ride
 /// along in ToJson() next to the timing data.
 void ExportPoolStats(Profiler &prof);
+
+/// Record a checker report and the fault-injection counters as profiler
+/// events: check::violations plus one check::<kind> event per violation
+/// class, and fault::alloc_failures / fault::events_dropped /
+/// fault::delays_applied — so campaigns can assert "0 violations" out of
+/// the same JSON as the timing data.
+void ExportCheckReport(Profiler &prof, const vp::check::Report &report);
 
 } // namespace sensei
 

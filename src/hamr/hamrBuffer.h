@@ -25,6 +25,7 @@
 #include "vcuda.h"
 #include "vhip.h"
 #include "vomp.h"
+#include "vpChecker.h"
 #include "vpMemoryPool.h"
 #include "vpPlatform.h"
 #include "vsycl.h"
@@ -324,7 +325,10 @@ public:
         p[i] = val;
     };
     if (this->Owner_ == vp::HostDevice)
+    {
+      vp::check::HostWrite(p, this->Size_ * sizeof(T), "hamr::buffer::fill");
       plat.HostParallelFor(desc, body);
+    }
     else
       plat.LaunchKernel(this->ResolveStream(this->Owner_), desc, body,
                         this->Mode_ == stream_mode::sync);
@@ -354,6 +358,8 @@ public:
     {
       auto view = this->get_host_accessible();
       this->synchronize();
+      vp::check::HostRead(view.get(), this->Size_ * sizeof(T),
+                          "hamr::buffer::to_vector");
       std::memcpy(out.data(), view.get(), this->Size_ * sizeof(T));
     }
     return out;
@@ -367,6 +373,8 @@ public:
     if (this->host_accessible())
     {
       this->synchronize();
+      vp::check::HostRead(this->Data_.get() + i, sizeof(T),
+                          "hamr::buffer::get");
       return this->Data_.get()[i];
     }
     T v{};
@@ -382,6 +390,8 @@ public:
     if (this->host_accessible())
     {
       this->synchronize();
+      vp::check::HostWrite(this->Data_.get() + i, sizeof(T),
+                           "hamr::buffer::set");
       this->Data_.get()[i] = v;
       return;
     }

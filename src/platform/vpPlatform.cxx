@@ -1,5 +1,8 @@
 #include "vpPlatform.h"
 
+#include "vpChecker.h"
+#include "vpFaultInjector.h"
+
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -232,6 +235,8 @@ void *Platform::Allocate(MemSpace space, DeviceId device, std::size_t bytes,
   {
     ThisClock().Advance(cost.AllocLatency);
   }
+
+  check::OnAlloc(p, info, stream ? stream.Get() : nullptr);
   return p;
 }
 
@@ -240,15 +245,29 @@ void Platform::Free(void *p)
   if (!p)
     return;
 
+  // an erroneous free (double free / free of a pool-cached block) is
+  // recorded and swallowed so the run can continue and be diagnosed
+  if (check::InterceptFree(p))
+    return;
+
   AllocInfo info;
   if (!this->Registry_.Query(p, info))
     throw Error("Platform::Free: pointer was not allocated by the platform");
+
+  if (info.Pooled)
+    throw Error("Platform::Free: pointer is owned by a vp::MemoryPool "
+                "(cached block freed twice?)");
+
+  check::OnFree(p);
 
   if (info.Space == MemSpace::Device)
     this->GetDevice(info.Node, info.Device).BytesAllocated -= info.Bytes;
 
   this->Registry_.Erase(p);
-  std::free(p);
+  // the checker quarantines the storage behind its tombstone so the
+  // address cannot be recycled while late accesses are still diagnosable
+  if (!check::QuarantineFree(p))
+    std::free(p);
   ThisClock().Advance(this->Config_.Cost.AllocLatency);
 }
 
@@ -277,9 +296,12 @@ void Platform::LaunchKernel(const Stream &stream, const KernelDesc &desc,
   Device &dev = this->GetDevice(s->Node, s->Device);
   const CostModel &cost = this->Config_.Cost;
 
+  check::OnSubmit(s);
+
   const double dur = cost.KernelSeconds(desc.N, desc.OpsPerElement,
                                         /*onDevice=*/true,
-                                        desc.AtomicFraction);
+                                        desc.AtomicFraction) +
+                     fault::StreamDelay(s->Node, s->Device);
 
   // ordering: after prior stream work, no earlier than submission
   const double submit = ThisClock().Now() + cost.KernelSubmitOverhead;
@@ -365,10 +387,15 @@ void Platform::CopyAsync(const Stream &stream, void *dst, const void *src,
 
   const CopyKind kind = ClassifyCopy(di, si);
   const CostModel &cost = this->Config_.Cost;
-  const double dur = cost.CopySeconds(bytes, this->CopyBandwidth(kind, di, si));
 
   StreamState *s = stream.Get();
   Device &dev = this->GetDevice(s->Node, s->Device);
+
+  check::OnCopy(s, dst, src, bytes);
+
+  const double dur =
+    cost.CopySeconds(bytes, this->CopyBandwidth(kind, di, si)) +
+    fault::StreamDelay(s->Node, s->Device);
 
   const double submit = ThisClock().Now() + cost.KernelSubmitOverhead;
   double earliest = submit;
@@ -408,6 +435,7 @@ void Platform::Copy(void *dst, const void *src, std::size_t bytes)
   if (kind == CopyKind::HostToHost)
   {
     // plain memcpy on the host, charged to the calling thread
+    check::OnHostCopy(dst, src, bytes);
     if (this->Config_.ExecuteKernels)
       std::memmove(dst, src, bytes);
     this->Stats_.CopyCount[static_cast<int>(kind)]++;
@@ -430,6 +458,7 @@ void Platform::StreamSynchronize(const Stream &stream)
   if (!stream)
     return;
   ThisClock().AdvanceTo(stream.Get()->Completion());
+  check::OnStreamSync(stream.Get());
 }
 
 void Platform::DeviceSynchronize(DeviceId device)
@@ -438,6 +467,7 @@ void Platform::DeviceSynchronize(DeviceId device)
   Device &dev = this->GetDevice(GetThisNode(), device);
   ThisClock().AdvanceTo(dev.Engine.Available());
   ThisClock().AdvanceTo(dev.CopyEngine.Available());
+  check::OnDeviceSync(GetThisNode(), device);
 }
 
 // ---------------------------------------------------------------------------
@@ -445,6 +475,7 @@ struct ScopedThread::Impl
 {
   std::thread Thread;
   double ChildFinal = 0.0;
+  std::uint64_t EndToken = 0; ///< checker join edge from the child
   std::mutex Mutex;
 };
 
@@ -457,16 +488,19 @@ ScopedThread::ScopedThread(std::function<void()> fn)
 
   const double start = ThisClock().Now();
   const int node = Platform::GetThisNode();
+  const std::uint64_t spawnToken = check::OnThreadSpawn();
   Impl *impl = this->Impl_.get();
 
   impl->Thread = std::thread(
-    [fn = std::move(fn), start, node, impl]()
+    [fn = std::move(fn), start, node, spawnToken, impl]()
     {
       ThisClock().Set(start);
       Platform::SetThisNode(node);
+      check::OnThreadStart(spawnToken);
       fn();
       std::lock_guard<std::mutex> lock(impl->Mutex);
       impl->ChildFinal = ThisClock().Now();
+      impl->EndToken = check::OnThreadEnd();
     });
 }
 
@@ -486,6 +520,7 @@ void ScopedThread::Join()
   this->Impl_->Thread.join();
   std::lock_guard<std::mutex> lock(this->Impl_->Mutex);
   ThisClock().AdvanceTo(this->Impl_->ChildFinal);
+  check::OnThreadJoin(this->Impl_->EndToken);
 }
 
 bool ScopedThread::Joinable() const noexcept

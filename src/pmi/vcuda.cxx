@@ -1,5 +1,7 @@
 #include "vcuda.h"
 
+#include "vpChecker.h"
+#include "vpFaultInjector.h"
 #include "vpMemoryPool.h"
 
 namespace vcuda
@@ -156,19 +158,30 @@ event_t EventRecord(const stream_t &stream)
 {
   event_t ev;
   if (stream)
+  {
+    // an injected dropped signal: the event reads "already complete" and
+    // carries no ordering edge — waiters proceed without synchronizing
+    if (vp::fault::ShouldDropEvent())
+      return ev;
     ev.Time_ = stream.Get()->Completion();
+    ev.Token_ = vp::check::OnEventRecord(stream.Get());
+  }
   return ev;
 }
 
 void StreamWaitEvent(const stream_t &stream, const event_t &event)
 {
   if (stream)
+  {
     stream.Get()->Extend(event.Time_);
+    vp::check::OnStreamWaitEvent(stream.Get(), event.Token_);
+  }
 }
 
 void EventSynchronize(const event_t &event)
 {
   vp::ThisClock().AdvanceTo(event.Time_);
+  vp::check::OnEventSync(event.Token_);
 }
 
 } // namespace vcuda

@@ -13,6 +13,7 @@
 #include "vpTypes.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace vcuda
@@ -105,6 +106,7 @@ private:
   friend void StreamWaitEvent(const stream_t &, const event_t &);
   friend void EventSynchronize(const event_t &);
   double Time_ = 0.0;
+  std::uint64_t Token_ = 0; ///< checker happens-before token (0 = none)
 };
 
 /// Record an event capturing all work submitted to `stream` so far

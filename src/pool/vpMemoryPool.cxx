@@ -1,9 +1,12 @@
 #include "vpMemoryPool.h"
 
+#include "vpChecker.h"
 #include "vpClock.h"
+#include "vpFaultInjector.h"
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 namespace vp
@@ -15,6 +18,7 @@ PoolStats &PoolStats::operator+=(const PoolStats &o)
   this->Misses += o.Misses;
   this->Frees += o.Frees;
   this->Trims += o.Trims;
+  this->AllocRetries += o.AllocRetries;
   this->BytesCached += o.BytesCached;
   this->BytesInUse += o.BytesInUse;
   this->PeakBytesCached += o.PeakBytesCached;
@@ -58,15 +62,20 @@ void *MemoryPool::Allocate(std::size_t bytes, PmKind pm, const Stream &stream,
       if (stream)
         now = std::max(now, stream.Get()->Completion());
 
+      // injected lifetime bug: skip the stream-ready check so the
+      // checker's premature-reuse detection is testable against reality
+      const bool premature = fault::PrematureReuseEnabled();
+
       auto &blocks = lit->second;
       for (auto it = blocks.begin(); it != blocks.end(); ++it)
       {
         const bool sameStream = stream && it->FreedOn == stream;
-        if (!sameStream && it->ReadyAt > now)
+        if (!sameStream && !premature && it->ReadyAt > now)
           continue; // the freeing stream point has not been reached
 
         void *p = it->Ptr;
         blocks.erase(it);
+        check::OnPoolReuse(p, stream ? stream.Get() : nullptr, now);
         this->Stats_.BytesCached -= rounded;
         this->Stats_.Hits++;
         this->Stats_.RequestedBytes += bytes;
@@ -89,9 +98,36 @@ void *MemoryPool::Allocate(std::size_t bytes, PmKind pm, const Stream &stream,
     }
   }
 
-  // miss: the platform allocates (and charges its usual latency)
-  void *p = Platform::Get().Allocate(this->Space_, this->Device_, rounded, pm,
-                                     stream);
+  // miss: the platform allocates (and charges its usual latency). When
+  // that fails — a device memory limit or an injected fault — degrade
+  // gracefully: release this pool's cache back to the platform and retry
+  // once (cudaMallocAsync-under-pressure semantics).
+  void *p = nullptr;
+  try
+  {
+    // fault injection targets pool-routed allocations only: this is the
+    // one allocation site with a graceful-degradation contract, so an
+    // injected failure is absorbed here instead of unwinding a rank
+    if (fault::ShouldFailAllocation())
+    {
+      std::ostringstream oss;
+      oss << "MemoryPool::Allocate: injected allocation failure (" << rounded
+          << " bytes)";
+      throw Error(oss.str());
+    }
+    p = Platform::Get().Allocate(this->Space_, this->Device_, rounded, pm,
+                                 stream);
+  }
+  catch (const Error &)
+  {
+    this->ReleaseCached();
+    {
+      std::lock_guard<std::mutex> lock(this->Mutex_);
+      this->Stats_.AllocRetries++;
+    }
+    p = Platform::Get().Allocate(this->Space_, this->Device_, rounded, pm,
+                                 stream);
+  }
   Platform::Get().TagPooled(p, true);
 
   std::lock_guard<std::mutex> lock(this->Mutex_);
@@ -133,6 +169,8 @@ bool MemoryPool::Deallocate(void *p, const Stream &stream,
   }
   ThisClock().Advance(cost.AsyncAllocLatency);
 
+  check::OnPoolFree(p, stream ? stream.Get() : nullptr, blk.ReadyAt);
+
   this->Free_[rounded].push_back(blk);
   this->Stats_.Frees++;
   this->Stats_.BytesCached += rounded;
@@ -172,6 +210,10 @@ void MemoryPool::TrimLocked(std::size_t target)
     oldest->second.pop_front();
     this->Stats_.BytesCached -= blk.Bytes;
     this->Stats_.Trims++;
+    // the release is legitimate: untag so Platform::Free accepts the
+    // block, and tell the checker the next free of this pointer is clean
+    check::OnPoolRelease(blk.Ptr);
+    Platform::Get().TagPooled(blk.Ptr, false);
     Platform::Get().Free(blk.Ptr);
   }
 }

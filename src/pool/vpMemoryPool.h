@@ -73,6 +73,8 @@ struct PoolStats
   std::uint64_t Misses = 0;  ///< allocations that fell through to the platform
   std::uint64_t Frees = 0;   ///< deallocations returned to the free lists
   std::uint64_t Trims = 0;   ///< blocks released by high-water trimming
+  std::uint64_t AllocRetries = 0; ///< platform allocation failures absorbed
+                                  ///< by releasing the cache and retrying
   std::size_t BytesCached = 0;     ///< bytes currently in the free lists
   std::size_t BytesInUse = 0;      ///< pooled bytes currently handed out
   std::size_t PeakBytesCached = 0; ///< high-water mark of BytesCached

@@ -1,0 +1,247 @@
+// Exhaustive accessor matrix for svtkHAMRDataArray / hamr::buffer: every
+// Get*Accessible view over {host, device-sync, device-async} storage ×
+// {sync, async} stream modes, asserting
+//  * zero-copy when the data is already accessible at the requested
+//    location (pointer identity with GetData(), no copy recorded), and
+//    exactly one platform copy of the right kind otherwise — no
+//    redundant movement;
+//  * contents survive every movement;
+//  * after Synchronize() every host dereference is clean under the
+//    race/lifetime checker — the accessor discipline really provides
+//    "no unsynchronized access".
+
+#include "svtkHAMRDataArray.h"
+#include "vcuda.h"
+#include "vomp.h"
+#include "vpChecker.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+class HamrAccessTest : public ::testing::Test
+{
+protected:
+  void SetUp() override
+  {
+    vp::PlatformConfig cfg;
+    cfg.NumNodes = 1;
+    cfg.DevicesPerNode = 2;
+    cfg.HostCoresPerNode = 8;
+    vp::Platform::Initialize(cfg);
+    vcuda::SetDevice(0);
+    vomp::SetDefaultDevice(0);
+    vp::check::Reset();
+    vp::check::Configure(vp::check::CheckConfig{true, 256, false});
+  }
+
+  void TearDown() override { vp::check::Enable(false); }
+};
+
+/// Sum of synchronous + asynchronous copies of every kind.
+std::uint64_t TotalCopies()
+{
+  const vp::PlatformStats &s = vp::Platform::Get().Stats();
+  std::uint64_t n = 0;
+  for (int k = 0; k < 5; ++k)
+    n += s.Copies(static_cast<vp::CopyKind>(k));
+  return n;
+}
+
+struct StorageCase
+{
+  const char *Label;
+  svtkAllocator Alloc;
+  svtkStreamMode Mode;
+  bool OnDevice;
+};
+
+const StorageCase Storages[] = {
+  {"host/sync", svtkAllocator::malloc_, svtkStreamMode::sync, false},
+  {"host/async", svtkAllocator::malloc_, svtkStreamMode::async, false},
+  {"cuda/sync", svtkAllocator::cuda, svtkStreamMode::sync, true},
+  {"cuda/async", svtkAllocator::cuda, svtkStreamMode::async, true},
+  {"cuda_async/sync", svtkAllocator::cuda_async, svtkStreamMode::sync, true},
+  {"cuda_async/async", svtkAllocator::cuda_async, svtkStreamMode::async, true},
+};
+
+struct AccessorCase
+{
+  const char *Label;
+  bool OnDevice; ///< the view targets device 0 (all device PMs do here)
+  std::function<std::shared_ptr<const double>(const svtkHAMRDoubleArray *)> Get;
+};
+
+const AccessorCase Accessors[] = {
+  {"GetHostAccessible", false,
+   [](const svtkHAMRDoubleArray *a) { return a->GetHostAccessible(); }},
+  {"GetCUDAAccessible", true,
+   [](const svtkHAMRDoubleArray *a) { return a->GetCUDAAccessible(); }},
+  {"GetOpenMPAccessible", true,
+   [](const svtkHAMRDoubleArray *a) { return a->GetOpenMPAccessible(); }},
+  {"GetHIPAccessible", true,
+   [](const svtkHAMRDoubleArray *a) { return a->GetHIPAccessible(); }},
+};
+
+constexpr std::size_t N = 256;
+constexpr double Fill = 3.25;
+
+/// Read back `n` doubles that live wherever `p` points (host or device)
+/// into a host vector, checker-clean (the caller must have synchronized).
+std::vector<double> ReadBack(const double *p, std::size_t n, bool onDevice)
+{
+  std::vector<double> out(n);
+  if (onDevice)
+    vp::Platform::Get().Copy(out.data(), p, n * sizeof(double));
+  else
+  {
+    vp::check::HostRead(p, n * sizeof(double), "testHamrAccess readback");
+    std::memcpy(out.data(), p, n * sizeof(double));
+  }
+  return out;
+}
+
+} // namespace
+
+TEST_F(HamrAccessTest, AccessorMatrixZeroCopyWhenResidentOneCopyOtherwise)
+{
+  for (const StorageCase &sc : Storages)
+  {
+    vcuda::stream_t strm = vcuda::StreamCreate();
+    auto *a = svtkHAMRDoubleArray::New("m", N, 1, sc.Alloc, svtkStream(strm),
+                                      sc.Mode, Fill);
+    a->Synchronize(); // creation/fill traffic is not under test
+    vp::check::Reset();
+
+    for (const AccessorCase &ac : Accessors)
+    {
+      SCOPED_TRACE(std::string(sc.Label) + " via " + ac.Label);
+
+      const vp::CopyKind want = sc.OnDevice ? vp::CopyKind::DeviceToHost
+                                            : vp::CopyKind::HostToDevice;
+      const std::uint64_t before = TotalCopies();
+      const std::uint64_t kindBefore = vp::Platform::Get().Stats().Copies(want);
+
+      auto view = ac.Get(a);
+      ASSERT_TRUE(view);
+
+      if (ac.OnDevice == sc.OnDevice)
+      {
+        // already accessible: the view must alias the storage, not copy it
+        EXPECT_EQ(view.get(), a->GetData());
+        EXPECT_EQ(TotalCopies() - before, 0u)
+          << "redundant copy for an already-accessible view";
+      }
+      else
+      {
+        EXPECT_NE(view.get(), a->GetData());
+        EXPECT_EQ(TotalCopies() - before, 1u)
+          << "movement must be exactly one platform copy";
+        EXPECT_EQ(vp::Platform::Get().Stats().Copies(want) - kindBefore, 1u)
+          << "movement classified wrongly";
+      }
+
+      // the documented discipline: synchronize before dereferencing
+      a->Synchronize();
+      const std::vector<double> got = ReadBack(view.get(), N, ac.OnDevice);
+      for (std::size_t i = 0; i < N; ++i)
+        ASSERT_EQ(got[i], Fill) << "element " << i << " corrupted";
+    }
+
+    const vp::check::Report r = vp::check::Snapshot();
+    EXPECT_EQ(r.Total(), 0u) << sc.Label << ":\n" << r.Summary();
+    a->Delete();
+    vcuda::StreamDestroy(strm);
+  }
+}
+
+TEST_F(HamrAccessTest, RepeatedResidentViewsNeverCopy)
+{
+  for (const StorageCase &sc : Storages)
+  {
+    auto *a = svtkHAMRDoubleArray::New("r", N, 1, sc.Alloc, svtkStream(),
+                                      sc.Mode, Fill);
+    a->Synchronize();
+
+    const std::uint64_t before = TotalCopies();
+    for (int i = 0; i < 3; ++i)
+    {
+      auto view = sc.OnDevice ? a->GetCUDAAccessible()
+                              : a->GetHostAccessible();
+      EXPECT_EQ(view.get(), a->GetData()) << sc.Label;
+    }
+    EXPECT_EQ(TotalCopies() - before, 0u) << sc.Label;
+    a->Delete();
+  }
+  EXPECT_EQ(vp::check::Snapshot().Total(), 0u);
+}
+
+TEST_F(HamrAccessTest, MovedViewOutlivesSourceArray)
+{
+  // the self-cleaning temporary keeps the data valid after the array goes
+  // away — the shared_ptr owns the movement target
+  auto *a = svtkHAMRDoubleArray::New("o", N, 1, svtkAllocator::cuda,
+                                    svtkStream(), svtkStreamMode::sync, Fill);
+  auto view = a->GetHostAccessible();
+  a->Synchronize();
+  a->Delete();
+
+  const std::vector<double> got = ReadBack(view.get(), N, false);
+  for (std::size_t i = 0; i < N; ++i)
+    ASSERT_EQ(got[i], Fill);
+  EXPECT_EQ(vp::check::Snapshot().Total(), 0u);
+}
+
+TEST_F(HamrAccessTest, UnsynchronizedDereferenceOfAsyncMoveIsFlagged)
+{
+  // the one forbidden order: dereference a moved view in async mode
+  // before Synchronize(). The checker must call it out.
+  vcuda::stream_t strm = vcuda::StreamCreate();
+  auto *a = svtkHAMRDoubleArray::New("u", N, 1, svtkAllocator::cuda,
+                                    svtkStream(strm), svtkStreamMode::async,
+                                    Fill);
+  a->Synchronize();
+  vp::check::Reset();
+
+  auto view = a->GetHostAccessible(); // D2H still in flight on the stream
+  vp::check::HostRead(view.get(), N * sizeof(double),
+                      "testHamrAccess premature readback");
+
+  const vp::check::Report r = vp::check::Snapshot();
+  EXPECT_EQ(r.Count(vp::check::ViolationKind::UnsyncedHostAccess), 1u)
+    << r.Summary();
+
+  // and the documented order is clean
+  vp::check::Reset();
+  auto view2 = a->GetHostAccessible();
+  a->Synchronize();
+  vp::check::HostRead(view2.get(), N * sizeof(double),
+                      "testHamrAccess synced readback");
+  EXPECT_EQ(vp::check::Snapshot().Total(), 0u);
+
+  a->Delete();
+  vcuda::StreamDestroy(strm);
+}
+
+TEST_F(HamrAccessTest, ToVectorIsCheckerCleanEverywhere)
+{
+  for (const StorageCase &sc : Storages)
+  {
+    auto *a = svtkHAMRDoubleArray::New("v", N, 1, sc.Alloc, svtkStream(),
+                                      sc.Mode, Fill);
+    const std::vector<double> v = a->ToVector();
+    ASSERT_EQ(v.size(), N) << sc.Label;
+    for (std::size_t i = 0; i < N; ++i)
+      ASSERT_EQ(v[i], Fill) << sc.Label;
+    a->Delete();
+  }
+  const vp::check::Report r = vp::check::Snapshot();
+  EXPECT_EQ(r.Total(), 0u) << r.Summary();
+}
