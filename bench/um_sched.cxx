@@ -1,0 +1,420 @@
+// Microbenchmark / ablation for the adaptive in situ scheduler
+// (src/sched): a skewed-load placement campaign (one device is shared
+// with a heavy co-tenant) comparing the paper's static Eq. 1 rule
+// against the adaptive least-loaded and cost-model policies, plus a
+// bounded-pipeline backpressure experiment showing that drop-oldest at
+// queue_depth=4 caps the async payload memory a slow consumer can
+// accumulate while the unbounded baseline grows linearly. Reported
+// "time" is virtual seconds from the platform's discrete-event clock
+// (UseManualTime).
+//
+// Beyond the google-benchmark output, main() runs both campaigns and
+// writes BENCH_sched.json into the working directory
+// (scripts/run_campaign.sh collects it under results/): per-policy
+// totals and placement histograms, the adaptive-vs-static speedups, and
+// the per-backpressure pipeline counters.
+
+#include "schedPipeline.h"
+#include "schedPolicy.h"
+#include "senseiProfiler.h"
+#include "vpChecker.h"
+#include "vpClock.h"
+#include "vpLoadTracker.h"
+#include "vpPlatform.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// the skewed node: 4 devices, device 0 shared with a co-tenant that
+// claims its compute engine for kHotSeconds every kHotPeriod steps — an
+// intermittent load, so an adaptive policy can both dodge the bursts and
+// reclaim the device while it is idle (a fixed static rule can only ever
+// do one or the other)
+constexpr int kDevices = 4;
+constexpr int kHotDevice = 0;
+constexpr double kHotSeconds = 1.0e-3;
+constexpr int kHotPeriod = 4;
+constexpr int kRanks = 4;
+constexpr int kSteps = 32;
+
+// one in situ analysis per rank per step, binning-shaped
+constexpr std::size_t kElements = 1 << 20;
+constexpr double kOpsPerElement = 8.0;
+constexpr double kAtomicFraction = 0.2;
+constexpr std::size_t kMoveBytes = kElements * sizeof(double);
+
+void Reset()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = kDevices;
+  vp::Platform::Initialize(cfg); // AtInitialize resets DeviceLoadTracker
+
+  sched::Configure(sched::SchedConfig());
+  sched::ResetAggregateStats();
+
+  // re-initializing the platform invalidates the checker's stream
+  // identities; start each scenario from a clean happens-before state
+  vp::check::Reset();
+  vp::ThisClock().Set(0.0);
+}
+
+sched::WorkHint AnalysisHint()
+{
+  sched::WorkHint h;
+  h.Elements = kElements;
+  h.OpsPerElement = kOpsPerElement;
+  h.AtomicFraction = kAtomicFraction;
+  h.MoveBytes = kMoveBytes;
+  return h;
+}
+
+/// One lockstep step of the skewed campaign: the co-tenant periodically
+/// loads the hot device, then every rank places one analysis through the
+/// policy and the work is claimed on the chosen engine. Returns the step
+/// completion time; the caller advances the clock to it.
+double SkewedStep(sched::PlacementPolicy &policy, int devicesToUse,
+                  int deviceStart, int step, std::uint64_t *hotPlacements)
+{
+  vp::Platform &plat = vp::Platform::Get();
+  const vp::CostModel &cost = plat.Config().Cost;
+  const double now = vp::ThisClock().Now();
+
+  if (step % kHotPeriod == 0)
+    plat.GetDevice(0, kHotDevice).Engine.Claim(now, kHotSeconds);
+
+  const double copySeconds = cost.CopySeconds(kMoveBytes, cost.H2DBandwidth);
+  const double devSeconds =
+    cost.KernelSeconds(kElements, kOpsPerElement, true, kAtomicFraction);
+  const double hostSeconds =
+    cost.KernelSeconds(kElements, kOpsPerElement, false, kAtomicFraction);
+
+  double stepEnd = now;
+  for (int r = 0; r < kRanks; ++r)
+  {
+    sched::PlacementRequest req;
+    req.Rank = r;
+    req.DevicesPerNode = plat.NumDevices();
+    req.DevicesToUse = devicesToUse;
+    req.DeviceStart = deviceStart;
+    req.Node = 0;
+    req.Hint = AnalysisHint();
+
+    const int d = policy.SelectDevice(req);
+    double finish;
+    if (d >= 0)
+    {
+      if (d == kHotDevice && hotPlacements)
+        ++*hotPlacements;
+      finish = plat.GetDevice(0, d).Engine.Claim(now + copySeconds,
+                                                 devSeconds);
+    }
+    else
+      finish = now + hostSeconds;
+    stepEnd = stepEnd > finish ? stepEnd : finish;
+  }
+  return stepEnd;
+}
+
+struct PlacementCase
+{
+  const char *Label;
+  sched::PolicyKind Kind;
+  int DevicesToUse;  ///< n_u for the case's <analysis> controls
+  int DeviceStart;   ///< d_0
+};
+
+/// The skewed-load campaign grid: the three static corner cases Eq. 1
+/// can express, then the two adaptive policies over the full device set.
+const PlacementCase kCases[] = {
+  // every rank pinned to the co-tenant's device: the pathological static
+  // configuration an oblivious Eq. 1 user can hit
+  {"static-worst", sched::PolicyKind::Static, 1, kHotDevice},
+  // Eq. 1 defaults (d = r mod n_a): one rank per device, one of them
+  // always behind the co-tenant
+  {"static-spread", sched::PolicyKind::Static, 0, 0},
+  // the best static answer: avoid the hot device entirely, at the price
+  // of only ever using 3 of the 4 devices
+  {"static-best", sched::PolicyKind::Static, kDevices - 1, kHotDevice + 1},
+  {"least-loaded", sched::PolicyKind::LeastLoaded, 0, 0},
+  {"cost-model", sched::PolicyKind::CostModel, 0, 0},
+};
+
+struct PlacementResult
+{
+  std::string Label;
+  double TotalSeconds = 0.0;
+  double MeanStepSeconds = 0.0;
+  std::uint64_t HotPlacements = 0;
+  std::vector<std::uint64_t> Placements; ///< [0]=host, [1+d]=device d
+};
+
+PlacementResult RunPlacement(const PlacementCase &c)
+{
+  Reset();
+  sched::PlacementPolicy &policy = sched::GetPolicy(c.Kind);
+
+  PlacementResult res;
+  res.Label = c.Label;
+  for (int s = 0; s < kSteps; ++s)
+  {
+    const double end =
+      SkewedStep(policy, c.DevicesToUse, c.DeviceStart, s,
+                 &res.HotPlacements);
+    vp::ThisClock().AdvanceTo(end);
+  }
+  res.TotalSeconds = vp::ThisClock().Now();
+  res.MeanStepSeconds = res.TotalSeconds / kSteps;
+  res.Placements = vp::DeviceLoadTracker::Get().PlacementTotals();
+  return res;
+}
+
+// ---- backpressure experiment -------------------------------------------
+
+constexpr std::size_t kPayloadBytes = 1 << 20; // deep copy per step, 1 MiB
+constexpr double kConsumerSeconds = 1.0e-3;    // analysis per step
+constexpr double kProducerSeconds = 1.0e-4;    // solver per step (10x faster)
+constexpr int kPressureTasks = 64;
+
+struct PressureResult
+{
+  std::string Label;
+  sched::PipelineStats Stats;
+  double TotalSeconds = 0.0;
+};
+
+/// Drive one pipeline configuration with a producer 10x faster than the
+/// consumer: the canonical falling-behind scenario whose queued deep
+/// copies are what the bounded pipeline is meant to cap.
+PressureResult RunPressure(const char *label, long depth,
+                           sched::Backpressure bp)
+{
+  Reset();
+  PressureResult res;
+  res.Label = label;
+  {
+    sched::BoundedPipeline pipe;
+    pipe.SetDepth(depth);
+    pipe.SetBackpressure(bp);
+    for (int i = 0; i < kPressureTasks; ++i)
+    {
+      vp::ThisClock().Advance(kProducerSeconds);
+      pipe.Submit([] { vp::ThisClock().Advance(kConsumerSeconds); },
+                  kPayloadBytes);
+    }
+    pipe.Drain();
+    res.Stats = pipe.Stats();
+  }
+  res.TotalSeconds = vp::ThisClock().Now();
+  return res;
+}
+
+// ---- reporting ----------------------------------------------------------
+
+std::string PlacementJson(const PlacementResult &r)
+{
+  std::string out = "    \"" + r.Label + "\": {\n";
+  out += "      \"total_seconds\": " + std::to_string(r.TotalSeconds) + ",\n";
+  out +=
+    "      \"mean_step_seconds\": " + std::to_string(r.MeanStepSeconds) +
+    ",\n";
+  out += "      \"hot_device_placements\": " +
+         std::to_string(r.HotPlacements) + ",\n";
+  out += "      \"placements\": [";
+  for (std::size_t i = 0; i < r.Placements.size(); ++i)
+    out += (i ? "," : "") + std::to_string(r.Placements[i]);
+  out += "]\n    }";
+  return out;
+}
+
+std::string PressureJson(const PressureResult &r)
+{
+  const sched::PipelineStats &s = r.Stats;
+  std::string out = "    \"" + r.Label + "\": {\n";
+  out += "      \"submitted\": " + std::to_string(s.Submitted) + ",\n";
+  out += "      \"executed\": " + std::to_string(s.Executed) + ",\n";
+  out += "      \"dropped\": " + std::to_string(s.Dropped) + ",\n";
+  out += "      \"coalesced\": " + std::to_string(s.Coalesced) + ",\n";
+  out += "      \"queue_depth_high_water\": " +
+         std::to_string(s.QueueDepthHighWater) + ",\n";
+  out += "      \"peak_queued_bytes\": " +
+         std::to_string(s.PeakQueuedBytes) + ",\n";
+  out += "      \"stall_seconds\": " + std::to_string(s.StallSeconds) +
+         ",\n";
+  out += "      \"total_seconds\": " + std::to_string(r.TotalSeconds) +
+         "\n    }";
+  return out;
+}
+
+void WriteJson(const std::vector<PlacementResult> &placement,
+               const std::vector<PressureResult> &pressure,
+               const std::string &path)
+{
+  auto find = [&](const char *label) -> const PlacementResult &
+  {
+    for (const auto &r : placement)
+      if (r.Label == label)
+        return r;
+    return placement.front();
+  };
+  const PlacementResult &worst = find("static-worst");
+  const PlacementResult &best = find("static-best");
+  const PlacementResult &cm = find("cost-model");
+  const PlacementResult &ll = find("least-loaded");
+
+  const PressureResult *unbounded = nullptr, *drop = nullptr;
+  for (const auto &r : pressure)
+  {
+    if (r.Label == "unbounded")
+      unbounded = &r;
+    if (r.Label == "drop-oldest-4")
+      drop = &r;
+  }
+
+  std::ofstream os(path);
+  os.precision(12);
+  os << "{\n"
+     << "  \"bench\": \"um_sched\",\n"
+     << "  \"devices\": " << kDevices << ",\n"
+     << "  \"hot_device\": " << kHotDevice << ",\n"
+     << "  \"hot_seconds\": " << kHotSeconds << ",\n"
+     << "  \"ranks\": " << kRanks << ",\n"
+     << "  \"steps\": " << kSteps << ",\n"
+     << "  \"placement\": {\n";
+  for (std::size_t i = 0; i < placement.size(); ++i)
+    os << PlacementJson(placement[i])
+       << (i + 1 < placement.size() ? ",\n" : "\n");
+  os << "  },\n"
+     << "  \"cost_model_speedup_vs_worst_static\": "
+     << worst.TotalSeconds / cm.TotalSeconds << ",\n"
+     << "  \"cost_model_speedup_vs_best_static\": "
+     << best.TotalSeconds / cm.TotalSeconds << ",\n"
+     << "  \"least_loaded_speedup_vs_worst_static\": "
+     << worst.TotalSeconds / ll.TotalSeconds << ",\n"
+     << "  \"backpressure\": {\n"
+     << "    \"payload_bytes\": " << kPayloadBytes << ",\n"
+     << "    \"tasks\": " << kPressureTasks << ",\n";
+  for (std::size_t i = 0; i < pressure.size(); ++i)
+    os << PressureJson(pressure[i])
+       << (i + 1 < pressure.size() ? ",\n" : "\n");
+  os << "  },\n"
+     << "  \"drop_oldest_bounded\": "
+     << (drop && drop->Stats.PeakQueuedBytes <= 4 * kPayloadBytes ? "true"
+                                                                  : "false")
+     << ",\n"
+     << "  \"unbounded_peak_over_bound\": "
+     << (unbounded && drop
+           ? static_cast<double>(unbounded->Stats.PeakQueuedBytes) /
+               static_cast<double>(4 * kPayloadBytes)
+           : 0.0)
+     << ",\n"
+     << "  \"profiler\": " << sensei::Profiler::Global().ToJson() << "\n"
+     << "}\n";
+}
+
+} // namespace
+
+static void BM_SkewedCampaignStep(benchmark::State &state)
+{
+  const PlacementCase &c = kCases[static_cast<std::size_t>(state.range(0))];
+  Reset();
+  sched::PlacementPolicy &policy = sched::GetPolicy(c.Kind);
+  int step = 0;
+  for (auto _ : state)
+  {
+    const double t0 = vp::ThisClock().Now();
+    const double end =
+      SkewedStep(policy, c.DevicesToUse, c.DeviceStart, step++, nullptr);
+    vp::ThisClock().AdvanceTo(end);
+    state.SetIterationTime(vp::ThisClock().Now() - t0);
+  }
+  state.SetLabel(c.Label);
+}
+BENCHMARK(BM_SkewedCampaignStep)
+  ->DenseRange(0, 4)
+  ->UseManualTime();
+
+static void BM_PlacementDecision(benchmark::State &state)
+{
+  // real (not virtual) cost of one policy decision: this is pure host
+  // bookkeeping on the placement path, so wall time is the honest metric
+  const PlacementCase &c = kCases[static_cast<std::size_t>(state.range(0))];
+  Reset();
+  sched::PlacementPolicy &policy = sched::GetPolicy(c.Kind);
+  sched::PlacementRequest req;
+  req.DevicesPerNode = kDevices;
+  req.Hint = AnalysisHint();
+  int r = 0;
+  for (auto _ : state)
+  {
+    req.Rank = r++ % kRanks;
+    benchmark::DoNotOptimize(policy.SelectDevice(req));
+  }
+  state.SetLabel(c.Label);
+}
+BENCHMARK(BM_PlacementDecision)->Arg(0)->Arg(3)->Arg(4);
+
+int main(int argc, char **argv)
+{
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  sensei::Profiler::Global().Clear();
+
+  std::vector<PlacementResult> placement;
+  for (const PlacementCase &c : kCases)
+    placement.push_back(RunPlacement(c));
+
+  std::vector<PressureResult> pressure;
+  pressure.push_back(
+    RunPressure("unbounded", 0, sched::Backpressure::Block));
+  pressure.push_back(RunPressure("block-4", 4, sched::Backpressure::Block));
+  pressure.push_back(
+    RunPressure("drop-oldest-4", 4, sched::Backpressure::DropOldest));
+  pressure.push_back(
+    RunPressure("coalesce-4", 4, sched::Backpressure::Coalesce));
+
+  // under VP_CHECK the campaigns double as a race/lifetime gate
+  if (vp::check::Enabled())
+  {
+    const vp::check::Report report = vp::check::Finalize();
+    sensei::ExportCheckReport(sensei::Profiler::Global(), report);
+    if (report.Total())
+    {
+      std::fprintf(stderr, "um_sched: VP_CHECK failed\n%s",
+                   report.Summary().c_str());
+      return 2;
+    }
+    std::printf("VP_CHECK: 0 violations across the scheduler campaigns\n");
+  }
+
+  WriteJson(placement, pressure, "BENCH_sched.json");
+
+  for (const PlacementResult &r : placement)
+    std::printf("%-14s total %.6e s  (%llu placements on the hot device)\n",
+                r.Label.c_str(), r.TotalSeconds,
+                static_cast<unsigned long long>(r.HotPlacements));
+  const double worst = placement[0].TotalSeconds;
+  const double best = placement[2].TotalSeconds;
+  const double cm = placement[4].TotalSeconds;
+  std::printf("BENCH_sched.json: cost-model %.2fx vs worst static, "
+              "%.2fx vs best static\n",
+              worst / cm, best / cm);
+  for (const PressureResult &r : pressure)
+    std::printf("%-14s peak queued %zu B, dropped %llu, coalesced %llu, "
+                "stall %.3e s\n",
+                r.Label.c_str(), r.Stats.PeakQueuedBytes,
+                static_cast<unsigned long long>(r.Stats.Dropped),
+                static_cast<unsigned long long>(r.Stats.Coalesced),
+                r.Stats.StallSeconds);
+  return 0;
+}

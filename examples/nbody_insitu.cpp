@@ -14,6 +14,7 @@
 
 #include "minimpi.h"
 #include "newtonDriver.h"
+#include "schedPipeline.h"
 #include "senseiConfigurableAnalysis.h"
 #include "senseiDataBinning.h"
 #include "senseiProfiler.h"
@@ -22,6 +23,7 @@
 #include "vpFaultInjector.h"
 #include "vpPlatform.h"
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -115,6 +117,23 @@ int main(int argc, char **argv)
             << "avg in situ time / iteration : " << meanInsitu
             << " s (apparent; binning ran asynchronously)\n"
             << "wrote nbody_mass_xy.vti and nbody_bodies_r*_s*.csv\n";
+
+  // every rank's analyses were drained before their Finalize (see
+  // ConfigurableAnalysis::Finalize) and all ranks have joined, so the
+  // scheduler counters and the profiler series are settled: export them
+  // now — never while async work is still in flight
+  sensei::ExportSchedStats(sensei::Profiler::Global());
+  {
+    std::ofstream json("nbody_profile.json");
+    json << sensei::Profiler::Global().ToJson() << '\n';
+  }
+  {
+    const sched::PipelineStats ps = sched::AggregateStats();
+    std::cout << "sched: " << ps.Submitted << " submitted, " << ps.Executed
+              << " executed, " << ps.Dropped << " dropped, " << ps.Coalesced
+              << " coalesced, stall " << ps.StallSeconds << " s (virtual)\n"
+              << "wrote nbody_profile.json\n";
+  }
 
   // with <check> (or VP_CHECK=1) the run doubles as a race/lifetime gate:
   // all ranks have joined, so finalize the checker once from the main

@@ -36,6 +36,11 @@ done
 if [ -f BENCH_pool.json ]; then
   echo "wrote results/BENCH_pool.json"
 fi
+# um_sched writes the skewed-load placement campaign (static Eq. 1 vs
+# least-loaded vs cost-model) and the backpressure memory experiment
+if [ -f BENCH_sched.json ]; then
+  echo "wrote results/BENCH_sched.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -43,8 +48,26 @@ echo "== checked pooled campaign (VP_CHECK=1) =="
 # free, leak) makes um_pool_reuse exit nonzero and aborts the script
 VP_CHECK=1 ../build/bench/um_pool_reuse --benchmark_min_time=0.05 \
   | tee um_pool_reuse_checked.txt
+echo "== scheduler campaign (VP_CHECK=1) =="
+# the adaptive-scheduler campaign under the checker: placement policies,
+# the bounded pipeline (including real-thread mode in the labelled
+# tests), and the backpressure matrix must all be race/lifetime clean
+VP_CHECK=1 ../build/bench/um_sched --benchmark_min_time=0.05 \
+  | tee um_sched_checked.txt
+echo "== scheduler-labelled tests =="
+ctest --test-dir ../build -L sched --output-on-failure
+
 echo "== checker-labelled tests =="
 ctest --test-dir ../build -L check --output-on-failure
+
+echo "== sanitized scheduler run (-DVP_SANITIZE=ON) =="
+# a separate ASan+UBSan build configuration; the real-thread pipeline and
+# the drop/coalesce task destruction paths run under the sanitizers
+cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
+cmake --build ../build-sanitize --target um_sched testSched
+../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
+  | tee um_sched_sanitized.txt
+../build-sanitize/tests/testSched
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

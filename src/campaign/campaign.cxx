@@ -2,6 +2,7 @@
 
 #include "minimpi.h"
 #include "newtonDriver.h"
+#include "schedPipeline.h"
 #include "senseiConfigurableAnalysis.h"
 #include "vpPlatform.h"
 
@@ -141,6 +142,17 @@ std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
 
   std::ostringstream xml;
   xml << "<sensei>\n";
+  if (!g.SchedPolicy.empty() || g.QueueDepth >= 0 || !g.Backpressure.empty())
+  {
+    xml << "  <sched";
+    if (!g.SchedPolicy.empty())
+      xml << " policy=\"" << g.SchedPolicy << '"';
+    if (g.QueueDepth >= 0)
+      xml << " queue_depth=\"" << g.QueueDepth << '"';
+    if (!g.Backpressure.empty())
+      xml << " backpressure=\"" << g.Backpressure << '"';
+    xml << "/>\n";
+  }
   for (int s = 0; s < nsys; ++s)
   {
     xml << "  <analysis type=\"data_binning\" mesh=\"bodies\" axes=\""
@@ -170,6 +182,13 @@ CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g)
   plat.HostCoresPerNode = 64;
   plat.ExecuteKernels = !g.TimingOnly;
   vp::Platform::Initialize(plat);
+
+  // scheduler configuration is process-wide and sticky; start every case
+  // from the defaults so a <sched> element (or a prior caller's
+  // sched::Configure) cannot leak into the next case, and zero the
+  // pipeline counters so per-case exports are self-contained
+  sched::Configure(sched::SchedConfig());
+  sched::ResetAggregateStats();
 
   newton::Config sim;
   sim.TotalBodies = g.BodiesPerNode * static_cast<std::size_t>(g.Nodes);

@@ -59,6 +59,15 @@ struct CampaignConfig
   int VariablesPerSystem = 10;    ///< reductions per instance
   bool TimingOnly = true;         ///< skip kernel bodies (timing campaign)
   unsigned Seed = 42;
+
+  // adaptive scheduler controls, emitted as a <sched> element when any is
+  // set: placement policy ("static", "least-loaded", "cost-model"; empty
+  // keeps the built-in static default), bounded-pipeline depth (-1 keeps
+  // the default of 1; 0 = unbounded), and full-queue backpressure
+  // ("block", "drop-oldest", "coalesce"; empty keeps "block")
+  std::string SchedPolicy;
+  long QueueDepth = -1;
+  std::string Backpressure;
 };
 
 /// A paper-shape configuration: per-node body count and grid resolution at

@@ -1,39 +1,51 @@
 #include "senseiAnalysisAdaptor.h"
 
+#include "vpLoadTracker.h"
 #include "vpPlatform.h"
 
 namespace sensei
 {
 
-int AnalysisAdaptor::GetPlacementDevice(int rank, int devicesPerNode) const
+int AnalysisAdaptor::GetPlacementDevice(int rank, int devicesPerNode,
+                                        const sched::WorkHint &hint) const
 {
+  const int node = vp::Platform::GetThisNode();
+
   if (this->DeviceId_ == DEVICE_HOST)
+  {
+    vp::DeviceLoadTracker::Get().RecordPlacement(node, DEVICE_HOST);
     return DEVICE_HOST;
+  }
 
-  const int na = devicesPerNode;
-  if (na < 1)
-    return DEVICE_HOST; // no accelerators: everything runs on the host
+  if (this->DeviceId_ >= 0 && devicesPerNode >= 1)
+  {
+    const int d = this->DeviceId_ % devicesPerNode;
+    vp::DeviceLoadTracker::Get().RecordPlacement(node, d);
+    return d;
+  }
 
-  if (this->DeviceId_ >= 0)
-    return this->DeviceId_ % na;
-
-  // automatic selection, Eq. 1: d = ((r mod n_u) * s + d_0) mod n_a
-  const int nu = this->DevicesToUse_ > 0 ? this->DevicesToUse_ : na;
-  const int s = this->DeviceStride_ != 0 ? this->DeviceStride_ : 1;
-  const int d0 = this->DeviceStart_;
-  const int r = rank >= 0 ? rank : 0;
-
-  int d = ((r % nu) * s + d0) % na;
-  if (d < 0)
-    d += na;
-  return d;
+  // automatic selection by the placement policy (Eq. 1 under `static`).
+  // With no usable device (n_a <= 0, or a negative n_u configured) every
+  // policy returns DEVICE_HOST and warns once per process — Eq. 1 would
+  // divide by zero.
+  sched::PlacementRequest req;
+  req.Rank = rank;
+  req.DevicesPerNode = devicesPerNode;
+  req.DevicesToUse = this->DevicesToUse_;
+  req.DeviceStart = this->DeviceStart_;
+  req.DeviceStride = this->DeviceStride_;
+  req.Node = node;
+  req.Hint = hint;
+  return sched::GetPolicy(this->Policy_).SelectDevice(req);
 }
 
-int AnalysisAdaptor::GetPlacementDevice(DataAdaptor *data) const
+int AnalysisAdaptor::GetPlacementDevice(DataAdaptor *data,
+                                        const sched::WorkHint &hint) const
 {
   const int rank =
     data && data->GetCommunicator() ? data->GetCommunicator()->Rank() : 0;
-  return this->GetPlacementDevice(rank, vp::Platform::Get().NumDevices());
+  return this->GetPlacementDevice(rank, vp::Platform::Get().NumDevices(),
+                                  hint);
 }
 
 } // namespace sensei

@@ -21,7 +21,15 @@
 /// These controls are defined here, in the base class, and are therefore
 /// available to all back ends; ConfigurableAnalysis exposes them in the
 /// run time XML configuration.
+///
+/// Automatic placement is delegated to a pluggable sched::PlacementPolicy:
+/// `static` is Eq. 1 verbatim (the default — bit-for-bit the original
+/// rule), `least-loaded` and `cost-model` consult the virtual platform's
+/// per-device load before deciding (see schedPolicy.h). Back ends may
+/// describe the work being placed with a sched::WorkHint so the
+/// cost-model policy can price it.
 
+#include "schedPolicy.h"
 #include "senseiDataAdaptor.h"
 #include "svtkObjectBase.h"
 
@@ -57,6 +65,12 @@ public:
   /// Returns zero on success.
   virtual int Finalize() { return 0; }
 
+  /// Wait for in-flight asynchronous work without releasing anything.
+  /// ConfigurableAnalysis calls this on every analysis before finalizing
+  /// any of them, so no back end's Finalize (or the profiler shutdown
+  /// that follows) can run while a sibling still has a task in flight.
+  virtual void DrainAsync() {}
+
   // --- execution method ------------------------------------------------------
 
   void SetExecutionMethod(ExecutionMethod m) { this->Method_ = m; }
@@ -91,15 +105,26 @@ public:
   void SetDeviceStride(int s) { this->DeviceStride_ = s; }
   int GetDeviceStride() const { return this->DeviceStride_; }
 
+  /// The policy used for automatic placement (DEVICE_AUTO): `static`
+  /// (Eq. 1, the default), `least-loaded`, or `cost-model`.
+  void SetPlacementPolicy(sched::PolicyKind k) { this->Policy_ = k; }
+  sched::PolicyKind GetPlacementPolicy() const { return this->Policy_; }
+
   /// Resolve the device this analysis runs on for MPI rank `rank`, given
   /// `devicesPerNode` (n_a) devices on the node: the explicit device when
-  /// one was set, DEVICE_HOST for host placement, otherwise Eq. 1.
-  /// Returns a device id in [0, n_a) or DEVICE_HOST.
-  int GetPlacementDevice(int rank, int devicesPerNode) const;
+  /// one was set, DEVICE_HOST for host placement, otherwise the placement
+  /// policy (Eq. 1 under `static`). When no device is usable (n_a <= 0,
+  /// or a negative devices_to_use was configured) returns DEVICE_HOST and
+  /// warns once per process instead of dividing by zero in Eq. 1. The
+  /// optional `hint` describes the work so the cost-model policy can
+  /// price it. Returns a device id in [0, n_a) or DEVICE_HOST.
+  int GetPlacementDevice(int rank, int devicesPerNode,
+                         const sched::WorkHint &hint = {}) const;
 
   /// Resolve against the live platform (n_a from a system query) using the
   /// data adaptor's communicator for the rank (rank 0 in serial use).
-  int GetPlacementDevice(DataAdaptor *data) const;
+  int GetPlacementDevice(DataAdaptor *data,
+                         const sched::WorkHint &hint = {}) const;
 
   // --- diagnostics ------------------------------------------------------------
 
@@ -112,6 +137,7 @@ protected:
 
 private:
   ExecutionMethod Method_ = ExecutionMethod::Lockstep;
+  sched::PolicyKind Policy_ = sched::PolicyKind::Static;
   int DeviceId_ = DEVICE_AUTO;
   int DevicesToUse_ = 0; ///< 0 = n_a
   int DeviceStart_ = 0;

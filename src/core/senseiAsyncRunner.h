@@ -2,39 +2,39 @@
 #define senseiAsyncRunner_h
 
 /// @file senseiAsyncRunner.h
-/// Helper implementing the paper's asynchronous execution method: one
-/// analysis task in flight at a time, concurrent with the simulation in
-/// *virtual* time. A new submission first drains the previous one (back
-/// pressure: if the analysis is slower than the solver, the solver waits,
-/// exactly as on real hardware where the in situ thread still holds the
-/// data).
+/// Helper implementing the paper's asynchronous execution method, now a
+/// thin façade over sched::BoundedPipeline. With the default scheduler
+/// configuration (queue_depth 1, backpressure "block") the behavior is
+/// the original one — one analysis task in flight at a time, a new
+/// submission first waits out the previous one, and the deterministic
+/// mode gives bit-identical virtual timelines run to run. The `<sched>`
+/// XML element (or sched::Configure) changes the queue depth and the
+/// full-queue policy (block / drop-oldest / coalesce) for every runner
+/// in the process; see schedPipeline.h for the semantics.
 ///
 /// Two accounting modes are provided:
 ///
 ///  * **deterministic** (the default) — the task body runs inline under a
-///    detached virtual clock seeded at the submission time. Its resource
-///    claims (device engines, host pool, collectives) land exactly as a
-///    perfectly-fair concurrent thread's would, the submitter's clock
-///    advances only by the thread-spawn cost, and repeated runs give
-///    bit-identical virtual timelines;
-///  * **real-thread** — the task runs on an actual vp::ScopedThread. The
-///    virtual semantics are the same, but claim interleaving follows the
-///    host OS scheduler, so timelines vary run to run. Useful to
-///    demonstrate that the code is genuinely thread safe (the unit tests
-///    exercise both modes).
+///    detached virtual clock seeded at the consumer's start time. Its
+///    resource claims (device engines, host pool, collectives) land
+///    exactly as a perfectly-fair concurrent thread's would, and the
+///    submitter's clock advances only by the thread-spawn cost;
+///  * **real-thread** — tasks run on a persistent consumer std::thread
+///    with checker-visible fork/join edges per task. The virtual
+///    semantics are the same, but claim interleaving follows the host OS
+///    scheduler, so timelines vary run to run. Useful to demonstrate
+///    that the code is genuinely thread safe (the unit tests exercise
+///    both modes).
 
-#include "vcuda.h"
-#include "vomp.h"
-#include "vpClock.h"
-#include "vpPlatform.h"
+#include "schedPipeline.h"
 
+#include <cstddef>
 #include <functional>
-#include <optional>
 
 namespace sensei
 {
 
-/// Runs at most one background task at a time.
+/// Bounded asynchronous task runner (see sched::BoundedPipeline).
 class AsyncRunner
 {
 public:
@@ -42,69 +42,30 @@ public:
   AsyncRunner(const AsyncRunner &) = delete;
   AsyncRunner &operator=(const AsyncRunner &) = delete;
 
-  /// Drains outstanding work.
-  ~AsyncRunner() { this->Drain(); }
-
   /// Use real std::threads instead of deterministic inline accounting.
-  void SetUseRealThreads(bool on) { this->RealThreads_ = on; }
-  bool GetUseRealThreads() const { return this->RealThreads_; }
+  void SetUseRealThreads(bool on) { this->Pipeline_.SetUseRealThreads(on); }
+  bool GetUseRealThreads() const { return this->Pipeline_.GetUseRealThreads(); }
 
-  /// Wait for the previous task (if any), then launch `fn`, returning
-  /// after only the spawn cost on the submitting thread's clock.
-  void Submit(std::function<void()> fn)
+  /// Launch `fn`, returning after only the spawn cost on the submitting
+  /// thread's clock (plus any stall the backpressure policy imposes).
+  /// `payloadBytes` sizes the deep copy the closure owns, so the queue
+  /// bound can meter async memory.
+  void Submit(std::function<void()> fn, std::size_t payloadBytes = 0)
   {
-    this->Drain();
-
-    if (this->RealThreads_)
-    {
-      this->Pending_.emplace(std::move(fn));
-      return;
-    }
-
-    vp::Platform &plat = vp::Platform::Get();
-    vp::ThisClock().Advance(plat.Config().Cost.ThreadSpawnCost);
-
-    // run inline under a detached clock; the task must not disturb the
-    // submitting thread's PM device bindings
-    const int cudaDev = vcuda::GetDevice();
-    const int ompDev = vomp::GetDefaultDevice();
-    {
-      vp::ClockScope scope(vp::ThisClock().Now());
-      fn();
-      this->PendingFinal_ = scope.Now();
-    }
-    vcuda::SetDevice(cudaDev);
-    vomp::SetDefaultDevice(ompDev);
-    this->HaveDeterministic_ = true;
+    this->Pipeline_.Submit(std::move(fn), payloadBytes);
   }
 
-  /// Wait for the in-flight task to complete (merging virtual clocks).
-  void Drain()
-  {
-    if (this->HaveDeterministic_)
-    {
-      vp::ThisClock().AdvanceTo(this->PendingFinal_);
-      this->HaveDeterministic_ = false;
-    }
-    if (this->Pending_)
-    {
-      this->Pending_->Join();
-      this->Pending_.reset();
-    }
-  }
+  /// Wait for all in-flight tasks to complete (merging virtual clocks).
+  void Drain() { this->Pipeline_.Drain(); }
 
   /// True when a task is in flight.
-  bool Busy() const
-  {
-    return this->HaveDeterministic_ ||
-           (this->Pending_ && this->Pending_->Joinable());
-  }
+  bool Busy() const { return this->Pipeline_.Busy(); }
+
+  /// The underlying pipeline (stats, per-runner overrides).
+  sched::BoundedPipeline &Pipeline() { return this->Pipeline_; }
 
 private:
-  bool RealThreads_ = false;
-  std::optional<vp::ScopedThread> Pending_;
-  bool HaveDeterministic_ = false;
-  double PendingFinal_ = 0.0;
+  sched::BoundedPipeline Pipeline_;
 };
 
 } // namespace sensei

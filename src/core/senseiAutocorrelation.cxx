@@ -40,9 +40,17 @@ bool Autocorrelation::Execute(DataAdaptor *data)
   while (static_cast<long>(this->History_.size()) > this->Window_)
     this->History_.pop_front();
 
-  const int device = this->GetPlacementDevice(data);
   std::vector<svtkSmartPtr<svtkHAMRDoubleArray>> window(
     this->History_.begin(), this->History_.end());
+
+  // one dot product per lag over the newest column
+  const std::size_t n = static_cast<std::size_t>(
+    window.back()->GetNumberOfTuples());
+  sched::WorkHint hint;
+  hint.Elements = n;
+  hint.OpsPerElement = 2.0 * static_cast<double>(window.size());
+  hint.MoveBytes = window.size() * n * sizeof(double);
+  const int device = this->GetPlacementDevice(data, hint);
 
   if (this->GetAsynchronous())
   {
@@ -50,8 +58,11 @@ bool Autocorrelation::Execute(DataAdaptor *data)
       this->AsyncComm_.emplace(data->GetCommunicator()->Dup());
     minimpi::Communicator *comm =
       this->AsyncComm_ ? &*this->AsyncComm_ : nullptr;
+    // the closure holds the whole window of deep copies alive
+    const std::size_t bytes = hint.MoveBytes;
     this->Runner_.Submit([this, window = std::move(window), comm, device]()
-                         { this->Run(window, comm, device); });
+                         { this->Run(window, comm, device); },
+                         bytes);
     return true;
   }
 

@@ -47,6 +47,7 @@ public:
   long GetWindow() const { return this->Window_; }
 
   bool Execute(DataAdaptor *data) override;
+  void DrainAsync() override { this->Runner_.Drain(); }
   int Finalize() override;
 
   /// The most recent ACF: element tau is the lag-tau correlation; fewer

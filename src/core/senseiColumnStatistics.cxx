@@ -83,7 +83,16 @@ bool ColumnStatistics::Execute(DataAdaptor *data)
   table->UnRegister();
 
   const long step = data->GetDataTimeStep();
-  const int device = this->GetPlacementDevice(data);
+
+  // one Welford pass per column
+  std::size_t elements = 0;
+  for (const auto &c : cols)
+    elements += static_cast<std::size_t>(c->GetNumberOfTuples());
+  sched::WorkHint hint;
+  hint.Elements = elements;
+  hint.OpsPerElement = 8.0;
+  hint.MoveBytes = elements * sizeof(double);
+  const int device = this->GetPlacementDevice(data, hint);
 
   if (this->GetAsynchronous())
   {
@@ -93,7 +102,8 @@ bool ColumnStatistics::Execute(DataAdaptor *data)
       this->AsyncComm_ ? &*this->AsyncComm_ : nullptr;
     this->Runner_.Submit(
       [this, names, cols, comm, step, device]()
-      { this->Run(names, cols, comm, step, device); });
+      { this->Run(names, cols, comm, step, device); },
+      hint.MoveBytes);
     return true;
   }
 

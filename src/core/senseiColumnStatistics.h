@@ -58,6 +58,7 @@ public:
   void SetOutputFile(const std::string &path) { this->OutputFile_ = path; }
 
   bool Execute(DataAdaptor *data) override;
+  void DrainAsync() override { this->Runner_.Drain(); }
   int Finalize() override;
 
   /// The most recent per-column statistics (empty before the first

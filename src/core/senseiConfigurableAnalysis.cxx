@@ -5,6 +5,7 @@
 #include "senseiDataBinning.h"
 #include "senseiHistogram.h"
 #include "senseiPosthocIO.h"
+#include "schedPipeline.h"
 #include "sxml.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
@@ -89,6 +90,37 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     vp::check::Configure(cfg);
   }
 
+  // optional <sched> element configures the adaptive scheduler: the
+  // default placement policy for every analysis and the bounded async
+  // pipeline (queue depth + backpressure) shared by all async runners
+  if (const sxml::Element *se = root.FirstChild("sched"))
+  {
+    sched::SchedConfig cfg = sched::GetConfig();
+    try
+    {
+      cfg.Policy = sched::PolicyKindFromName(
+        se->Attribute("policy", sched::PolicyKindName(cfg.Policy)));
+      cfg.Pressure = sched::BackpressureFromName(se->Attribute(
+        "backpressure", sched::BackpressureName(cfg.Pressure)));
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(std::string("ConfigurableAnalysis: <sched> ") +
+                               e.what());
+    }
+    const long long depth = se->AttributeInt(
+      "queue_depth", static_cast<long long>(cfg.QueueDepth));
+    if (depth < 0)
+      throw std::runtime_error(
+        "ConfigurableAnalysis: <sched> queue_depth must be >= 0 "
+        "(0 means unbounded)");
+    cfg.QueueDepth = static_cast<long>(depth);
+    cfg.RealThreads = se->AttributeBool("real_threads", cfg.RealThreads);
+    sched::Configure(cfg);
+    this->SchedPolicy_ = cfg.Policy;
+    this->HaveSchedPolicy_ = true;
+  }
+
   // optional <fault> element arms the deterministic fault injector
   if (const sxml::Element *fe = root.FirstChild("fault"))
   {
@@ -136,6 +168,23 @@ void ConfigurableAnalysis::ApplyCommon(const sxml::Element &el,
   a->SetDeviceStart(static_cast<int>(el.AttributeInt("device_start", 0)));
   a->SetDeviceStride(static_cast<int>(el.AttributeInt("device_stride", 1)));
   a->SetVerbose(static_cast<int>(el.AttributeInt("verbose", 0)));
+
+  // placement policy: the <sched> element's default, overridable per
+  // analysis with policy="static|least-loaded|cost-model"
+  if (this->HaveSchedPolicy_)
+    a->SetPlacementPolicy(this->SchedPolicy_);
+  if (el.HasAttribute("policy"))
+  {
+    try
+    {
+      a->SetPlacementPolicy(sched::PolicyKindFromName(el.Attribute("policy")));
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(std::string("ConfigurableAnalysis: ") +
+                               e.what());
+    }
+  }
 }
 
 AnalysisAdaptor *ConfigurableAnalysis::BuildAnalysis(const sxml::Element &el)
@@ -272,8 +321,19 @@ bool ConfigurableAnalysis::Execute(DataAdaptor *data)
   return ok;
 }
 
+void ConfigurableAnalysis::DrainAsync()
+{
+  for (AnalysisAdaptor *a : this->Analyses_)
+    a->DrainAsync();
+}
+
 int ConfigurableAnalysis::Finalize()
 {
+  // drain every analysis before finalizing any: a back end's Finalize
+  // (or the profiler shutdown that follows) must not run while a sibling
+  // still has an asynchronous task in flight
+  this->DrainAsync();
+
   int status = 0;
   for (AnalysisAdaptor *a : this->Analyses_)
   {

@@ -12,6 +12,8 @@
 ///   <sensei>
 ///     <pool enabled="1" max_cached_bytes="268435456"
 ///           trim_threshold="0.5"/>
+///     <sched policy="cost-model" queue_depth="4"
+///            backpressure="drop-oldest"/>
 ///     <analysis type="data_binning" mesh="bodies"
 ///               axes="x,y" resolution="256,256"
 ///               ops="sum" values="m"
@@ -26,6 +28,12 @@
 /// `device` accepts an explicit id, "host", or "auto" (Eq. 1 placement
 /// with the optional devices_to_use / device_start / device_stride
 /// controls).
+///
+/// The optional <sched> element configures the adaptive scheduler: the
+/// automatic-placement policy ("static" = Eq. 1, "least-loaded",
+/// "cost-model"; overridable per analysis with a policy attribute) and
+/// the bounded asynchronous pipeline (queue_depth, 0 = unbounded;
+/// backpressure = "block" | "drop-oldest" | "coalesce"; real_threads).
 
 #include "senseiAnalysisAdaptor.h"
 
@@ -64,7 +72,11 @@ public:
   /// Returns false when any back end fails.
   bool Execute(DataAdaptor *data) override;
 
-  /// Finalize every back end; returns the first nonzero status.
+  /// Wait for every back end's in-flight asynchronous work.
+  void DrainAsync() override;
+
+  /// Drain every back end, then finalize each; returns the first
+  /// nonzero status.
   int Finalize() override;
 
   /// Number of configured back ends.
@@ -82,9 +94,11 @@ protected:
 
 private:
   AnalysisAdaptor *BuildAnalysis(const sxml::Element &el);
-  static void ApplyCommon(const sxml::Element &el, AnalysisAdaptor *a);
+  void ApplyCommon(const sxml::Element &el, AnalysisAdaptor *a);
 
   std::vector<AnalysisAdaptor *> Analyses_;
+  sched::PolicyKind SchedPolicy_ = sched::PolicyKind::Static;
+  bool HaveSchedPolicy_ = false; ///< a <sched> element set the default
 };
 
 } // namespace sensei

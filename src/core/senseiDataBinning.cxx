@@ -202,12 +202,34 @@ bool DataBinning::GatherInputs(DataAdaptor *data, bool deepCopy, Snapshot &snap)
     for (const Operation &op : this->Ops_)
       if (op.Kind != BinningOp::Count)
         ok = ok && grab(op.Column, block.ValueCols);
+
+    if (!block.AxisCols.empty())
+      snap.Rows += static_cast<std::size_t>(
+        block.AxisCols[0]->GetNumberOfTuples());
+    for (const auto &kv : cache)
+      snap.Bytes += static_cast<std::size_t>(kv.second->GetNumberOfTuples()) *
+                    sizeof(double);
+
     snap.Blocks.push_back(std::move(block));
   }
 
   snap.Step = data->GetDataTimeStep();
   snap.Time = data->GetDataTime();
-  snap.Device = this->GetPlacementDevice(data);
+
+  // describe the accumulation so the cost-model policy can price it: the
+  // per-row cost and atomic fraction mirror the kernel launched below
+  std::size_t nRed = 0;
+  for (const Operation &op : this->Ops_)
+    if (op.Kind != BinningOp::Count)
+      ++nRed;
+  sched::WorkHint hint;
+  hint.Elements = snap.Rows;
+  hint.OpsPerElement = 4.0 * static_cast<double>(this->Axes_.size()) +
+                       3.0 * static_cast<double>(nRed + 1);
+  hint.AtomicFraction =
+    this->GpuStrategy_ == GpuBinningStrategy::GlobalAtomics ? 0.6 : 0.05;
+  hint.MoveBytes = snap.Bytes;
+  snap.Device = this->GetPlacementDevice(data, hint);
 
   obj->UnRegister();
   return ok;
@@ -230,7 +252,8 @@ bool DataBinning::Execute(DataAdaptor *data)
       return false;
     snap->Comm = this->AsyncComm_ ? &*this->AsyncComm_ : nullptr;
 
-    this->Runner_.Submit([this, snap]() { this->RunBinning(*snap); });
+    this->Runner_.Submit([this, snap]() { this->RunBinning(*snap); },
+                         snap->Bytes);
     return true;
   }
 

@@ -119,6 +119,7 @@ public:
   // --- framework interface -----------------------------------------------------
 
   bool Execute(DataAdaptor *data) override;
+  void DrainAsync() override { this->Runner_.Drain(); }
   int Finalize() override;
 
   /// The most recent result: a uniform mesh whose point data holds one
@@ -159,6 +160,8 @@ private:
     long Step = 0;
     double Time = 0.0;
     int Device = DEVICE_HOST;
+    std::size_t Rows = 0;  ///< total rows over the blocks
+    std::size_t Bytes = 0; ///< payload held by the deep copy
   };
 
   bool GatherInputs(DataAdaptor *data, bool deepCopy, Snapshot &snap);

@@ -32,7 +32,17 @@ bool Histogram::Execute(DataAdaptor *data)
   }
 
   svtkHAMRDoubleArray *col = svtkAsHAMRDouble(raw); // +1 ref
-  const int device = this->GetPlacementDevice(data);
+
+  // describe the two passes (range scan + accumulation) for the
+  // cost-model placement policy
+  const std::size_t n = static_cast<std::size_t>(col->GetNumberOfTuples());
+  const std::size_t bytes = n * sizeof(double);
+  sched::WorkHint hint;
+  hint.Elements = n;
+  hint.OpsPerElement = 7.0; // 2 (range) + 5 (accumulate), as launched below
+  hint.AtomicFraction = 0.6;
+  hint.MoveBytes = bytes;
+  const int device = this->GetPlacementDevice(data, hint);
 
   if (this->GetAsynchronous())
   {
@@ -48,7 +58,8 @@ bool Histogram::Execute(DataAdaptor *data)
     minimpi::Communicator *comm =
       this->AsyncComm_ ? &*this->AsyncComm_ : nullptr;
     this->Runner_.Submit([this, snap, comm, device]()
-                         { this->Run(snap, comm, device); });
+                         { this->Run(snap, comm, device); },
+                         bytes);
     return true;
   }
 

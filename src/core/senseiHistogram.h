@@ -48,6 +48,7 @@ public:
   void SetUseRealThreads(bool on) { this->Runner_.SetUseRealThreads(on); }
 
   bool Execute(DataAdaptor *data) override;
+  void DrainAsync() override { this->Runner_.Drain(); }
   int Finalize() override;
 
   /// The most recent histogram: bin counts plus the range used. Returns

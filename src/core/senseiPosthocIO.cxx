@@ -29,12 +29,14 @@ bool PosthocIO::Execute(DataAdaptor *data)
   // deep copy to host-resident AOS arrays (file IO is a host activity and
   // the copy decouples the write from the simulation's buffers)
   svtkTable *host = svtkTable::New();
+  std::size_t bytes = 0;
   for (int c = 0; c < table->GetNumberOfColumns(); ++c)
   {
     svtkDataArray *col = table->GetColumn(c);
     svtkAOSDoubleArray *a = svtkAOSDoubleArray::New(col->GetName());
     a->SetNumberOfComponents(col->GetNumberOfComponents());
     a->GetVector() = svtkToDoubleVector(col);
+    bytes += a->GetVector().size() * sizeof(double);
     host->AddColumn(a);
     a->Delete();
   }
@@ -50,17 +52,19 @@ bool PosthocIO::Execute(DataAdaptor *data)
   const std::string file = path.str();
   const Format fmt = this->Format_;
 
-  auto write = [host, file, fmt]()
+  // the closure owns the host copy (the scheduler may discard it without
+  // running under a dropping backpressure policy)
+  auto held = svtkSmartPtr<svtkTable>::Take(host);
+  auto write = [held, file, fmt]()
   {
     if (fmt == Format::CSV)
-      sio::WriteCSV(file, host);
+      sio::WriteCSV(file, held.Get());
     else
-      sio::WriteParticlesVTK(file, host);
-    host->UnRegister();
+      sio::WriteParticlesVTK(file, held.Get());
   };
 
   if (this->GetAsynchronous())
-    this->Runner_.Submit(write);
+    this->Runner_.Submit(write, bytes);
   else
     write();
 

@@ -39,6 +39,7 @@ public:
   void SetFrequency(long k) { this->Frequency_ = k > 0 ? k : 1; }
 
   bool Execute(DataAdaptor *data) override;
+  void DrainAsync() override { this->Runner_.Drain(); }
   int Finalize() override;
 
   /// Number of files written so far.

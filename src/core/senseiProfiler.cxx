@@ -1,7 +1,9 @@
 #include "senseiProfiler.h"
 
+#include "schedPipeline.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
+#include "vpLoadTracker.h"
 #include "vpMemoryPool.h"
 
 #include <cstdio>
@@ -103,6 +105,31 @@ void ExportCheckReport(Profiler &prof, const vp::check::Report &report)
   prof.Event("fault::alloc_failures", static_cast<double>(f.AllocFailures));
   prof.Event("fault::events_dropped", static_cast<double>(f.EventsDropped));
   prof.Event("fault::delays_applied", static_cast<double>(f.DelaysApplied));
+}
+
+void ExportSchedStats(Profiler &prof)
+{
+  const sched::PipelineStats s = sched::AggregateStats();
+  prof.Event("sched::submitted", static_cast<double>(s.Submitted));
+  prof.Event("sched::executed", static_cast<double>(s.Executed));
+  prof.Event("sched::dropped", static_cast<double>(s.Dropped));
+  prof.Event("sched::coalesced", static_cast<double>(s.Coalesced));
+  prof.Event("sched::queue_depth_high_water",
+             static_cast<double>(s.QueueDepthHighWater));
+  prof.Event("sched::peak_queued_bytes",
+             static_cast<double>(s.PeakQueuedBytes));
+  prof.Event("sched::stall_seconds", s.StallSeconds);
+  prof.Event("sched::host_fallbacks",
+             static_cast<double>(sched::HostFallbackCount()));
+
+  const std::vector<std::uint64_t> placements =
+    vp::DeviceLoadTracker::Get().PlacementTotals();
+  if (!placements.empty())
+    prof.Event("sched::placements_host",
+               static_cast<double>(placements[0]));
+  for (std::size_t d = 1; d < placements.size(); ++d)
+    prof.Event("sched::placements_dev" + std::to_string(d - 1),
+               static_cast<double>(placements[d]));
 }
 
 } // namespace sensei

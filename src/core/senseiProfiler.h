@@ -147,6 +147,15 @@ void ExportPoolStats(Profiler &prof);
 /// the same JSON as the timing data.
 void ExportCheckReport(Profiler &prof, const vp::check::Report &report);
 
+/// Record the scheduler counters as profiler events: the bounded
+/// pipeline's aggregate (sched::submitted, sched::executed,
+/// sched::dropped, sched::coalesced, sched::queue_depth_high_water,
+/// sched::peak_queued_bytes, sched::stall_seconds, sched::host_fallbacks)
+/// and the per-device placement counts from vp::DeviceLoadTracker
+/// (sched::placements_host, sched::placements_dev<N>). Call after
+/// draining so in-flight work is settled.
+void ExportSchedStats(Profiler &prof);
+
 } // namespace sensei
 
 #endif

@@ -1,0 +1,87 @@
+#include "vpLoadTracker.h"
+
+#include "vpClock.h"
+#include "vpPlatform.h"
+
+#include <algorithm>
+
+namespace vp
+{
+
+DeviceLoadTracker &DeviceLoadTracker::Get()
+{
+  static DeviceLoadTracker instance;
+  return instance;
+}
+
+DeviceLoadTracker::DeviceLoadTracker()
+{
+  Platform::AtInitialize([]() { DeviceLoadTracker::Get().Reset(); });
+}
+
+void DeviceLoadTracker::RecordPlacement(int node, int device)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  ++this->Placements_[{node, device}];
+}
+
+void DeviceLoadTracker::RecordAssignment(int node, int device, double seconds,
+                                         double now)
+{
+  if (device < 0 || seconds <= 0.0)
+    return;
+
+  double engineAvail = now;
+  Platform &plat = Platform::Get();
+  if (node >= 0 && node < plat.NumNodes() && device < plat.NumDevices())
+    engineAvail = plat.GetDevice(node, device).Engine.Available();
+
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  double &until = this->PendingUntil_[{node, device}];
+  until = std::max({now, engineAvail, until}) + seconds;
+}
+
+double DeviceLoadTracker::Backlog(int node, int device, double now) const
+{
+  double horizon = now;
+  if (device >= 0)
+  {
+    Platform &plat = Platform::Get();
+    if (node >= 0 && node < plat.NumNodes() && device < plat.NumDevices())
+      horizon = plat.GetDevice(node, device).Engine.Available();
+  }
+
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  auto it = this->PendingUntil_.find({node, device});
+  if (it != this->PendingUntil_.end())
+    horizon = std::max(horizon, it->second);
+  return std::max(0.0, horizon - now);
+}
+
+std::uint64_t DeviceLoadTracker::Placements(int node, int device) const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  auto it = this->Placements_.find({node, device});
+  return it == this->Placements_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> DeviceLoadTracker::PlacementTotals() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  int maxDev = -1;
+  for (const auto &kv : this->Placements_)
+    maxDev = std::max(maxDev, kv.first.second);
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(2 + maxDev), 0);
+  for (const auto &kv : this->Placements_)
+    out[static_cast<std::size_t>(1 + kv.first.second)] += kv.second;
+  return out;
+}
+
+void DeviceLoadTracker::Reset()
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  this->Placements_.clear();
+  this->PendingUntil_.clear();
+}
+
+} // namespace vp

@@ -1,0 +1,73 @@
+#ifndef vpLoadTracker_h
+#define vpLoadTracker_h
+
+/// @file vpLoadTracker.h
+/// Scheduler-visible per-device load accounting for the virtual platform.
+/// The engine ResourceTimelines only learn about work when it is actually
+/// submitted, but an adaptive placement decision happens *before* the
+/// work exists — and several ranks decide in the same step. The tracker
+/// closes that gap: placement policies record an assignment together with
+/// a cost-model estimate of its duration, and later deciders see both the
+/// engine backlog (outstanding submitted work from the virtual clock) and
+/// the promised-but-not-yet-submitted work of their peers.
+///
+/// The tracker also counts placements per device (the host counts as
+/// device -1), which sched::Stats exports through the profiler.
+
+#include "vpTypes.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace vp
+{
+
+/// Process-wide singleton; thread safe. Reset on Platform::Initialize.
+class DeviceLoadTracker
+{
+public:
+  /// The singleton, created on first use (registers a Platform
+  /// AtInitialize hook so a platform rebuild starts from a clean slate).
+  static DeviceLoadTracker &Get();
+
+  /// Count a placement decision. `device` is a device id on `node`, or
+  /// -1 for the host.
+  void RecordPlacement(int node, int device);
+
+  /// A placement policy assigned an analysis estimated to take
+  /// `seconds` of device time to (node, device), deciding at virtual
+  /// time `now`. Extends the device's promised-work horizon:
+  /// PendingUntil = max(now, engine availability, previous horizon)
+  /// + seconds.
+  void RecordAssignment(int node, int device, double seconds, double now);
+
+  /// Outstanding work on (node, device) as of virtual time `now`, in
+  /// seconds: how far beyond `now` the engine availability or the
+  /// promised-work horizon extends (0 when the device is idle).
+  double Backlog(int node, int device, double now) const;
+
+  /// Placement count for (node, device); device -1 queries the host.
+  std::uint64_t Placements(int node, int device) const;
+
+  /// Placement counts summed over nodes: index 0 is the host, index
+  /// 1 + d is device d. The vector has `1 + maxDevice` entries covering
+  /// every device that received a placement.
+  std::vector<std::uint64_t> PlacementTotals() const;
+
+  /// Forget all counts and horizons.
+  void Reset();
+
+private:
+  DeviceLoadTracker();
+
+  mutable std::mutex Mutex_;
+  std::map<std::pair<int, int>, std::uint64_t> Placements_;
+  std::map<std::pair<int, int>, double> PendingUntil_;
+};
+
+} // namespace vp
+
+#endif
