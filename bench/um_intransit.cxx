@@ -91,7 +91,7 @@ static void BM_InTransit_SenderVisibleCost(benchmark::State &state)
                    // endpoint: drain the frames so sends stay matched
                    while (true)
                    {
-                     auto f = world.Recv(0, 7000);
+                     auto f = world.RecvChunked(0, 7000);
                      if (f.empty() || f[0] == 1)
                        break;
                    }

@@ -123,6 +123,7 @@ int main(int argc, char **argv)
   // scheduler counters and the profiler series are settled: export them
   // now — never while async work is still in flight
   sensei::ExportSchedStats(sensei::Profiler::Global());
+  sensei::ExportCompressStats(sensei::Profiler::Global());
   {
     std::ofstream json("nbody_profile.json");
     json << sensei::Profiler::Global().ToJson() << '\n';

@@ -41,6 +41,12 @@ fi
 if [ -f BENCH_sched.json ]; then
   echo "wrote results/BENCH_sched.json"
 fi
+# um_compress writes the per-codec ratios, the in transit payload
+# reduction (the binary exits nonzero below the 2x target), and the
+# eight-case campaign with compression on vs off
+if [ -f BENCH_compress.json ]; then
+  echo "wrote results/BENCH_compress.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -54,20 +60,33 @@ echo "== scheduler campaign (VP_CHECK=1) =="
 # tests), and the backpressure matrix must all be race/lifetime clean
 VP_CHECK=1 ../build/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_checked.txt
+echo "== compression campaign (VP_CHECK=1) =="
+# the codec sweep, the compressed in transit pipeline, and the on/off
+# campaign under the checker; the binary also gates on the 2x in transit
+# payload reduction, so a ratio regression aborts the script here
+VP_CHECK=1 ../build/bench/um_compress --benchmark_min_time=0.05 \
+  | tee um_compress_checked.txt
 echo "== scheduler-labelled tests =="
 ctest --test-dir ../build -L sched --output-on-failure
 
 echo "== checker-labelled tests =="
 ctest --test-dir ../build -L check --output-on-failure
 
-echo "== sanitized scheduler run (-DVP_SANITIZE=ON) =="
-# a separate ASan+UBSan build configuration; the real-thread pipeline and
-# the drop/coalesce task destruction paths run under the sanitizers
+echo "== compression-labelled tests =="
+ctest --test-dir ../build -L compress --output-on-failure
+
+echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
+# a separate ASan+UBSan build configuration; the real-thread pipeline,
+# the drop/coalesce task destruction paths, and the codec byte-twiddling
+# (shuffle, varint, quantize) run under the sanitizers
 cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
-cmake --build ../build-sanitize --target um_sched testSched
+cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress
 ../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_sanitized.txt
 ../build-sanitize/tests/testSched
+VP_CHECK=1 ../build-sanitize/bench/um_compress --benchmark_min_time=0.05 \
+  | tee um_compress_sanitized.txt
+../build-sanitize/tests/testCompress
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

@@ -130,6 +130,16 @@ struct Checker
   int NextThread = 0;
   std::vector<Violation> Violations;
   std::uint64_t Counts[5] = {};
+
+  // release whatever is still quarantined behind the tombstones; without
+  // this the storage survives the singleton and shows up as a leak under
+  // LeakSanitizer in any process that exits with a warm quarantine
+  ~Checker()
+  {
+    for (auto &kv : Freed)
+      if (kv.second.Owned)
+        std::free(kv.second.Owned);
+  }
 };
 
 Checker &Self()

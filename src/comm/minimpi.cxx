@@ -4,6 +4,7 @@
 #include "vpPlatform.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <thread>
 
@@ -18,6 +19,23 @@ struct Message
   std::vector<std::uint8_t> Data;
   double AvailTime = 0.0; ///< virtual time at which the payload has arrived
 };
+
+/// Process-wide single-message cap (see Communicator::SetMaxMessageBytes).
+std::atomic<std::size_t> MaxMessageBytes{(std::size_t(1) << 31) - 1};
+
+void StoreU64LE(std::uint8_t *p, std::uint64_t v)
+{
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t LoadU64LE(const std::uint8_t *p)
+{
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
 } // namespace
 
 /// Shared state of one rank-parallel region.
@@ -69,9 +87,18 @@ public:
     Mailbox &mb = *this->Mail_[static_cast<std::size_t>(self)];
     std::unique_lock<std::mutex> lock(mb.Mutex);
     const auto key = std::make_pair(src, tag);
-    mb.Cv.wait(lock, [&] { return mb.Queue.find(key) != mb.Queue.end(); });
+    // lower_bound, not find: multimap::find may return any message with
+    // this key, but chunked transfers need oldest-first (FIFO) delivery
+    // per (source, tag). Insertion order is preserved among equal keys,
+    // and lower_bound always lands on the first of them.
+    mb.Cv.wait(lock,
+               [&]
+               {
+                 auto it = mb.Queue.lower_bound(key);
+                 return it != mb.Queue.end() && it->first == key;
+               });
 
-    auto it = mb.Queue.find(key);
+    auto it = mb.Queue.lower_bound(key);
     Message msg = std::move(it->second);
     mb.Queue.erase(it);
     lock.unlock();
@@ -220,14 +247,86 @@ int Communicator::RanksPerNode() const noexcept
   return rpn > 0 ? rpn : this->Ctx_->Size();
 }
 
+void Communicator::SetMaxMessageBytes(std::size_t bytes)
+{
+  if (!bytes)
+    throw std::invalid_argument(
+      "minimpi::SetMaxMessageBytes: the limit must be positive");
+  MaxMessageBytes.store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t Communicator::GetMaxMessageBytes() noexcept
+{
+  return MaxMessageBytes.load(std::memory_order_relaxed);
+}
+
 void Communicator::Send(int dest, int tag, const void *data, std::size_t bytes)
 {
+  const std::size_t limit = GetMaxMessageBytes();
+  if (bytes > limit)
+    throw std::length_error(
+      "minimpi::Send: message of " + std::to_string(bytes) +
+      " bytes exceeds the " + std::to_string(limit) +
+      " byte single-message limit; use SendChunked");
   this->Ctx_->Send(this->Rank_, dest, tag, data, bytes);
 }
 
 std::vector<std::uint8_t> Communicator::Recv(int src, int tag)
 {
   return this->Ctx_->Recv(this->Rank_, src, tag);
+}
+
+void Communicator::SendChunked(int dest, int tag, const void *data,
+                               std::size_t bytes)
+{
+  const std::size_t limit = GetMaxMessageBytes();
+  const std::uint64_t nChunks =
+    bytes ? (static_cast<std::uint64_t>(bytes) + limit - 1) / limit : 0;
+
+  std::uint8_t header[16];
+  StoreU64LE(header, static_cast<std::uint64_t>(bytes));
+  StoreU64LE(header + 8, nChunks);
+  this->Send(dest, tag, header, sizeof(header));
+
+  const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+  std::size_t remaining = bytes;
+  while (remaining)
+  {
+    const std::size_t n = std::min(remaining, limit);
+    this->Send(dest, tag, p, n);
+    p += n;
+    remaining -= n;
+  }
+}
+
+std::vector<std::uint8_t> Communicator::RecvChunked(int src, int tag)
+{
+  const std::vector<std::uint8_t> header = this->Recv(src, tag);
+  if (header.size() != 16)
+    throw std::runtime_error(
+      "minimpi::RecvChunked: expected a 16 byte chunk header, got " +
+      std::to_string(header.size()) + " bytes");
+
+  const std::uint64_t total = LoadU64LE(header.data());
+  const std::uint64_t nChunks = LoadU64LE(header.data() + 8);
+  if ((total == 0) != (nChunks == 0))
+    throw std::runtime_error("minimpi::RecvChunked: malformed chunk header");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(total));
+  for (std::uint64_t c = 0; c < nChunks; ++c)
+  {
+    std::vector<std::uint8_t> chunk = this->Recv(src, tag);
+    if (chunk.empty() || chunk.size() > total - out.size())
+      throw std::runtime_error(
+        "minimpi::RecvChunked: chunk stream does not match its header");
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  if (out.size() != total)
+    throw std::runtime_error(
+      "minimpi::RecvChunked: reassembled " + std::to_string(out.size()) +
+      " bytes, header promised " + std::to_string(total));
+  return out;
 }
 
 void Communicator::Barrier()

@@ -73,13 +73,34 @@ public:
 
   // --- point to point ------------------------------------------------------
 
+  /// Process-wide cap on a single message. Real MPI implementations
+  /// narrow byte counts through `int` and silently corrupt >2 GiB
+  /// messages; here Send refuses them loudly (std::length_error) and
+  /// SendChunked/RecvChunked split them. Default (1<<31)-1 bytes; tests
+  /// lower it to exercise the chunked path without giant allocations.
+  static void SetMaxMessageBytes(std::size_t bytes);
+  static std::size_t GetMaxMessageBytes() noexcept;
+
   /// Buffered send: copies `bytes` of `data` into dest's mailbox and
   /// returns. Never blocks (infinite buffering, like an MPI_Bsend).
+  /// Throws std::length_error when `bytes` exceeds GetMaxMessageBytes()
+  /// — use SendChunked for payloads of unbounded size.
   void Send(int dest, int tag, const void *data, std::size_t bytes);
 
-  /// Receive a message from (src, tag); blocks until one arrives. Returns
-  /// the payload.
+  /// Receive a message from (src, tag); blocks until one arrives.
+  /// Messages from the same (source, tag) arrive in the order they were
+  /// sent. Returns the payload.
   std::vector<std::uint8_t> Recv(int src, int tag);
+
+  /// Send a payload of any size as a 16-byte header frame (u64 total
+  /// bytes, u64 chunk count, little endian) followed by chunk frames of
+  /// at most GetMaxMessageBytes() each, all on `tag`. Pair with
+  /// RecvChunked.
+  void SendChunked(int dest, int tag, const void *data, std::size_t bytes);
+
+  /// Receive a payload sent with SendChunked, reassembling the chunk
+  /// frames. Throws std::runtime_error on a malformed chunk stream.
+  std::vector<std::uint8_t> RecvChunked(int src, int tag);
 
   /// Receive into a typed vector.
   template <typename T>

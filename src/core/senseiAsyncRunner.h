@@ -49,10 +49,13 @@ public:
   /// Launch `fn`, returning after only the spawn cost on the submitting
   /// thread's clock (plus any stall the backpressure policy imposes).
   /// `payloadBytes` sizes the deep copy the closure owns, so the queue
-  /// bound can meter async memory.
-  void Submit(std::function<void()> fn, std::size_t payloadBytes = 0)
+  /// bound can meter async memory; for compressed payloads pass the
+  /// encoded size here and the pre-compression size as `rawBytes` so the
+  /// pipeline stats record the volume saved.
+  void Submit(std::function<void()> fn, std::size_t payloadBytes = 0,
+              std::size_t rawBytes = 0)
   {
-    this->Pipeline_.Submit(std::move(fn), payloadBytes);
+    this->Pipeline_.Submit(std::move(fn), payloadBytes, rawBytes);
   }
 
   /// Wait for all in-flight tasks to complete (merging virtual clocks).

@@ -121,6 +121,30 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     this->HaveSchedPolicy_ = true;
   }
 
+  // optional <compress> element configures the process-wide default
+  // codec for bulk payloads (in transit frames, binary snapshots);
+  // per-analysis compress= attributes override it
+  if (const sxml::Element *ke = root.FirstChild("compress"))
+  {
+    cmp::Config cfg = cmp::GetConfig();
+    cfg.Enabled = ke->AttributeBool("enabled", true);
+    try
+    {
+      cfg.Default.Codec = cmp::CodecIdFromName(
+        ke->Attribute("codec", cmp::CodecName(cfg.Default.Codec)));
+      cfg.Default.Level =
+        static_cast<int>(ke->AttributeInt("level", cfg.Default.Level));
+      cfg.Default.ErrorBound =
+        ke->AttributeDouble("error_bound", cfg.Default.ErrorBound);
+      cmp::Configure(cfg);
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(
+        std::string("ConfigurableAnalysis: <compress> ") + e.what());
+    }
+  }
+
   // optional <fault> element arms the deterministic fault injector
   if (const sxml::Element *fe = root.FirstChild("fault"))
   {
@@ -144,8 +168,16 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     if (!el->AttributeBool("enabled", true))
       continue;
     AnalysisAdaptor *a = this->BuildAnalysis(*el);
-    ApplyCommon(*el, a);
-    this->Analyses_.push_back(a);
+    try
+    {
+      ApplyCommon(*el, a);
+      this->Analyses_.push_back(a);
+    }
+    catch (...)
+    {
+      a->UnRegister();
+      throw;
+    }
   }
 }
 
@@ -184,6 +216,30 @@ void ConfigurableAnalysis::ApplyCommon(const sxml::Element &el,
       throw std::runtime_error(std::string("ConfigurableAnalysis: ") +
                                e.what());
     }
+  }
+
+  // per-analysis codec override: compress="none|shuffle-rle|delta-varint|
+  // quantize" [+ compress_level, compress_error_bound]. Without the
+  // attribute the back end follows the <compress> element's default.
+  if (el.HasAttribute("compress"))
+  {
+    cmp::Params p = cmp::GetConfig().Default;
+    try
+    {
+      p.Codec = cmp::CodecIdFromName(el.Attribute("compress"));
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(std::string("ConfigurableAnalysis: ") +
+                               e.what());
+    }
+    p.Level = static_cast<int>(el.AttributeInt("compress_level", p.Level));
+    p.ErrorBound = el.AttributeDouble("compress_error_bound", p.ErrorBound);
+    if (p.Codec == cmp::CodecId::Quantize && !(p.ErrorBound > 0.0))
+      throw std::runtime_error(
+        "ConfigurableAnalysis: compress=\"quantize\" needs a positive "
+        "compress_error_bound");
+    a->SetCompression(p);
   }
 }
 
@@ -303,9 +359,10 @@ AnalysisAdaptor *ConfigurableAnalysis::BuildAnalysis(const sxml::Element &el)
     io->SetOutputDir(el.Attribute("dir", "."));
     io->SetPrefix(el.Attribute("prefix", "posthoc"));
     io->SetFrequency(el.AttributeInt("frequency", 1));
-    io->SetFormat(el.Attribute("format", "csv") == "vtk"
-                    ? PosthocIO::Format::VTK
-                    : PosthocIO::Format::CSV);
+    const std::string fmt = el.Attribute("format", "csv");
+    io->SetFormat(fmt == "vtk"    ? PosthocIO::Format::VTK
+                  : fmt == "sbin" ? PosthocIO::Format::SBIN
+                                  : PosthocIO::Format::CSV);
     return io;
   }
 

@@ -14,6 +14,7 @@ namespace
 constexpr int TagTransport = 7000;
 constexpr std::uint8_t FrameData = 0;
 constexpr std::uint8_t FrameClose = 1;
+constexpr std::uint8_t FrameDataCompressed = 2;
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -26,6 +27,16 @@ InTransitSender::InTransitSender(minimpi::Communicator *world,
     throw std::invalid_argument("InTransitSender: null communicator");
   if (this->Layout_.IsEndpoint(world->Rank()))
     throw std::logic_error("InTransitSender: this rank is an endpoint");
+
+  const cmp::Config &cfg = cmp::GetConfig();
+  this->UseCompression_ = cfg.Enabled;
+  this->Compress_ = cfg.Default;
+}
+
+void InTransitSender::SetCompression(const cmp::Params &params)
+{
+  this->Compress_ = params;
+  this->UseCompression_ = params.Codec != cmp::CodecId::None;
 }
 
 bool InTransitSender::Send(DataAdaptor *data)
@@ -42,15 +53,14 @@ bool InTransitSender::Send(DataAdaptor *data)
     return false;
   }
 
-  // frame: kind byte, step, serialized table
+  // frame: kind byte, step (u64 LE), serialized table
   std::vector<std::uint8_t> frame;
-  frame.push_back(FrameData);
-  const std::uint64_t step = static_cast<std::uint64_t>(data->GetDataTimeStep());
-  const std::size_t at = frame.size();
-  frame.resize(at + sizeof(step));
-  std::memcpy(frame.data() + at, &step, sizeof(step));
+  frame.push_back(this->UseCompression_ ? FrameDataCompressed : FrameData);
+  cmp::PutLE64(frame, static_cast<std::uint64_t>(data->GetDataTimeStep()));
 
-  const std::vector<std::uint8_t> payload = SerializeTable(table);
+  const std::vector<std::uint8_t> payload =
+    this->UseCompression_ ? SerializeTableCompressed(table, this->Compress_)
+                          : SerializeTable(table);
   frame.insert(frame.end(), payload.begin(), payload.end());
   table->UnRegister();
 
@@ -59,8 +69,8 @@ bool InTransitSender::Send(DataAdaptor *data)
   plat.HostCompute(static_cast<double>(frame.size()) /
                    plat.Config().Cost.H2HBandwidth);
 
-  this->World_->Send(this->Layout_.EndpointOf(this->World_->Rank()),
-                     TagTransport, frame.data(), frame.size());
+  this->World_->SendChunked(this->Layout_.EndpointOf(this->World_->Rank()),
+                            TagTransport, frame.data(), frame.size());
   return true;
 }
 
@@ -69,8 +79,8 @@ void InTransitSender::Close()
   if (this->Closed_)
     return;
   const std::uint8_t frame[1] = {FrameClose};
-  this->World_->Send(this->Layout_.EndpointOf(this->World_->Rank()),
-                     TagTransport, frame, sizeof(frame));
+  this->World_->SendChunked(this->Layout_.EndpointOf(this->World_->Rank()),
+                            TagTransport, frame, sizeof(frame));
   this->Closed_ = true;
 }
 
@@ -107,16 +117,19 @@ long InTransitEndpoint::Run(AnalysisAdaptor *analysis)
     for (int sender : open)
     {
       const std::vector<std::uint8_t> frame =
-        this->World_->Recv(sender, TagTransport);
+        this->World_->RecvChunked(sender, TagTransport);
       if (frame.empty() || frame[0] == FrameClose)
         continue; // sender is done
 
-      if (frame.size() < 1 + sizeof(std::uint64_t))
+      if (frame.size() < 1 + sizeof(std::uint64_t) ||
+          (frame[0] != FrameData && frame[0] != FrameDataCompressed))
         throw std::runtime_error("InTransitEndpoint: malformed frame");
-      std::memcpy(&step, frame.data() + 1, sizeof(step));
+      step = cmp::LoadLE64(frame.data() + 1);
+      // dispatch on the payload's own magic: compressed senders and
+      // legacy senders can share an endpoint
       blocks.push_back(
-        DeserializeTable(frame.data() + 1 + sizeof(std::uint64_t),
-                         frame.size() - 1 - sizeof(std::uint64_t)));
+        DeserializeTableAuto(frame.data() + 1 + sizeof(std::uint64_t),
+                             frame.size() - 1 - sizeof(std::uint64_t)));
       stillOpen.push_back(sender);
     }
     open.swap(stillOpen);

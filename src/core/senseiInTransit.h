@@ -17,6 +17,7 @@
 /// endpoint ranks call InTransitEndpoint::Run once — it loops until all
 /// of its senders close.
 
+#include "cmpCodec.h"
 #include "minimpi.h"
 #include "senseiAnalysisAdaptor.h"
 #include "senseiDataAdaptor.h"
@@ -73,8 +74,15 @@ class InTransitSender
 {
 public:
   /// `world` must outlive the sender; the calling rank must be a sender.
+  /// Compression defaults from the process-wide cmp::GetConfig(): when
+  /// enabled there, shipped tables travel in the compressed wire format.
   InTransitSender(minimpi::Communicator *world, const InTransitLayout &layout,
                   std::string meshName = "table");
+
+  /// Request a specific codec for shipped tables (negotiated per column
+  /// dtype). Passing CodecId::None disables compression. Overrides the
+  /// process-wide default for this sender.
+  void SetCompression(const cmp::Params &params);
 
   /// Serialize the named mesh from `data` and ship it to the assigned
   /// endpoint, tagged with the adaptor's time step. Returns false when
@@ -89,6 +97,8 @@ private:
   minimpi::Communicator *World_;
   InTransitLayout Layout_;
   std::string MeshName_;
+  cmp::Params Compress_;
+  bool UseCompression_ = false;
   bool Closed_ = false;
 };
 

@@ -1,9 +1,11 @@
 #include "senseiPosthocIO.h"
 
+#include "senseiSerialization.h"
 #include "sio.h"
 #include "svtkAOSDataArray.h"
 #include "svtkArrayUtils.h"
 
+#include <memory>
 #include <sstream>
 
 namespace sensei
@@ -26,6 +28,45 @@ bool PosthocIO::Execute(DataAdaptor *data)
     return false;
   }
 
+  const int rank =
+    data->GetCommunicator() ? data->GetCommunicator()->Rank() : 0;
+
+  const char *ext = this->Format_ == Format::CSV   ? ".csv"
+                    : this->Format_ == Format::VTK ? ".vtk"
+                                                   : ".sbin";
+  std::ostringstream path;
+  path << this->Dir_ << '/' << this->Prefix_ << "_r" << rank << "_s"
+       << data->GetDataTimeStep() << ext;
+  const std::string file = path.str();
+  const Format fmt = this->Format_;
+
+  if (fmt == Format::SBIN)
+  {
+    // serialize + compress now (the encoder charges the caller's clock,
+    // like the in transit sender); the closure owns only the encoded
+    // bytes, so the async queue meters the compressed size
+    std::size_t raw = 0;
+    for (int c = 0; c < table->GetNumberOfColumns(); ++c)
+    {
+      const svtkDataArray *col = table->GetColumn(c);
+      raw += static_cast<std::size_t>(col->GetNumberOfTuples()) *
+             static_cast<std::size_t>(col->GetNumberOfComponents()) *
+             svtkScalarSize(col->GetScalarType());
+    }
+    auto blob = std::make_shared<std::vector<std::uint8_t>>(
+      SerializeTableCompressed(table, this->GetEffectiveCompression()));
+    table->UnRegister();
+
+    auto write = [blob, file]() { sio::WriteBlob(file, *blob); };
+    if (this->GetAsynchronous())
+      this->Runner_.Submit(write, blob->size(), raw);
+    else
+      write();
+
+    ++this->WriteCount_;
+    return true;
+  }
+
   // deep copy to host-resident AOS arrays (file IO is a host activity and
   // the copy decouples the write from the simulation's buffers)
   svtkTable *host = svtkTable::New();
@@ -41,16 +82,6 @@ bool PosthocIO::Execute(DataAdaptor *data)
     a->Delete();
   }
   table->UnRegister();
-
-  const int rank =
-    data->GetCommunicator() ? data->GetCommunicator()->Rank() : 0;
-
-  std::ostringstream path;
-  path << this->Dir_ << '/' << this->Prefix_ << "_r" << rank << "_s"
-       << data->GetDataTimeStep()
-       << (this->Format_ == Format::CSV ? ".csv" : ".vtk");
-  const std::string file = path.str();
-  const Format fmt = this->Format_;
 
   // the closure owns the host copy (the scheduler may discard it without
   // running under a dropping backpressure policy)

@@ -23,11 +23,16 @@ public:
 
   const char *GetClassName() const override { return "sensei::PosthocIO"; }
 
-  /// File format to write.
+  /// File format to write. SBIN is a self-describing compressed binary
+  /// snapshot: a sio blob (length + checksum validated header) holding a
+  /// compressed table stream; the codec follows the analysis's effective
+  /// compression (SetCompression / the global <compress> default). Read
+  /// it back with sio::ReadBlob + sensei::DeserializeTableAuto.
   enum class Format
   {
     CSV,
-    VTK
+    VTK,
+    SBIN
   };
 
   void SetMeshName(const std::string &m) { this->MeshName_ = m; }

@@ -1,5 +1,6 @@
 #include "senseiProfiler.h"
 
+#include "cmpCodec.h"
 #include "schedPipeline.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
@@ -130,6 +131,25 @@ void ExportSchedStats(Profiler &prof)
   for (std::size_t d = 1; d < placements.size(); ++d)
     prof.Event("sched::placements_dev" + std::to_string(d - 1),
                static_cast<double>(placements[d]));
+}
+
+void ExportCompressStats(Profiler &prof)
+{
+  const cmp::CodecStats s = cmp::Stats();
+  prof.Event("cmp::encoded_chunks", static_cast<double>(s.EncodedChunks));
+  prof.Event("cmp::decoded_chunks", static_cast<double>(s.DecodedChunks));
+  prof.Event("cmp::fallbacks", static_cast<double>(s.Fallbacks));
+  prof.Event("cmp::bytes_raw", static_cast<double>(s.BytesRaw));
+  prof.Event("cmp::bytes_encoded", static_cast<double>(s.BytesEncoded));
+  prof.Event("cmp::ratio", s.Ratio());
+  prof.Event("cmp::encode_seconds", s.EncodeSeconds);
+  prof.Event("cmp::decode_seconds", s.DecodeSeconds);
+
+  const sched::PipelineStats p = sched::AggregateStats();
+  prof.Event("cmp::payload_raw_bytes",
+             static_cast<double>(p.PayloadRawBytes));
+  prof.Event("cmp::payload_encoded_bytes",
+             static_cast<double>(p.PayloadEncodedBytes));
 }
 
 } // namespace sensei

@@ -156,6 +156,14 @@ void ExportCheckReport(Profiler &prof, const vp::check::Report &report);
 /// draining so in-flight work is settled.
 void ExportSchedStats(Profiler &prof);
 
+/// Record the compression counters (cmp::Stats) as profiler events:
+/// cmp::encoded_chunks, cmp::decoded_chunks, cmp::fallbacks,
+/// cmp::bytes_raw, cmp::bytes_encoded, cmp::ratio, cmp::encode_seconds,
+/// cmp::decode_seconds — plus the pipelines' payload volume accounting
+/// (cmp::payload_raw_bytes, cmp::payload_encoded_bytes) so compressed
+/// async queues can be audited from the same JSON.
+void ExportCompressStats(Profiler &prof);
+
 } // namespace sensei
 
 #endif

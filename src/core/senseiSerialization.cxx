@@ -3,6 +3,7 @@
 #include "svtkAOSDataArray.h"
 #include "svtkArrayUtils.h"
 
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -13,21 +14,103 @@ namespace
 {
 void PutU64(std::vector<std::uint8_t> &out, std::uint64_t v)
 {
-  const std::size_t at = out.size();
-  out.resize(at + sizeof(v));
-  std::memcpy(out.data() + at, &v, sizeof(v));
+  cmp::PutLE64(out, v);
 }
 
 std::uint64_t GetU64(const std::uint8_t *bytes, std::size_t size,
                      std::size_t &pos)
 {
-  if (pos + sizeof(std::uint64_t) > size)
+  if (size - pos < sizeof(std::uint64_t) || pos > size)
     throw std::runtime_error("DeserializeTable: truncated input");
-  std::uint64_t v = 0;
-  std::memcpy(&v, bytes + pos, sizeof(v));
-  pos += sizeof(v);
+  const std::uint64_t v = cmp::LoadLE64(bytes + pos);
+  pos += sizeof(std::uint64_t);
   return v;
 }
+
+/// Append `n` doubles as little-endian f64 bit patterns.
+void PutF64Array(std::vector<std::uint8_t> &out, const double *v,
+                 std::size_t n)
+{
+  const std::size_t at = out.size();
+  out.resize(at + n * sizeof(double));
+  if (!n)
+    return;
+  if constexpr (std::endian::native == std::endian::little)
+  {
+    std::memcpy(out.data() + at, v, n * sizeof(double));
+  }
+  else
+  {
+    for (std::size_t i = 0; i < n; ++i)
+    {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, v + i, sizeof(bits));
+      cmp::StoreLE64(out.data() + at + i * sizeof(double), bits);
+    }
+  }
+}
+
+/// Read `n` little-endian f64 bit patterns.
+void GetF64Array(const std::uint8_t *bytes, double *v, std::size_t n)
+{
+  if (!n)
+    return;
+  if constexpr (std::endian::native == std::endian::little)
+  {
+    std::memcpy(v, bytes, n * sizeof(double));
+  }
+  else
+  {
+    for (std::size_t i = 0; i < n; ++i)
+    {
+      const std::uint64_t bits = cmp::LoadLE64(bytes + i * sizeof(double));
+      std::memcpy(v + i, &bits, sizeof(bits));
+    }
+  }
+}
+
+cmp::DType DTypeOf(svtkScalarType t)
+{
+  switch (t)
+  {
+    case svtkScalarType::Float32:
+      return cmp::DType::F32;
+    case svtkScalarType::Float64:
+      return cmp::DType::F64;
+    case svtkScalarType::Int32:
+      return cmp::DType::I32;
+    case svtkScalarType::Int64:
+      return cmp::DType::I64;
+    case svtkScalarType::UInt8:
+      return cmp::DType::U8;
+  }
+  throw std::invalid_argument("SerializeTableCompressed: unknown scalar type");
+}
+
+/// Build one typed column and decode the chunk at `bytes` into it.
+template <typename T>
+svtkDataArray *DecodeColumn(const std::string &name, std::uint64_t count,
+                           int comps, const std::uint8_t *bytes,
+                           std::size_t avail, std::size_t &consumed)
+{
+  auto *a = svtkAOSDataArray<T>::New(name);
+  try
+  {
+    a->SetNumberOfComponents(comps);
+    a->GetVector().resize(static_cast<std::size_t>(count));
+    consumed = cmp::DecodeChunk(bytes, avail, a->GetVector().data(),
+                                static_cast<std::size_t>(count) * sizeof(T));
+  }
+  catch (...)
+  {
+    a->Delete();
+    throw;
+  }
+  return a;
+}
+
+constexpr std::uint8_t kTableMagic[4] = {'S', 'T', 'B', 'C'};
+constexpr std::uint8_t kTableVersion = 1;
 } // namespace
 
 std::vector<std::uint8_t> SerializeTable(const svtkTable *table)
@@ -51,11 +134,7 @@ std::vector<std::uint8_t> SerializeTable(const svtkTable *table)
     PutU64(out, static_cast<std::uint64_t>(col->GetNumberOfComponents()));
 
     const std::vector<double> values = svtkToDoubleVector(col);
-    const std::size_t at = out.size();
-    out.resize(at + values.size() * sizeof(double));
-    if (!values.empty())
-      std::memcpy(out.data() + at, values.data(),
-                  values.size() * sizeof(double));
+    PutF64Array(out, values.data(), values.size());
   }
   return out;
 }
@@ -71,7 +150,7 @@ svtkTable *DeserializeTable(const std::uint8_t *bytes, std::size_t size)
     for (std::uint64_t c = 0; c < nCols; ++c)
     {
       const std::uint64_t nameLen = GetU64(bytes, size, pos);
-      if (pos + nameLen > size)
+      if (nameLen > size - pos)
         throw std::runtime_error("DeserializeTable: truncated name");
       std::string name(reinterpret_cast<const char *>(bytes + pos),
                        static_cast<std::size_t>(nameLen));
@@ -79,16 +158,17 @@ svtkTable *DeserializeTable(const std::uint8_t *bytes, std::size_t size)
 
       const std::uint64_t tuples = GetU64(bytes, size, pos);
       const std::uint64_t comps = GetU64(bytes, size, pos);
+      if (comps && tuples > UINT64_MAX / comps)
+        throw std::runtime_error("DeserializeTable: implausible column size");
       const std::uint64_t count = tuples * comps;
-      if (pos + count * sizeof(double) > size)
+      if (count > (size - pos) / sizeof(double))
         throw std::runtime_error("DeserializeTable: truncated values");
 
       svtkAOSDoubleArray *col = svtkAOSDoubleArray::New(name);
       col->SetNumberOfComponents(static_cast<int>(comps));
       col->GetVector().resize(static_cast<std::size_t>(count));
-      if (count)
-        std::memcpy(col->GetVector().data(), bytes + pos,
-                    static_cast<std::size_t>(count) * sizeof(double));
+      GetF64Array(bytes + pos, col->GetVector().data(),
+                  static_cast<std::size_t>(count));
       pos += static_cast<std::size_t>(count) * sizeof(double);
 
       table->AddColumn(col);
@@ -101,6 +181,127 @@ svtkTable *DeserializeTable(const std::uint8_t *bytes, std::size_t size)
     throw;
   }
   return table;
+}
+
+std::vector<std::uint8_t> SerializeTableCompressed(const svtkTable *table,
+                                                   const cmp::Params &params)
+{
+  if (!table)
+    throw std::invalid_argument("SerializeTableCompressed: null table");
+
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kTableMagic, kTableMagic + 4);
+  out.push_back(kTableVersion);
+  out.push_back(0); // flags
+  out.push_back(0); // reserved (u16 LE)
+  out.push_back(0);
+
+  const int nCols = table->GetNumberOfColumns();
+  PutU64(out, static_cast<std::uint64_t>(nCols));
+
+  for (int c = 0; c < nCols; ++c)
+  {
+    const svtkDataArray *col = table->GetColumn(c);
+    const std::string &name = col->GetName();
+
+    PutU64(out, name.size());
+    out.insert(out.end(), name.begin(), name.end());
+
+    PutU64(out, col->GetNumberOfTuples());
+    PutU64(out, static_cast<std::uint64_t>(col->GetNumberOfComponents()));
+
+    svtkWithHostValues(
+      col, [&](const void *data, svtkScalarType st, std::size_t count)
+      { cmp::EncodeChunk(data, DTypeOf(st), count, params, out); });
+  }
+  return out;
+}
+
+svtkTable *DeserializeTableCompressed(const std::uint8_t *bytes,
+                                     std::size_t size)
+{
+  if (!bytes || size < 8 || std::memcmp(bytes, kTableMagic, 4) != 0)
+    throw std::runtime_error(
+      "DeserializeTableCompressed: not a compressed table stream");
+  if (bytes[4] != kTableVersion)
+    throw std::runtime_error(
+      "DeserializeTableCompressed: unsupported stream version");
+
+  std::size_t pos = 8;
+  const std::uint64_t nCols = GetU64(bytes, size, pos);
+
+  svtkTable *table = svtkTable::New();
+  try
+  {
+    for (std::uint64_t c = 0; c < nCols; ++c)
+    {
+      const std::uint64_t nameLen = GetU64(bytes, size, pos);
+      if (nameLen > size - pos)
+        throw std::runtime_error(
+          "DeserializeTableCompressed: truncated name");
+      std::string name(reinterpret_cast<const char *>(bytes + pos),
+                       static_cast<std::size_t>(nameLen));
+      pos += nameLen;
+
+      const std::uint64_t tuples = GetU64(bytes, size, pos);
+      const std::uint64_t comps = GetU64(bytes, size, pos);
+      if (!comps || comps > INT32_MAX || tuples > UINT64_MAX / comps)
+        throw std::runtime_error(
+          "DeserializeTableCompressed: implausible column shape");
+
+      const cmp::ChunkInfo info = cmp::PeekHeader(bytes + pos, size - pos);
+      if (info.Count != tuples * comps)
+        throw std::runtime_error(
+          "DeserializeTableCompressed: chunk count does not match the "
+          "column shape");
+
+      std::size_t consumed = 0;
+      svtkDataArray *col = nullptr;
+      switch (info.Type)
+      {
+        case cmp::DType::U8:
+          col = DecodeColumn<unsigned char>(name, info.Count,
+                                            static_cast<int>(comps),
+                                            bytes + pos, size - pos, consumed);
+          break;
+        case cmp::DType::I32:
+          col = DecodeColumn<int>(name, info.Count, static_cast<int>(comps),
+                                  bytes + pos, size - pos, consumed);
+          break;
+        case cmp::DType::I64:
+          col = DecodeColumn<long long>(name, info.Count,
+                                        static_cast<int>(comps), bytes + pos,
+                                        size - pos, consumed);
+          break;
+        case cmp::DType::F32:
+          col = DecodeColumn<float>(name, info.Count, static_cast<int>(comps),
+                                    bytes + pos, size - pos, consumed);
+          break;
+        case cmp::DType::F64:
+          col = DecodeColumn<double>(name, info.Count,
+                                     static_cast<int>(comps), bytes + pos,
+                                     size - pos, consumed);
+          break;
+      }
+      pos += consumed;
+
+      table->AddColumn(col);
+      col->Delete();
+    }
+  }
+  catch (...)
+  {
+    table->UnRegister();
+    throw;
+  }
+  return table;
+}
+
+svtkTable *DeserializeTableAuto(const std::uint8_t *bytes, std::size_t size)
+{
+  if (bytes && size >= 4 && std::memcmp(bytes, kTableMagic, 4) == 0)
+    return DeserializeTableCompressed(bytes, size);
+  return DeserializeTable(bytes, size);
 }
 
 svtkTable *ConcatenateTables(const std::vector<svtkTable *> &parts)

@@ -3,18 +3,33 @@
 
 /// @file senseiSerialization.h
 /// Byte-level serialization of data-model objects for the in transit
-/// transport: a svtkTable (any column flavour — heterogeneous columns are
-/// staged through the host access path) round trips to a contiguous
-/// buffer. Format (little endian, as the host lays it out):
+/// transport and the binary file writers. Two wire formats exist, both
+/// with fixed-width little-endian integer fields (the stream is decodable
+/// regardless of either end's size_t width or byte order):
+///
+/// Legacy (uncompressed, values widened to f64):
 ///
 ///   u64 columnCount
 ///   per column: u64 nameLength, name bytes,
 ///               u64 tupleCount, u64 componentCount,
-///               f64 values [tupleCount * componentCount]
+///               f64 values [tupleCount * componentCount] (LE bit patterns)
 ///
-/// Values travel as f64 regardless of the source scalar type, matching
-/// the analysis back ends which consume doubles.
+/// Compressed ("STBC"): columns keep their native scalar type and each
+/// column's values travel as one self-describing cmp chunk (codec id,
+/// dtype, counts, checksum in the chunk header — see cmpCodec.h):
+///
+///   u8[4] magic "STBC", u8 version (1), u8 flags, u16 reserved
+///   u64 columnCount
+///   per column: u64 nameLength, name bytes,
+///               u64 tupleCount, u64 componentCount,
+///               cmp chunk (48-byte header + encoded payload)
+///
+/// The codec is negotiated per array from the requested parameters and
+/// the column dtype (integers -> delta-varint, floats -> quantize or
+/// shuffle-rle, see cmp::Negotiate); the chunk header records what was
+/// actually used, so decoding needs no out-of-band information.
 
+#include "cmpCodec.h"
 #include "svtkDataObject.h"
 
 #include <cstdint>
@@ -23,8 +38,9 @@
 namespace sensei
 {
 
-/// Serialize a table to bytes. Device-resident columns are pulled through
-/// the data model's host access path (one D2H move per column).
+/// Serialize a table to bytes (legacy format). Device-resident columns
+/// are pulled through the data model's host access path (one D2H move
+/// per column).
 std::vector<std::uint8_t> SerializeTable(const svtkTable *table);
 
 /// Rebuild a table from SerializeTable bytes; columns come back as
@@ -36,6 +52,35 @@ svtkTable *DeserializeTable(const std::uint8_t *bytes, std::size_t size);
 inline svtkTable *DeserializeTable(const std::vector<std::uint8_t> &bytes)
 {
   return DeserializeTable(bytes.data(), bytes.size());
+}
+
+/// Serialize a table in the compressed format, requesting `params` for
+/// every column (negotiated per column dtype; lossy codecs never apply
+/// to integer columns). Columns keep their native scalar type.
+std::vector<std::uint8_t> SerializeTableCompressed(const svtkTable *table,
+                                                   const cmp::Params &params);
+
+/// Rebuild a table from SerializeTableCompressed bytes; columns come back
+/// as host-resident AOS arrays of their native scalar type. The caller
+/// owns the returned reference. Throws std::runtime_error on malformed or
+/// corrupt input (including chunk checksum mismatches).
+svtkTable *DeserializeTableCompressed(const std::uint8_t *bytes,
+                                     std::size_t size);
+
+/// Convenience overload.
+inline svtkTable *
+DeserializeTableCompressed(const std::vector<std::uint8_t> &bytes)
+{
+  return DeserializeTableCompressed(bytes.data(), bytes.size());
+}
+
+/// Detect the format by magic and dispatch to the matching deserializer.
+svtkTable *DeserializeTableAuto(const std::uint8_t *bytes, std::size_t size);
+
+/// Convenience overload.
+inline svtkTable *DeserializeTableAuto(const std::vector<std::uint8_t> &bytes)
+{
+  return DeserializeTableAuto(bytes.data(), bytes.size());
 }
 
 /// Merge rows of several tables with identical schemas (same column

@@ -1,8 +1,10 @@
 #include "sio.h"
 
+#include "cmpCodec.h"
 #include "svtkAOSDataArray.h"
 #include "svtkArrayUtils.h"
 
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -29,7 +31,101 @@ std::ifstream OpenIn(const std::string &path)
     throw std::runtime_error("sio: cannot read '" + path + "'");
   return f;
 }
+
+constexpr std::uint8_t kBlobMagic[4] = {'S', 'I', 'O', 'B'};
+constexpr std::uint8_t kBlobVersion = 1;
+constexpr std::size_t kBlobHeaderBytes = 24;
+
+double ParseNumber(const std::string &tok, const std::string &path,
+                   const char *what)
+{
+  try
+  {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size())
+      throw std::invalid_argument(tok);
+    return v;
+  }
+  catch (const std::exception &)
+  {
+    throw std::runtime_error(std::string("sio: non-numeric ") + what +
+                             " '" + tok + "' in '" + path + "'");
+  }
+}
 } // namespace
+
+// ---------------------------------------------------------------------------
+void WriteBlob(const std::string &path, const std::uint8_t *data,
+               std::size_t bytes)
+{
+  if (!data && bytes)
+    throw std::invalid_argument("sio::WriteBlob: null payload");
+
+  std::ofstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("sio: cannot write '" + path + "'");
+
+  std::uint8_t header[kBlobHeaderBytes] = {};
+  std::memcpy(header, kBlobMagic, 4);
+  header[4] = kBlobVersion;
+  cmp::StoreLE64(header + 8, static_cast<std::uint64_t>(bytes));
+  cmp::StoreLE64(header + 16, cmp::Fnv1a(data, bytes));
+
+  f.write(reinterpret_cast<const char *>(header), sizeof(header));
+  if (bytes)
+    f.write(reinterpret_cast<const char *>(data),
+            static_cast<std::streamsize>(bytes));
+  f.flush();
+  if (!f)
+    throw std::runtime_error("sio::WriteBlob: short write to '" + path + "'");
+}
+
+std::vector<std::uint8_t> ReadBlob(const std::string &path)
+{
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f)
+    throw std::runtime_error("sio: cannot read '" + path + "'");
+
+  const std::streamoff fileSize = f.tellg();
+  f.seekg(0);
+  if (fileSize < static_cast<std::streamoff>(kBlobHeaderBytes))
+    throw std::runtime_error("sio::ReadBlob: '" + path +
+                             "' is shorter than a blob header");
+
+  std::uint8_t header[kBlobHeaderBytes];
+  if (!f.read(reinterpret_cast<char *>(header), sizeof(header)))
+    throw std::runtime_error("sio::ReadBlob: cannot read header of '" + path +
+                             "'");
+  if (std::memcmp(header, kBlobMagic, 4) != 0)
+    throw std::runtime_error("sio::ReadBlob: '" + path +
+                             "' is not a SIOB blob");
+  if (header[4] != kBlobVersion)
+    throw std::runtime_error("sio::ReadBlob: unsupported blob version in '" +
+                             path + "'");
+
+  const std::uint64_t payloadBytes = cmp::LoadLE64(header + 8);
+  const std::uint64_t available =
+    static_cast<std::uint64_t>(fileSize) - kBlobHeaderBytes;
+  if (payloadBytes != available)
+    throw std::runtime_error(
+      "sio::ReadBlob: '" + path + "' declares " +
+      std::to_string(payloadBytes) + " payload bytes but holds " +
+      std::to_string(available) + " (truncated or trailing garbage)");
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(payloadBytes));
+  if (payloadBytes &&
+      !f.read(reinterpret_cast<char *>(payload.data()),
+              static_cast<std::streamsize>(payloadBytes)))
+    throw std::runtime_error("sio::ReadBlob: short read from '" + path + "'");
+
+  const std::uint64_t want = cmp::LoadLE64(header + 16);
+  const std::uint64_t got = cmp::Fnv1a(payload.data(), payload.size());
+  if (want != got)
+    throw std::runtime_error("sio::ReadBlob: checksum mismatch in '" + path +
+                             "' (corrupt payload)");
+  return payload;
+}
 
 // ---------------------------------------------------------------------------
 void WriteCSV(const std::string &path, const svtkTable *table)
@@ -107,7 +203,7 @@ svtkTable *ReadCSV(const std::string &path)
     std::string tok;
     std::size_t c = 0;
     while (std::getline(iss, tok, ',') && c < cols.size())
-      cols[c++].push_back(std::stod(tok));
+      cols[c++].push_back(ParseNumber(tok, path, "field"));
     if (c != cols.size())
       throw std::runtime_error("sio::ReadCSV: ragged row in '" + path + "'");
   }
@@ -183,6 +279,9 @@ svtkImageData *ReadVTI(const std::string &path)
     if (b == std::string::npos)
       throw std::runtime_error("sio::ReadVTI: missing attribute " + key);
     const std::size_t e = text.find('"', b + pat.size());
+    if (e == std::string::npos)
+      throw std::runtime_error("sio::ReadVTI: unterminated attribute " + key +
+                               " (truncated file?)");
     return text.substr(b + pat.size(), e - b - pat.size());
   };
 
@@ -194,8 +293,13 @@ svtkImageData *ReadVTI(const std::string &path)
   {
     std::istringstream iss(attr(imgPos, "WholeExtent"));
     for (int &v : ext)
-      iss >> v;
+      if (!(iss >> v))
+        throw std::runtime_error("sio::ReadVTI: malformed WholeExtent in '" +
+                                 path + "'");
   }
+  if (ext[1] < ext[0] || ext[3] < ext[2] || ext[5] < ext[4])
+    throw std::runtime_error("sio::ReadVTI: inverted WholeExtent in '" + path +
+                             "'");
   double origin[3] = {0, 0, 0};
   {
     std::istringstream iss(attr(imgPos, "Origin"));
@@ -217,10 +321,32 @@ svtkImageData *ReadVTI(const std::string &path)
   while (pos != std::string::npos)
   {
     const std::string name = attr(pos, "Name");
-    const int nComp =
-      std::stoi(attr(pos, "NumberOfComponents"));
-    const std::size_t b = text.find('>', pos) + 1;
+    const std::string compStr = attr(pos, "NumberOfComponents");
+    int nComp = 0;
+    try
+    {
+      nComp = std::stoi(compStr);
+    }
+    catch (const std::exception &)
+    {
+      throw std::runtime_error(
+        "sio::ReadVTI: bad NumberOfComponents '" + compStr + "' in '" + path +
+        "'");
+    }
+    if (nComp < 1)
+      throw std::runtime_error(
+        "sio::ReadVTI: bad NumberOfComponents '" + compStr + "' in '" + path +
+        "'");
+
+    const std::size_t tagEnd = text.find('>', pos);
+    if (tagEnd == std::string::npos)
+      throw std::runtime_error("sio::ReadVTI: unterminated <DataArray> in '" +
+                               path + "'");
+    const std::size_t b = tagEnd + 1;
     const std::size_t e = text.find("</DataArray>", b);
+    if (e == std::string::npos)
+      throw std::runtime_error("sio::ReadVTI: missing </DataArray> in '" +
+                               path + "' (truncated file?)");
 
     std::vector<double> values;
     {
@@ -229,6 +355,10 @@ svtkImageData *ReadVTI(const std::string &path)
       while (iss >> v)
         values.push_back(v);
     }
+    if (values.size() % static_cast<std::size_t>(nComp))
+      throw std::runtime_error("sio::ReadVTI: value count of array '" + name +
+                               "' is not a multiple of its components in '" +
+                               path + "'");
 
     svtkAOSDoubleArray *a = svtkAOSDoubleArray::New(name);
     a->SetNumberOfComponents(nComp);

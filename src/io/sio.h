@@ -10,11 +10,34 @@
 
 #include "svtkDataObject.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace sio
 {
+
+/// Write an opaque binary payload with a self-describing 24-byte header:
+/// u8[4] magic "SIOB", u8 version (1), u8[3] pad, u64 payload bytes,
+/// u64 FNV-1a checksum of the payload (both little endian). Used by the
+/// posthoc writer for compressed table snapshots; the payload format is
+/// the caller's business. Throws std::runtime_error when the file cannot
+/// be written.
+void WriteBlob(const std::string &path, const std::uint8_t *data,
+               std::size_t bytes);
+
+/// Convenience overload.
+inline void WriteBlob(const std::string &path,
+                      const std::vector<std::uint8_t> &bytes)
+{
+  WriteBlob(path, bytes.data(), bytes.size());
+}
+
+/// Read a blob written by WriteBlob, validating the magic, the declared
+/// payload length against the real file size, and the checksum. Throws
+/// std::runtime_error on truncated or corrupt files.
+std::vector<std::uint8_t> ReadBlob(const std::string &path);
 
 /// Write a table to CSV: a header row of column names, then one row per
 /// tuple; multi-component columns expand to name_0, name_1, ...

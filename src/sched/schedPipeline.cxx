@@ -85,6 +85,8 @@ PipelineStats &PipelineStats::operator+=(const PipelineStats &o)
   this->QueuedBytes += o.QueuedBytes;
   this->PeakQueuedBytes = std::max(this->PeakQueuedBytes, o.PeakQueuedBytes);
   this->StallSeconds += o.StallSeconds;
+  this->PayloadRawBytes += o.PayloadRawBytes;
+  this->PayloadEncodedBytes += o.PayloadEncodedBytes;
   return *this;
 }
 
@@ -355,7 +357,8 @@ void BoundedPipeline::RetireLocked(double now)
   }
 }
 
-void BoundedPipeline::Submit(std::function<void()> fn, std::size_t payloadBytes)
+void BoundedPipeline::Submit(std::function<void()> fn, std::size_t payloadBytes,
+                             std::size_t rawBytes)
 {
   const double spawnCost = vp::Platform::Get().Config().Cost.ThreadSpawnCost;
 
@@ -439,6 +442,8 @@ void BoundedPipeline::Submit(std::function<void()> fn, std::size_t payloadBytes)
     w->Pending.push_back(std::move(t));
     w->Stats.Submitted++;
     w->Stats.QueuedBytes += payloadBytes;
+    w->Stats.PayloadEncodedBytes += payloadBytes;
+    w->Stats.PayloadRawBytes += rawBytes ? rawBytes : payloadBytes;
     w->NoteOccupancyLocked();
     lock.unlock();
     w->CvWork.notify_one();
@@ -509,6 +514,8 @@ void BoundedPipeline::Submit(std::function<void()> fn, std::size_t payloadBytes)
   t.Fn = std::move(fn);
   this->Queue_.push_back(std::move(t));
   this->Stats_.Submitted++;
+  this->Stats_.PayloadEncodedBytes += payloadBytes;
+  this->Stats_.PayloadRawBytes += rawBytes ? rawBytes : payloadBytes;
   this->NoteOccupancyLocked(payloadBytes);
 
   // block / unbounded run eagerly (deferring would reorder resource

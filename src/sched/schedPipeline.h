@@ -93,6 +93,13 @@ struct PipelineStats
   std::size_t PeakQueuedBytes = 0;  ///< high-water mark of QueuedBytes
   double StallSeconds = 0.0; ///< virtual seconds submitters spent blocked
 
+  /// Payload volume accounting for compressed submissions: RawBytes is
+  /// the pre-compression size of every submitted payload, EncodedBytes
+  /// the size actually queued (they are equal when a submission carries
+  /// no raw size, i.e. is uncompressed).
+  std::uint64_t PayloadRawBytes = 0;
+  std::uint64_t PayloadEncodedBytes = 0;
+
   PipelineStats &operator+=(const PipelineStats &o);
 };
 
@@ -118,10 +125,14 @@ public:
   void SetBackpressure(Backpressure b);
 
   /// Submit a task. `payloadBytes` is the size of the deep-copied data
-  /// the closure owns; it is what the queue-depth bound meters. Applies
-  /// the configured backpressure when the queue is full; charges the
+  /// the closure owns; it is what the queue-depth bound meters — for a
+  /// compressed payload that is the encoded size, so compression widens
+  /// the effective queue. `rawBytes`, when nonzero, records the payload's
+  /// pre-compression size in the stats (PayloadRawBytes). Applies the
+  /// configured backpressure when the queue is full; charges the
   /// submitting thread the thread-spawn cost.
-  void Submit(std::function<void()> fn, std::size_t payloadBytes = 0);
+  void Submit(std::function<void()> fn, std::size_t payloadBytes = 0,
+              std::size_t rawBytes = 0);
 
   /// Run/await every queued task and advance the calling thread's clock
   /// to the completion of the last one.

@@ -24,6 +24,31 @@ bool AppendAos(const svtkDataArray *array, std::vector<double> &out)
   out.assign(a->GetVector().begin(), a->GetVector().end());
   return true;
 }
+using HostValuesFn =
+  std::function<void(const void *, svtkScalarType, std::size_t)>;
+
+template <typename T>
+bool VisitAos(const svtkDataArray *array, const HostValuesFn &f)
+{
+  const auto *a = dynamic_cast<const svtkAOSDataArray<T> *>(array);
+  if (!a)
+    return false;
+  f(a->GetVector().data(), svtkScalarTypeTraits<T>::value,
+    a->GetVector().size());
+  return true;
+}
+
+template <typename T>
+bool VisitHamr(const svtkDataArray *array, const HostValuesFn &f)
+{
+  const auto *h = dynamic_cast<const svtkHAMRDataArray<T> *>(array);
+  if (!h)
+    return false;
+  std::shared_ptr<const T> view = h->GetHostAccessible();
+  h->Synchronize();
+  f(view.get(), svtkScalarTypeTraits<T>::value, h->GetNumberOfValues());
+  return true;
+}
 } // namespace
 
 std::vector<double> svtkToDoubleVector(const svtkDataArray *array)
@@ -46,6 +71,22 @@ std::vector<double> svtkToDoubleVector(const svtkDataArray *array)
       out[i * static_cast<std::size_t>(nc) + static_cast<std::size_t>(j)] =
         array->GetVariantValue(i, j);
   return out;
+}
+
+void svtkWithHostValues(const svtkDataArray *array, const HostValuesFn &f)
+{
+  if (!array)
+    throw std::invalid_argument("svtkWithHostValues: null array");
+
+  if (VisitAos<double>(array, f) || VisitAos<float>(array, f) ||
+      VisitAos<int>(array, f) || VisitAos<long long>(array, f) ||
+      VisitAos<unsigned char>(array, f) || VisitHamr<double>(array, f) ||
+      VisitHamr<float>(array, f) || VisitHamr<int>(array, f) ||
+      VisitHamr<long long>(array, f))
+    return;
+
+  const std::vector<double> values = svtkToDoubleVector(array);
+  f(values.data(), svtkScalarType::Float64, values.size());
 }
 
 svtkHAMRDoubleArray *svtkAsHAMRDouble(svtkDataArray *array)

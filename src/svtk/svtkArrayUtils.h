@@ -9,12 +9,23 @@
 #include "svtkDataArray.h"
 #include "svtkHAMRDataArray.h"
 
+#include <functional>
 #include <vector>
 
 /// Copy any data array's values to a host std::vector<double>, converting
 /// element types. Fast paths exist for the common concrete types; other
 /// arrays go through the variant interface.
 std::vector<double> svtkToDoubleVector(const svtkDataArray *array);
+
+/// Invoke `f(data, type, count)` with a host-accessible view of `array`'s
+/// values in their native scalar type: zero-copy for host AOS arrays,
+/// staged through GetHostAccessible (one D2H move at most, synchronized)
+/// for HAMR arrays, and converted to Float64 for any other flavour.
+/// `count` is tuples * components; the pointer is valid only for the
+/// duration of the call.
+void svtkWithHostValues(
+  const svtkDataArray *array,
+  const std::function<void(const void *, svtkScalarType, std::size_t)> &f);
 
 /// A svtkHAMRDoubleArray view of `array`: when `array` already is one, it
 /// is returned with an extra reference (zero-copy); otherwise a new

@@ -1,0 +1,893 @@
+// Tests for the array compression subsystem (src/compress) and its
+// integrations: per-codec round trips across dtypes and edge shapes,
+// the quantizer's error bound (and its lossless fallback on NaN/Inf),
+// chunk-header validation against corruption, the compressed table wire
+// format (including a handcrafted little-endian stream), the sio blob
+// container, the compressed in transit path (binning equality with an
+// uncompressed run), async pipeline payload metering, and the
+// <compress> XML configuration.
+
+#include "cmpCodec.h"
+#include "minimpi.h"
+#include "schedPipeline.h"
+#include "senseiConfigurableAnalysis.h"
+#include "senseiDataBinning.h"
+#include "senseiInTransit.h"
+#include "senseiPosthocIO.h"
+#include "senseiSerialization.h"
+#include "sio.h"
+#include "svtkAOSDataArray.h"
+#include "vpChecker.h"
+#include "vpPlatform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace
+{
+void ResetAll()
+{
+  vp::PlatformConfig cfg;
+  cfg.DevicesPerNode = 4;
+  cfg.HostCoresPerNode = 8;
+  vp::Platform::Initialize(cfg);
+  cmp::Configure(cmp::Config());
+  cmp::ResetStats();
+  vp::ThisClock().Set(0.0);
+}
+
+/// Encode + decode one array; checks the chunk is fully consumed.
+template <typename T>
+std::vector<T> RoundTrip(const std::vector<T> &in, cmp::DType dt,
+                         const cmp::Params &p, cmp::ChunkInfo *info = nullptr)
+{
+  std::vector<std::uint8_t> buf;
+  const cmp::ChunkInfo enc = cmp::EncodeChunk(in.data(), dt, in.size(), p, buf);
+  if (info)
+    *info = enc;
+  EXPECT_EQ(enc.Count, in.size());
+  EXPECT_EQ(enc.RawBytes, in.size() * sizeof(T));
+  EXPECT_EQ(buf.size(), cmp::kChunkHeaderBytes + enc.EncodedBytes);
+
+  std::vector<T> out(in.size());
+  cmp::ChunkInfo dec;
+  const std::size_t used =
+    cmp::DecodeChunk(buf.data(), buf.size(), out.data(),
+                     out.size() * sizeof(T), &dec);
+  EXPECT_EQ(used, buf.size());
+  EXPECT_EQ(dec.Codec, enc.Codec);
+  return out;
+}
+
+/// Bit-exact comparison (NaN-safe).
+template <typename T>
+void ExpectBitEqual(const std::vector<T> &a, const std::vector<T> &b)
+{
+  ASSERT_EQ(a.size(), b.size());
+  if (!a.empty())
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0);
+}
+
+template <typename T>
+std::vector<T> RandomInts(std::size_t n, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_int_distribution<long long> u(-1000000, 1000000);
+  std::vector<T> v(n);
+  for (auto &x : v)
+    x = static_cast<T>(u(gen));
+  return v;
+}
+
+std::vector<double> RandomDoubles(std::size_t n, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto &x : v)
+    x = u(gen);
+  return v;
+}
+
+svtkTable *MakeTable(std::size_t n, unsigned seed)
+{
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  svtkTable *t = svtkTable::New();
+  for (const char *name : {"x", "y", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+      c->SetVariantValue(i, 0, name[0] == 'm' ? 1.0 : u(gen));
+    t->AddColumn(c);
+    c->Delete();
+  }
+  return t;
+}
+} // namespace
+
+// --- lossless codec round trips ---------------------------------------------
+
+TEST(Codec, ShuffleRleRoundTripsEveryDtypeAndShape)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::ShuffleRLE;
+
+  for (const std::size_t n : {std::size_t(0), std::size_t(1), std::size_t(7),
+                              std::size_t(1024)})
+  {
+    ExpectBitEqual(RandomDoubles(n, 1),
+                   RoundTrip(RandomDoubles(n, 1), cmp::DType::F64, p));
+    {
+      std::vector<float> f(n);
+      for (std::size_t i = 0; i < n; ++i)
+        f[i] = static_cast<float>(i) * 0.25f - 3.0f;
+      ExpectBitEqual(f, RoundTrip(f, cmp::DType::F32, p));
+    }
+    ExpectBitEqual(RandomInts<int>(n, 2),
+                   RoundTrip(RandomInts<int>(n, 2), cmp::DType::I32, p));
+    ExpectBitEqual(RandomInts<long long>(n, 3),
+                   RoundTrip(RandomInts<long long>(n, 3), cmp::DType::I64, p));
+    {
+      std::vector<unsigned char> u(n);
+      for (std::size_t i = 0; i < n; ++i)
+        u[i] = static_cast<unsigned char>(i * 37);
+      ExpectBitEqual(u, RoundTrip(u, cmp::DType::U8, p));
+    }
+  }
+}
+
+TEST(Codec, AllEqualArraysCompressWell)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::ShuffleRLE;
+
+  const std::vector<double> same(4096, 42.5);
+  cmp::ChunkInfo info;
+  ExpectBitEqual(same, RoundTrip(same, cmp::DType::F64, p, &info));
+  EXPECT_EQ(info.Codec, cmp::CodecId::ShuffleRLE);
+  // 32 KiB of identical doubles must shrink dramatically
+  EXPECT_LT(info.EncodedBytes, info.RawBytes / 10);
+}
+
+TEST(Codec, ShuffleRleHandlesNanAndInf)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::ShuffleRLE;
+  std::vector<double> v = {0.0, -0.0, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(), 1.0e308};
+  ExpectBitEqual(v, RoundTrip(v, cmp::DType::F64, p));
+}
+
+TEST(Codec, DeltaVarintRoundTripsIntegers)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::DeltaVarint;
+
+  for (const std::size_t n : {std::size_t(0), std::size_t(1), std::size_t(513)})
+  {
+    ExpectBitEqual(RandomInts<int>(n, 4),
+                   RoundTrip(RandomInts<int>(n, 4), cmp::DType::I32, p));
+    ExpectBitEqual(
+      RandomInts<long long>(n, 5),
+      RoundTrip(RandomInts<long long>(n, 5), cmp::DType::I64, p));
+  }
+
+  // extremes: wrapping deltas must be exact
+  std::vector<long long> extremes = {
+    std::numeric_limits<long long>::min(),
+    std::numeric_limits<long long>::max(), 0, -1, 1,
+    std::numeric_limits<long long>::min() + 1};
+  ExpectBitEqual(extremes, RoundTrip(extremes, cmp::DType::I64, p));
+
+  // monotone sequences (the index-column case) compress far below raw
+  std::vector<long long> mono(8192);
+  for (std::size_t i = 0; i < mono.size(); ++i)
+    mono[i] = static_cast<long long>(1000000 + 3 * i);
+  cmp::ChunkInfo info;
+  ExpectBitEqual(mono, RoundTrip(mono, cmp::DType::I64, p, &info));
+  EXPECT_EQ(info.Codec, cmp::CodecId::DeltaVarint);
+  EXPECT_LT(info.EncodedBytes, info.RawBytes / 4);
+}
+
+// --- quantizer ---------------------------------------------------------------
+
+TEST(Codec, QuantizeRespectsErrorBound)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::Quantize;
+  p.ErrorBound = 1.0e-3;
+
+  const std::vector<double> v = RandomDoubles(4096, 6);
+  cmp::ChunkInfo info;
+  const std::vector<double> back = RoundTrip(v, cmp::DType::F64, p, &info);
+  EXPECT_EQ(info.Codec, cmp::CodecId::Quantize);
+  EXPECT_DOUBLE_EQ(info.ErrorBound, 1.0e-3);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_LE(std::fabs(back[i] - v[i]), p.ErrorBound) << "element " << i;
+  // smooth data in [-1,1] at eb 1e-3 must beat raw f64 by a wide margin
+  EXPECT_LT(info.EncodedBytes, info.RawBytes / 2);
+
+  // float32 too (the decode-side cast is part of the verified bound)
+  std::vector<float> f(1024);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(static_cast<float>(i) * 0.01f);
+  const std::vector<float> fback = RoundTrip(f, cmp::DType::F32, p);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_LE(std::fabs(static_cast<double>(fback[i]) -
+                        static_cast<double>(f[i])),
+              p.ErrorBound);
+}
+
+TEST(Codec, QuantizeFallsBackLosslesslyOnNanInf)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::Quantize;
+  p.ErrorBound = 1.0e-3;
+
+  std::vector<double> v = RandomDoubles(256, 7);
+  v[17] = std::numeric_limits<double>::quiet_NaN();
+  v[99] = std::numeric_limits<double>::infinity();
+
+  cmp::CodecStats before = cmp::Stats();
+  cmp::ChunkInfo info;
+  const std::vector<double> back = RoundTrip(v, cmp::DType::F64, p, &info);
+  EXPECT_NE(info.Codec, cmp::CodecId::Quantize);
+  ExpectBitEqual(v, back); // the fallback is bit exact, NaN included
+  EXPECT_GT(cmp::Stats().Fallbacks, before.Fallbacks);
+}
+
+TEST(Codec, QuantizeFallsBackOnHugeMagnitudes)
+{
+  ResetAll();
+  cmp::Params p;
+  p.Codec = cmp::CodecId::Quantize;
+  p.ErrorBound = 1.0e-12;
+  std::vector<double> v = {1.0e300, -1.0e300, 0.0};
+  cmp::ChunkInfo info;
+  ExpectBitEqual(v, RoundTrip(v, cmp::DType::F64, p, &info));
+  EXPECT_NE(info.Codec, cmp::CodecId::Quantize);
+}
+
+// --- negotiation -------------------------------------------------------------
+
+TEST(Codec, NegotiatePicksApplicableCodecs)
+{
+  ResetAll();
+  cmp::Params q;
+  q.Codec = cmp::CodecId::Quantize;
+  q.ErrorBound = 1.0e-3;
+
+  // quantize on integers degrades to delta-varint
+  EXPECT_EQ(cmp::Negotiate(q, cmp::DType::I32).Codec,
+            cmp::CodecId::DeltaVarint);
+  EXPECT_EQ(cmp::Negotiate(q, cmp::DType::I64).Codec,
+            cmp::CodecId::DeltaVarint);
+  // quantize on floats is honoured (with a bound)
+  EXPECT_EQ(cmp::Negotiate(q, cmp::DType::F64).Codec, cmp::CodecId::Quantize);
+  // ...but not without a bound
+  q.ErrorBound = 0.0;
+  EXPECT_EQ(cmp::Negotiate(q, cmp::DType::F64).Codec,
+            cmp::CodecId::ShuffleRLE);
+
+  cmp::Params d;
+  d.Codec = cmp::CodecId::DeltaVarint;
+  EXPECT_EQ(cmp::Negotiate(d, cmp::DType::F64).Codec,
+            cmp::CodecId::ShuffleRLE);
+  EXPECT_EQ(cmp::Negotiate(d, cmp::DType::U8).Codec,
+            cmp::CodecId::ShuffleRLE);
+
+  cmp::Params none;
+  none.Codec = cmp::CodecId::None;
+  EXPECT_EQ(cmp::Negotiate(none, cmp::DType::F64).Codec, cmp::CodecId::None);
+}
+
+TEST(Codec, NamesRoundTrip)
+{
+  EXPECT_EQ(cmp::CodecIdFromName("none"), cmp::CodecId::None);
+  EXPECT_EQ(cmp::CodecIdFromName("shuffle-rle"), cmp::CodecId::ShuffleRLE);
+  EXPECT_EQ(cmp::CodecIdFromName("delta_varint"), cmp::CodecId::DeltaVarint);
+  EXPECT_EQ(cmp::CodecIdFromName("quantize"), cmp::CodecId::Quantize);
+  for (const cmp::CodecId id :
+       {cmp::CodecId::None, cmp::CodecId::ShuffleRLE,
+        cmp::CodecId::DeltaVarint, cmp::CodecId::Quantize})
+    EXPECT_EQ(cmp::CodecIdFromName(cmp::CodecName(id)), id);
+  EXPECT_THROW(cmp::CodecIdFromName("zstd"), std::invalid_argument);
+}
+
+// --- chunk validation --------------------------------------------------------
+
+TEST(Chunk, CorruptionIsDetected)
+{
+  ResetAll();
+  cmp::Params p;
+  const std::vector<double> v = RandomDoubles(128, 8);
+  std::vector<std::uint8_t> buf;
+  cmp::EncodeChunk(v.data(), cmp::DType::F64, v.size(), p, buf);
+
+  std::vector<double> out(v.size());
+  const std::size_t outBytes = out.size() * sizeof(double);
+
+  // truncated header
+  EXPECT_THROW(cmp::PeekHeader(buf.data(), 10), std::runtime_error);
+  // bad magic
+  {
+    auto bad = buf;
+    bad[0] = 'X';
+    EXPECT_THROW(cmp::DecodeChunk(bad.data(), bad.size(), out.data(),
+                                  outBytes),
+                 std::runtime_error);
+  }
+  // payload extends past the buffer
+  {
+    auto bad = buf;
+    bad.resize(bad.size() - 1);
+    EXPECT_THROW(cmp::DecodeChunk(bad.data(), bad.size(), out.data(),
+                                  outBytes),
+                 std::runtime_error);
+  }
+  // flipped payload byte -> checksum mismatch
+  {
+    auto bad = buf;
+    bad[cmp::kChunkHeaderBytes + 3] ^= 0x40;
+    EXPECT_THROW(cmp::DecodeChunk(bad.data(), bad.size(), out.data(),
+                                  outBytes),
+                 std::runtime_error);
+  }
+  // destination size mismatch (a caller error, not stream corruption)
+  EXPECT_THROW(cmp::DecodeChunk(buf.data(), buf.size(), out.data(),
+                                outBytes - 8),
+               std::invalid_argument);
+}
+
+TEST(Chunk, StatsAccumulate)
+{
+  ResetAll();
+  cmp::Params p;
+  const std::vector<double> v = RandomDoubles(512, 9);
+  std::vector<std::uint8_t> buf;
+  cmp::EncodeChunk(v.data(), cmp::DType::F64, v.size(), p, buf);
+  std::vector<double> out(v.size());
+  cmp::DecodeChunk(buf.data(), buf.size(), out.data(),
+                   out.size() * sizeof(double));
+
+  const cmp::CodecStats s = cmp::Stats();
+  EXPECT_EQ(s.EncodedChunks, 1u);
+  EXPECT_EQ(s.DecodedChunks, 1u);
+  EXPECT_EQ(s.BytesRaw, v.size() * sizeof(double));
+  EXPECT_GT(s.BytesEncoded, 0u);
+  EXPECT_GT(s.EncodeSeconds, 0.0);
+  EXPECT_GT(s.DecodeSeconds, 0.0);
+  EXPECT_GT(s.Ratio(), 0.0);
+}
+
+TEST(Chunk, CleanUnderChecker)
+{
+  ResetAll();
+  vp::check::CheckConfig cc;
+  cc.Enabled = true;
+  vp::check::Configure(cc);
+  vp::check::Reset();
+  {
+    cmp::Params p;
+    p.Codec = cmp::CodecId::Quantize;
+    p.ErrorBound = 1.0e-4;
+    const std::vector<double> v = RandomDoubles(2048, 10);
+    std::vector<std::uint8_t> buf;
+    cmp::EncodeChunk(v.data(), cmp::DType::F64, v.size(), p, buf);
+    std::vector<double> out(v.size());
+    cmp::DecodeChunk(buf.data(), buf.size(), out.data(),
+                     out.size() * sizeof(double));
+  }
+  const vp::check::Report report = vp::check::Finalize();
+  EXPECT_EQ(report.Total(), 0u) << report.Summary();
+  cc.Enabled = false;
+  vp::check::Configure(cc);
+  vp::check::Reset();
+}
+
+// --- compressed table wire format -------------------------------------------
+
+TEST(TableWire, CompressedRoundTripPreservesTypes)
+{
+  ResetAll();
+  svtkTable *t = svtkTable::New();
+  {
+    svtkAOSDoubleArray *d = svtkAOSDoubleArray::New("pos", 64, 3);
+    for (std::size_t i = 0; i < 64; ++i)
+      for (int j = 0; j < 3; ++j)
+        d->SetVariantValue(i, j, 0.5 * static_cast<double>(i) + j);
+    t->AddColumn(d);
+    d->Delete();
+    svtkAOSLongArray *id = svtkAOSLongArray::New("id", 64, 1);
+    for (std::size_t i = 0; i < 64; ++i)
+      id->SetVariantValue(i, 0, static_cast<double>(1000 + i));
+    t->AddColumn(id);
+    id->Delete();
+  }
+
+  cmp::Params p; // lossless default
+  const std::vector<std::uint8_t> wire =
+    sensei::SerializeTableCompressed(t, p);
+  svtkTable *back = sensei::DeserializeTableAuto(wire);
+
+  ASSERT_EQ(back->GetNumberOfColumns(), 2);
+  EXPECT_EQ(back->GetColumn(0)->GetScalarType(), svtkScalarType::Float64);
+  EXPECT_EQ(back->GetColumn(1)->GetScalarType(), svtkScalarType::Int64);
+  EXPECT_EQ(back->GetColumn(0)->GetNumberOfComponents(), 3);
+  for (std::size_t i = 0; i < 64; ++i)
+  {
+    for (int j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(back->GetColumn(0)->GetVariantValue(i, j),
+                       t->GetColumn(0)->GetVariantValue(i, j));
+    EXPECT_DOUBLE_EQ(back->GetColumn(1)->GetVariantValue(i, 0),
+                     t->GetColumn(1)->GetVariantValue(i, 0));
+  }
+  back->UnRegister();
+  t->Delete();
+}
+
+TEST(TableWire, CompressedShrinksBinningPayload)
+{
+  ResetAll();
+  svtkTable *t = MakeTable(20000, 11);
+  const std::size_t rawWire = sensei::SerializeTable(t).size();
+
+  cmp::Params p;
+  p.Codec = cmp::CodecId::Quantize;
+  p.ErrorBound = 1.0e-4;
+  const std::size_t cmpWire = sensei::SerializeTableCompressed(t, p).size();
+  EXPECT_LT(cmpWire * 2, rawWire) << "expected >= 2x payload reduction";
+  t->Delete();
+}
+
+TEST(TableWire, MalformedCompressedStreamThrows)
+{
+  ResetAll();
+  svtkTable *t = MakeTable(50, 12);
+  cmp::Params p;
+  std::vector<std::uint8_t> wire = sensei::SerializeTableCompressed(t, p);
+  t->Delete();
+
+  {
+    auto bad = wire;
+    bad[0] = 'Z';
+    EXPECT_THROW(sensei::DeserializeTableCompressed(bad),
+                 std::runtime_error);
+  }
+  {
+    auto bad = wire;
+    bad.resize(bad.size() / 2);
+    EXPECT_THROW(sensei::DeserializeTableCompressed(bad),
+                 std::runtime_error);
+  }
+  {
+    auto bad = wire;
+    bad[bad.size() - 5] ^= 0x10; // corrupt last chunk's payload
+    EXPECT_THROW(sensei::DeserializeTableCompressed(bad),
+                 std::runtime_error);
+  }
+}
+
+TEST(TableWire, HandcraftedLittleEndianStreamDecodes)
+{
+  // a legacy stream built field by field, the way a writer with 32-bit
+  // size_t on a little-endian machine would produce it; decoding must
+  // not depend on this host's widths
+  ResetAll();
+  std::vector<std::uint8_t> wire;
+  cmp::PutLE64(wire, 1); // one column
+  cmp::PutLE64(wire, 3); // name length
+  wire.insert(wire.end(), {'a', 'b', 'c'});
+  cmp::PutLE64(wire, 2); // tuples
+  cmp::PutLE64(wire, 1); // components
+  for (const double v : {1.5, -2.25})
+  {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    cmp::PutLE64(wire, bits);
+  }
+
+  svtkTable *back = sensei::DeserializeTableAuto(wire);
+  ASSERT_EQ(back->GetNumberOfColumns(), 1);
+  EXPECT_EQ(back->GetColumn(0)->GetName(), "abc");
+  EXPECT_DOUBLE_EQ(back->GetColumn(0)->GetVariantValue(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(back->GetColumn(0)->GetVariantValue(1, 0), -2.25);
+  back->UnRegister();
+}
+
+// --- quantized binning -------------------------------------------------------
+
+TEST(QuantizedBinning, HistogramMatchesWhenBoundBelowHalfBinWidth)
+{
+  ResetAll();
+  // 16 bins over [-1,1]: width 0.125. Values sit near bin centers
+  // (jitter 0.04), so every value is >= 0.0225 from any edge; with
+  // eb = 0.01 < width/2 the quantized value cannot cross a bin edge and
+  // the histogram must match the unquantized one exactly.
+  const double eb = 0.01;
+  std::mt19937_64 gen(13);
+  std::uniform_int_distribution<int> bin(0, 15);
+  std::uniform_real_distribution<double> jit(-0.04, 0.04);
+
+  svtkTable *t = svtkTable::New();
+  for (const char *name : {"x", "y", "m"})
+  {
+    svtkAOSDoubleArray *c = svtkAOSDoubleArray::New(name, 3000, 1);
+    for (std::size_t i = 0; i < 3000; ++i)
+    {
+      const double center = -1.0 + (bin(gen) + 0.5) * 0.125;
+      c->SetVariantValue(i, 0, name[0] == 'm' ? 1.0 : center + jit(gen));
+    }
+    t->AddColumn(c);
+    c->Delete();
+  }
+
+  auto binIt = [](svtkTable *table)
+  {
+    sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+    da->SetTable(table);
+    sensei::DataBinning *b = sensei::DataBinning::New();
+    b->SetMeshName("bodies");
+    b->SetAxes({"x", "y"});
+    b->SetResolution({16});
+    b->SetRange(0, -1, 1);
+    b->SetRange(1, -1, 1);
+    b->AddOperation("m", sensei::BinningOp::Sum);
+    b->SetDeviceId(sensei::AnalysisAdaptor::DEVICE_HOST);
+    EXPECT_TRUE(b->Execute(da));
+    svtkImageData *img = b->GetLastResult();
+    const svtkDataArray *g = img->GetPointData()->GetArray("m_sum");
+    std::vector<double> out(g->GetNumberOfTuples());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = g->GetVariantValue(i, 0);
+    img->UnRegister();
+    b->Delete();
+    da->ReleaseData();
+    da->Delete();
+    return out;
+  };
+
+  const std::vector<double> reference = binIt(t);
+
+  cmp::Params p;
+  p.Codec = cmp::CodecId::Quantize;
+  p.ErrorBound = eb;
+  svtkTable *quantized =
+    sensei::DeserializeTableAuto(sensei::SerializeTableCompressed(t, p));
+  const std::vector<double> got = binIt(quantized);
+  quantized->UnRegister();
+  t->Delete();
+
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_DOUBLE_EQ(got[i], reference[i]) << "bin " << i;
+}
+
+// --- sio blob container ------------------------------------------------------
+
+TEST(Blob, RoundTripAndCorruptionChecks)
+{
+  ResetAll();
+  const std::string path = testing::TempDir() + "/cmp_blob_test.sbin";
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  sio::WriteBlob(path, payload);
+  EXPECT_EQ(sio::ReadBlob(path), payload);
+
+  // empty payload
+  sio::WriteBlob(path, std::vector<std::uint8_t>{});
+  EXPECT_TRUE(sio::ReadBlob(path).empty());
+
+  // truncation: declared length no longer matches the file size
+  sio::WriteBlob(path, payload);
+  {
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+#ifdef _WIN32
+    ASSERT_EQ(_chsize(_fileno(f), 24 + 5), 0);
+#else
+    ASSERT_EQ(ftruncate(fileno(f), 24 + 5), 0);
+#endif
+    std::fclose(f);
+  }
+  EXPECT_THROW(sio::ReadBlob(path), std::runtime_error);
+
+  // corruption: flip one payload byte, length still right
+  sio::WriteBlob(path, payload);
+  {
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24 + 2, SEEK_SET);
+    const char x = 0x7f;
+    std::fwrite(&x, 1, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(sio::ReadBlob(path), std::runtime_error);
+
+  // not a blob at all
+  sio::WriteSeries(path, {"a"}, {{1.0}});
+  EXPECT_THROW(sio::ReadBlob(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- posthoc SBIN ------------------------------------------------------------
+
+TEST(PosthocSBIN, WritesReadableCompressedSnapshots)
+{
+  ResetAll();
+  svtkTable *t = MakeTable(400, 14);
+  sensei::TableAdaptor *da = sensei::TableAdaptor::New("table");
+  da->SetTable(t);
+
+  sensei::PosthocIO *io = sensei::PosthocIO::New();
+  io->SetOutputDir(testing::TempDir());
+  io->SetPrefix("cmp_sbin");
+  io->SetFormat(sensei::PosthocIO::Format::SBIN);
+  cmp::Params p;
+  p.Codec = cmp::CodecId::Quantize;
+  p.ErrorBound = 1.0e-5;
+  io->SetCompression(p);
+  io->SetAsynchronous(true);
+
+  da->SetDataTimeStep(0);
+  EXPECT_TRUE(io->Execute(da));
+  EXPECT_EQ(io->Finalize(), 0);
+  EXPECT_EQ(io->GetWriteCount(), 1);
+  io->Delete();
+
+  const std::string path = testing::TempDir() + "/cmp_sbin_r0_s0.sbin";
+  svtkTable *back = sensei::DeserializeTableAuto(sio::ReadBlob(path));
+  ASSERT_EQ(back->GetNumberOfColumns(), 3);
+  ASSERT_EQ(back->GetNumberOfRows(), 400u);
+  for (std::size_t i = 0; i < 400; ++i)
+    EXPECT_NEAR(back->GetColumn(0)->GetVariantValue(i, 0),
+                t->GetColumn(0)->GetVariantValue(i, 0), 1.0e-5);
+  back->UnRegister();
+  std::remove(path.c_str());
+
+  t->Delete();
+  da->ReleaseData();
+  da->Delete();
+}
+
+// --- pipeline metering -------------------------------------------------------
+
+TEST(PipelineMetering, RecordsRawAndEncodedPayloadBytes)
+{
+  ResetAll();
+  sched::Configure(sched::SchedConfig());
+  sched::BoundedPipeline pipe;
+  pipe.Submit([] {}, 100, 800); // compressed payload: 800 raw -> 100 queued
+  pipe.Submit([] {}, 50);       // uncompressed: raw == encoded
+  pipe.Drain();
+
+  const sched::PipelineStats s = pipe.Stats();
+  EXPECT_EQ(s.PayloadEncodedBytes, 150u);
+  EXPECT_EQ(s.PayloadRawBytes, 850u);
+  EXPECT_EQ(s.Executed, 2u);
+}
+
+// --- in transit --------------------------------------------------------------
+
+TEST(InTransitCompressed, BinningMatchesUncompressedRun)
+{
+  ResetAll();
+  const int senders = 2;
+  const int endpoints = 1;
+  const std::size_t rows = 800;
+
+  auto run = [&](bool compressed)
+  {
+    std::vector<double> got;
+    minimpi::Run(senders + endpoints,
+                 [&](minimpi::Communicator &world)
+                 {
+                   const sensei::InTransitLayout layout(world.Size(),
+                                                        endpoints);
+                   const bool isEp = layout.IsEndpoint(world.Rank());
+                   minimpi::Communicator group = world.Split(isEp ? 1 : 0);
+
+                   if (!isEp)
+                   {
+                     sensei::InTransitSender sender(&world, layout, "bodies");
+                     if (compressed)
+                     {
+                       cmp::Params p;
+                       p.Codec = cmp::CodecId::ShuffleRLE; // lossless
+                       sender.SetCompression(p);
+                     }
+                     sensei::TableAdaptor *da =
+                       sensei::TableAdaptor::New("bodies");
+                     svtkTable *mine = MakeTable(rows, 40 + world.Rank());
+                     da->SetTable(mine);
+                     mine->Delete();
+                     da->SetDataTimeStep(0);
+                     EXPECT_TRUE(sender.Send(da));
+                     sender.Close();
+                     da->ReleaseData();
+                     da->Delete();
+                     return;
+                   }
+
+                   sensei::DataBinning *b = sensei::DataBinning::New();
+                   b->SetMeshName("bodies");
+                   b->SetAxes({"x", "y"});
+                   b->SetResolution({16});
+                   b->SetRange(0, -1, 1);
+                   b->SetRange(1, -1, 1);
+                   b->AddOperation("m", sensei::BinningOp::Sum);
+                   b->SetDeviceId(sensei::AnalysisAdaptor::DEVICE_HOST);
+
+                   sensei::InTransitEndpoint ep(&world, &group, layout,
+                                                "bodies");
+                   EXPECT_EQ(ep.Run(b), 1);
+
+                   svtkImageData *img = b->GetLastResult();
+                   const svtkDataArray *g =
+                     img->GetPointData()->GetArray("m_sum");
+                   got.resize(g->GetNumberOfTuples());
+                   for (std::size_t i = 0; i < got.size(); ++i)
+                     got[i] = g->GetVariantValue(i, 0);
+                   img->UnRegister();
+                   b->Delete();
+                 });
+    return got;
+  };
+
+  const std::vector<double> plain = run(false);
+  const std::vector<double> packed = run(true);
+  ASSERT_EQ(plain.size(), packed.size());
+  ASSERT_FALSE(plain.empty());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_DOUBLE_EQ(packed[i], plain[i]) << "bin " << i;
+}
+
+TEST(InTransitCompressed, ChunkedFramesSurviveSmallMessageLimit)
+{
+  ResetAll();
+  // force many chunks per frame: every table frame here is ~19 KiB, so
+  // a 512-byte limit splits each into dozens of chunks on one tag
+  const std::size_t oldLimit = minimpi::Communicator::GetMaxMessageBytes();
+  minimpi::Communicator::SetMaxMessageBytes(512);
+
+  long steps = -1;
+  minimpi::Run(2,
+               [&](minimpi::Communicator &world)
+               {
+                 const sensei::InTransitLayout layout(2, 1);
+                 const bool isEp = layout.IsEndpoint(world.Rank());
+                 minimpi::Communicator group = world.Split(isEp ? 1 : 0);
+                 if (!isEp)
+                 {
+                   sensei::InTransitSender sender(&world, layout, "bodies");
+                   sensei::TableAdaptor *da =
+                     sensei::TableAdaptor::New("bodies");
+                   svtkTable *mine = MakeTable(800, 77);
+                   da->SetTable(mine);
+                   mine->Delete();
+                   for (long s = 0; s < 2; ++s)
+                   {
+                     da->SetDataTimeStep(s);
+                     EXPECT_TRUE(sender.Send(da));
+                   }
+                   sender.Close();
+                   da->ReleaseData();
+                   da->Delete();
+                   return;
+                 }
+
+                 sensei::DataBinning *b = sensei::DataBinning::New();
+                 b->SetMeshName("bodies");
+                 b->SetAxes({"x", "y"});
+                 b->SetResolution({16});
+                 b->SetRange(0, -1, 1);
+                 b->SetRange(1, -1, 1);
+                 b->AddOperation("m", sensei::BinningOp::Sum);
+                 b->SetDeviceId(sensei::AnalysisAdaptor::DEVICE_HOST);
+                 sensei::InTransitEndpoint ep(&world, &group, layout,
+                                              "bodies");
+                 steps = ep.Run(b);
+                 b->Delete();
+               });
+
+  minimpi::Communicator::SetMaxMessageBytes(oldLimit);
+  EXPECT_EQ(steps, 2);
+}
+
+// --- XML configuration -------------------------------------------------------
+
+TEST(CompressXml, GlobalElementConfiguresDefaults)
+{
+  ResetAll();
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  ca->InitializeString(
+    "<sensei>"
+    "  <compress codec=\"quantize\" error_bound=\"0.001\" level=\"1\"/>"
+    "  <analysis type=\"histogram\" column=\"x\" bins=\"8\"/>"
+    "</sensei>");
+
+  const cmp::Config cfg = cmp::GetConfig();
+  EXPECT_TRUE(cfg.Enabled);
+  EXPECT_EQ(cfg.Default.Codec, cmp::CodecId::Quantize);
+  EXPECT_DOUBLE_EQ(cfg.Default.ErrorBound, 0.001);
+
+  // the analysis inherits the global default
+  ASSERT_NE(ca->GetAnalysis(0), nullptr);
+  EXPECT_FALSE(ca->GetAnalysis(0)->GetCompressionSet());
+  EXPECT_EQ(ca->GetAnalysis(0)->GetEffectiveCompression().Codec,
+            cmp::CodecId::Quantize);
+  ca->UnRegister();
+  cmp::Configure(cmp::Config());
+}
+
+TEST(CompressXml, PerAnalysisOverrideWins)
+{
+  ResetAll();
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  ca->InitializeString(
+    "<sensei>"
+    "  <compress codec=\"shuffle-rle\"/>"
+    "  <analysis type=\"histogram\" column=\"x\" compress=\"delta-varint\"/>"
+    "  <analysis type=\"histogram\" column=\"y\" compress=\"none\"/>"
+    "</sensei>");
+
+  ASSERT_NE(ca->GetAnalysis(1), nullptr);
+  EXPECT_TRUE(ca->GetAnalysis(0)->GetCompressionSet());
+  EXPECT_EQ(ca->GetAnalysis(0)->GetEffectiveCompression().Codec,
+            cmp::CodecId::DeltaVarint);
+  // "none" forces uncompressed even though the global default is on
+  EXPECT_EQ(ca->GetAnalysis(1)->GetEffectiveCompression().Codec,
+            cmp::CodecId::None);
+  ca->UnRegister();
+  cmp::Configure(cmp::Config());
+}
+
+TEST(CompressXml, InvalidConfigurationsThrow)
+{
+  ResetAll();
+  sensei::ConfigurableAnalysis *a = sensei::ConfigurableAnalysis::New();
+  EXPECT_THROW(a->InitializeString("<sensei><compress codec=\"zstd\"/>"
+                                   "</sensei>"),
+               std::runtime_error);
+  a->UnRegister();
+  sensei::ConfigurableAnalysis *b = sensei::ConfigurableAnalysis::New();
+  EXPECT_THROW(
+    b->InitializeString("<sensei><compress codec=\"quantize\"/></sensei>"),
+    std::runtime_error);
+  b->UnRegister();
+  sensei::ConfigurableAnalysis *c = sensei::ConfigurableAnalysis::New();
+  EXPECT_THROW(c->InitializeString(
+                 "<sensei><analysis type=\"histogram\" column=\"x\" "
+                 "compress=\"quantize\"/></sensei>"),
+               std::runtime_error);
+  c->UnRegister();
+  cmp::Configure(cmp::Config());
+}
+
+TEST(CompressXml, PosthocSbinFormatParses)
+{
+  ResetAll();
+  sensei::ConfigurableAnalysis *ca = sensei::ConfigurableAnalysis::New();
+  ca->InitializeString(
+    "<sensei>"
+    "  <analysis type=\"posthoc_io\" format=\"sbin\" dir=\".\"/>"
+    "</sensei>");
+  EXPECT_NE(dynamic_cast<sensei::PosthocIO *>(ca->GetAnalysis(0)), nullptr);
+  ca->UnRegister();
+}
