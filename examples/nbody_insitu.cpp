@@ -124,6 +124,7 @@ int main(int argc, char **argv)
   // now — never while async work is still in flight
   sensei::ExportSchedStats(sensei::Profiler::Global());
   sensei::ExportCompressStats(sensei::Profiler::Global());
+  sensei::ExportExecStats(sensei::Profiler::Global());
   {
     std::ofstream json("nbody_profile.json");
     json << sensei::Profiler::Global().ToJson() << '\n';

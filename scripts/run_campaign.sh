@@ -47,6 +47,13 @@ fi
 if [ -f BENCH_compress.json ]; then
   echo "wrote results/BENCH_compress.json"
 fi
+# um_exec writes real wall-clock for the sharded binning region and the
+# eight-case campaign under VP_EXEC=serial vs threads; on machines with
+# >= 4 hardware threads the binary exits nonzero unless the threaded
+# region is at least 2x faster than serial
+if [ -f BENCH_exec.json ]; then
+  echo "wrote results/BENCH_exec.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -66,6 +73,13 @@ echo "== compression campaign (VP_CHECK=1) =="
 # payload reduction, so a ratio regression aborts the script here
 VP_CHECK=1 ../build/bench/um_compress --benchmark_min_time=0.05 \
   | tee um_compress_checked.txt
+echo "== execution-engine campaign (VP_CHECK=1 VP_EXEC=threads) =="
+# the threaded execution engine under the checker: deferred kernel
+# bodies, sharded host regions, and real copy queues must be
+# race/lifetime clean; the binary also gates on the 2x wall-clock
+# speedup where the hardware has >= 4 threads
+VP_CHECK=1 VP_EXEC=threads ../build/bench/um_exec --benchmark_min_time=0.05 \
+  | tee um_exec_checked.txt
 echo "== scheduler-labelled tests =="
 ctest --test-dir ../build -L sched --output-on-failure
 
@@ -74,6 +88,9 @@ ctest --test-dir ../build -L check --output-on-failure
 
 echo "== compression-labelled tests =="
 ctest --test-dir ../build -L compress --output-on-failure
+
+echo "== execution-engine tests =="
+ctest --test-dir ../build -L exec --output-on-failure
 
 echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
 # a separate ASan+UBSan build configuration; the real-thread pipeline,
@@ -87,6 +104,16 @@ cmake --build ../build-sanitize --target um_sched testSched um_compress testComp
 VP_CHECK=1 ../build-sanitize/bench/um_compress --benchmark_min_time=0.05 \
   | tee um_compress_sanitized.txt
 ../build-sanitize/tests/testCompress
+
+echo "== ThreadSanitizer execution-engine run (-DVP_TSAN=ON) =="
+# a separate TSan build configuration (mutually exclusive with ASan):
+# the worker queues, sharded regions, fences and event edges of the
+# threaded engine run under the race detector
+cmake -B ../build-tsan -S .. -G Ninja -DVP_TSAN=ON
+cmake --build ../build-tsan --target testExec um_exec
+../build-tsan/tests/testExec
+VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
+  | tee um_exec_tsan.txt
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

@@ -1,5 +1,6 @@
 #include "campaign.h"
 
+#include "execEngine.h"
 #include "minimpi.h"
 #include "newtonDriver.h"
 #include "schedPipeline.h"
@@ -64,6 +65,7 @@ CampaignConfig PaperScaleConfig()
   g.Steps = 10;
   g.Resolution = 256;
   g.TimingOnly = true;
+  g.ExecMode = "threads"; // virtual timings are mode independent
   return g;
 }
 
@@ -77,6 +79,7 @@ CampaignConfig RealExecutionConfig()
   g.CoordSystems = 2;
   g.VariablesPerSystem = 3;
   g.TimingOnly = false;
+  g.ExecMode = "threads"; // kernels really run: exercise the engine
   return g;
 }
 
@@ -153,6 +156,17 @@ std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
       xml << " backpressure=\"" << g.Backpressure << '"';
     xml << "/>\n";
   }
+  if (!g.ExecMode.empty() || g.ExecThreads > 0 || g.ExecShardGrain > 0)
+  {
+    xml << "  <exec";
+    if (!g.ExecMode.empty())
+      xml << " mode=\"" << g.ExecMode << '"';
+    if (g.ExecThreads > 0)
+      xml << " threads=\"" << g.ExecThreads << '"';
+    if (g.ExecShardGrain > 0)
+      xml << " shard_grain=\"" << g.ExecShardGrain << '"';
+    xml << "/>\n";
+  }
   for (int s = 0; s < nsys; ++s)
   {
     xml << "  <analysis type=\"data_binning\" mesh=\"bodies\" axes=\""
@@ -189,6 +203,12 @@ CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g)
   // pipeline counters so per-case exports are self-contained
   sched::Configure(sched::SchedConfig());
   sched::ResetAggregateStats();
+
+  // likewise the execution engine: start from the environment's default
+  // (serial unless VP_EXEC says otherwise) so an <exec> element from a
+  // prior case cannot leak into this one, and zero its counters
+  vp::exec::Configure(vp::exec::DefaultConfig());
+  vp::exec::ResetStats();
 
   newton::Config sim;
   sim.TotalBodies = g.BodiesPerNode * static_cast<std::size_t>(g.Nodes);

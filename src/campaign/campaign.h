@@ -68,6 +68,16 @@ struct CampaignConfig
   std::string SchedPolicy;
   long QueueDepth = -1;
   std::string Backpressure;
+
+  // execution-engine controls, emitted as an <exec> element when ExecMode
+  // is set: "serial" (bit-exact inline bodies) or "threads" (per-device
+  // workers + sharded host regions). Empty keeps whatever is active —
+  // the VP_EXEC environment default — so deterministic campaigns stay
+  // serial. ExecThreads 0 = auto pool width; ExecShardGrain 0 keeps the
+  // engine default.
+  std::string ExecMode;
+  int ExecThreads = 0;
+  std::size_t ExecShardGrain = 0;
 };
 
 /// A paper-shape configuration: per-node body count and grid resolution at

@@ -825,6 +825,33 @@ void OnThreadJoin(std::uint64_t token)
   c.Tokens.erase(it);
 }
 
+// The exec engine's deferred tasks and pool shards use the same
+// fork/join vector-clock protocol as ScopedThread: a task is a
+// short-lived logical thread whose lifetime is bracketed by an enqueue
+// on the submitter and a fence wait on the joiner. Distinct entry
+// points keep call sites self-documenting and give the engine a stable
+// seam even if task edges later grow task-specific state.
+
+std::uint64_t OnTaskSpawn()
+{
+  return OnThreadSpawn();
+}
+
+void OnTaskStart(std::uint64_t token)
+{
+  OnThreadStart(token);
+}
+
+std::uint64_t OnTaskEnd()
+{
+  return OnThreadEnd();
+}
+
+void OnTaskJoin(std::uint64_t token)
+{
+  OnThreadJoin(token);
+}
+
 void HostRead(const void *p, std::size_t bytes, const char *what)
 {
   (void)bytes;

@@ -201,6 +201,20 @@ void OnThreadStart(std::uint64_t token); ///< child, first thing it does
 std::uint64_t OnThreadEnd();             ///< child, last thing it does
 void OnThreadJoin(std::uint64_t token);  ///< parent, after join
 
+/// Per-task clock forks for the exec engine (vp::exec). Each deferred
+/// kernel body or pool shard forks the submitter's vector clock at
+/// submission (OnTaskSpawn, on the submitting thread), joins it into the
+/// worker that runs the body (OnTaskStart), snapshots the worker's clock
+/// when the body finishes (OnTaskEnd), and joins that snapshot into
+/// whichever thread waits out the task's fence (OnTaskJoin). The tokens
+/// are single use: the checker erases them on Start/Join, so a fence
+/// hands its end token to exactly one waiter. All four are no-ops while
+/// the checker is disabled (token 0).
+std::uint64_t OnTaskSpawn();           ///< submitter, at enqueue
+void OnTaskStart(std::uint64_t token); ///< worker, before the body
+std::uint64_t OnTaskEnd();             ///< worker, after the body
+void OnTaskJoin(std::uint64_t token);  ///< waiter, after the fence
+
 /// Instrumented host access: flags device memory touched from the host
 /// and host reads of data with an un-synchronized stream write. Called by
 /// the HAMR host fast paths; also a public assertion point for

@@ -5,12 +5,14 @@
 #include "senseiDataBinning.h"
 #include "senseiHistogram.h"
 #include "senseiPosthocIO.h"
+#include "execEngine.h"
 #include "schedPipeline.h"
 #include "sxml.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
 #include "vpMemoryPool.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -119,6 +121,42 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     sched::Configure(cfg);
     this->SchedPolicy_ = cfg.Policy;
     this->HaveSchedPolicy_ = true;
+  }
+
+  // optional <exec> element selects where kernel bodies really run: the
+  // bit-exact serial path or per-device worker threads with sharded
+  // host regions. VP_EXEC in the environment wins over the XML mode so
+  // a command line can force the deterministic serial path on a config
+  // written for threaded runs.
+  if (const sxml::Element *xe = root.FirstChild("exec"))
+  {
+    vp::exec::ExecConfig cfg = vp::exec::GetConfig();
+    if (!std::getenv("VP_EXEC"))
+    {
+      try
+      {
+        cfg.ExecMode = vp::exec::ModeFromName(
+          xe->Attribute("mode", vp::exec::ModeName(cfg.ExecMode)));
+      }
+      catch (const std::invalid_argument &e)
+      {
+        throw std::runtime_error(std::string("ConfigurableAnalysis: <exec> ") +
+                                 e.what());
+      }
+    }
+    const long long threads =
+      xe->AttributeInt("threads", static_cast<long long>(cfg.Threads));
+    if (threads < 0)
+      throw std::runtime_error(
+        "ConfigurableAnalysis: <exec> threads must be >= 0 (0 means auto)");
+    cfg.Threads = static_cast<int>(threads);
+    const long long grain = xe->AttributeInt(
+      "shard_grain", static_cast<long long>(cfg.ShardGrain));
+    if (grain < 1)
+      throw std::runtime_error(
+        "ConfigurableAnalysis: <exec> shard_grain must be >= 1");
+    cfg.ShardGrain = static_cast<std::size_t>(grain);
+    vp::exec::Configure(cfg);
   }
 
   // optional <compress> element configures the process-wide default

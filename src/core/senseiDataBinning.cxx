@@ -1,5 +1,6 @@
 #include "senseiDataBinning.h"
 
+#include "execEngine.h"
 #include "senseiProfiler.h"
 #include "sio.h"
 #include "svtkAOSDataArray.h"
@@ -468,13 +469,25 @@ void DataBinning::RunBinning(const Snapshot &snap)
 
   // the shared accumulation body: bin index from the coordinate columns,
   // then a counter increment plus each reduction — the updates that need
-  // atomics on a real GPU.
+  // atomics on a real GPU. With slabStride > 0 the body is privatized:
+  // each exec shard accumulates into its own copy of the grids
+  // (cnt + slab*slabStride, grid[k] + slab*slabStride), removing the
+  // shared-atomic contention so the sharded kernel scales; a tree merge
+  // folds the copies afterwards. slabStride == 0 is the shared path,
+  // bit-exact with the pre-engine implementation.
   auto makeBody = [&](double *cnt, double *const *grid,
                       const BinningOp *kinds, const double *const *axp,
-                      const double *const *valp)
+                      const double *const *valp, std::size_t slabStride = 0,
+                      std::size_t maxSlab = 0)
   {
     return [=](std::size_t b, std::size_t e)
     {
+      const std::size_t off =
+        slabStride
+          ? std::min<std::size_t>(
+              static_cast<std::size_t>(vp::exec::ShardIndex()), maxSlab) *
+              slabStride
+          : 0;
       for (std::size_t i = b; i < e; ++i)
       {
         std::size_t idx = 0;
@@ -487,7 +500,7 @@ void DataBinning::RunBinning(const Snapshot &snap)
           idx += static_cast<std::size_t>(bi) * strideAcc;
           strideAcc *= static_cast<std::size_t>(resPtr[a]);
         }
-        cnt[idx] += 1.0;
+        cnt[off + idx] += 1.0;
         for (std::size_t k = 0; k < nRedC; ++k)
         {
           const double v = valp[k][i];
@@ -495,13 +508,13 @@ void DataBinning::RunBinning(const Snapshot &snap)
           {
             case BinningOp::Sum:
             case BinningOp::Average:
-              grid[k][idx] += v;
+              grid[k][off + idx] += v;
               break;
             case BinningOp::Min:
-              grid[k][idx] = std::min(grid[k][idx], v);
+              grid[k][off + idx] = std::min(grid[k][off + idx], v);
               break;
             case BinningOp::Max:
-              grid[k][idx] = std::max(grid[k][idx], v);
+              grid[k][off + idx] = std::max(grid[k][off + idx], v);
               break;
             default:
               break;
@@ -509,6 +522,34 @@ void DataBinning::RunBinning(const Snapshot &snap)
         }
       }
     };
+  };
+
+  // per-bin pairwise tree over `np` slab copies, then a fold of slab 0
+  // into the final grid. The combine order depends only on the slab
+  // indices, so the merged result is deterministic for a given shard
+  // plan; min/max and counts are exact, sums can differ from the serial
+  // order by rounding only.
+  auto treeMerge = [](double *slabs, double *final, std::size_t np,
+                      std::size_t stride, std::size_t i, BinningOp kind)
+  {
+    for (std::size_t step = 1; step < np; step *= 2)
+      for (std::size_t s = 0; s + step < np; s += 2 * step)
+      {
+        double &dst = slabs[s * stride + i];
+        const double v = slabs[(s + step) * stride + i];
+        if (kind == BinningOp::Min)
+          dst = std::min(dst, v);
+        else if (kind == BinningOp::Max)
+          dst = std::max(dst, v);
+        else
+          dst += v;
+      }
+    if (kind == BinningOp::Min)
+      final[i] = std::min(final[i], slabs[i]);
+    else if (kind == BinningOp::Max)
+      final[i] = std::max(final[i], slabs[i]);
+    else
+      final[i] += slabs[i];
   };
 
   std::vector<BinningOp> kinds(nRed);
@@ -555,6 +596,53 @@ void DataBinning::RunBinning(const Snapshot &snap)
         vcuda::LaunchBounds{1.0, 0.0, "binning_init"});
     }
 
+    // privatized strategy under VP_EXEC=threads: real per-shard slab
+    // copies on the device so the deferred, sharded accumulation kernels
+    // scale instead of contending on one grid. Serial mode keeps the
+    // pre-engine behaviour exactly (no slabs, body-less merge kernel).
+    vp::exec::Engine &eng = vp::exec::Engine::Get();
+    const bool privStrategy =
+      this->GpuStrategy_ == GpuBinningStrategy::Privatized;
+    int privMax = 1;
+    if (privStrategy)
+      for (std::size_t b = 0; b < nBlocks; ++b)
+        privMax = std::max(privMax, eng.PlanShards(rows[b], 0));
+    const std::size_t np = static_cast<std::size_t>(privMax);
+
+    double *dPrivCnt = nullptr;
+    std::vector<double *> dPrivGrids(nRed, nullptr);
+    if (privMax > 1)
+    {
+      dPrivCnt = static_cast<double *>(
+        vcuda::MallocAsync(np * nBins * sizeof(double), strm));
+      for (std::size_t k = 0; k < nRed; ++k)
+        dPrivGrids[k] = static_cast<double *>(
+          vcuda::MallocAsync(np * nBins * sizeof(double), strm));
+
+      double *pc = dPrivCnt;
+      vcuda::LaunchN(
+        strm, np * nBins,
+        [pc](std::size_t b, std::size_t e)
+        {
+          for (std::size_t i = b; i < e; ++i)
+            pc[i] = 0.0;
+        },
+        vcuda::LaunchBounds{1.0, 0.0, "binning_init", /*Shardable=*/true});
+      for (std::size_t k = 0; k < nRed; ++k)
+      {
+        double *g = dPrivGrids[k];
+        const double iv = initValue(kinds[k]);
+        vcuda::LaunchN(
+          strm, np * nBins,
+          [g, iv](std::size_t b, std::size_t e)
+          {
+            for (std::size_t i = b; i < e; ++i)
+              g[i] = iv;
+          },
+          vcuda::LaunchBounds{1.0, 0.0, "binning_init", /*Shardable=*/true});
+      }
+    }
+
     bool accumulated = false;
     for (std::size_t b = 0; b < nBlocks; ++b)
     {
@@ -564,11 +652,24 @@ void DataBinning::RunBinning(const Snapshot &snap)
       if (this->GpuStrategy_ == GpuBinningStrategy::GlobalAtomics)
       {
         // the implementation the paper evaluated: every bin update is a
-        // global atomic, so contention throttles the device
+        // global atomic, so contention throttles the device — never
+        // sharded, that contention is the point
         vcuda::LaunchN(strm, rows[b],
                        makeBody(dCnt, dGrids.data(), kinds.data(),
                                 ax[b].data(), vals[b].data()),
                        vcuda::LaunchBounds{opsPerRow, 0.6, "binning_accum"});
+      }
+      else if (privMax > 1)
+      {
+        // privatized with real slabs: each shard accumulates into its
+        // own copy; the tree merge below folds them into the final grids
+        vcuda::LaunchN(
+          strm, rows[b],
+          makeBody(dPrivCnt, dPrivGrids.data(), kinds.data(), ax[b].data(),
+                   vals[b].data(), /*slabStride=*/nBins,
+                   /*maxSlab=*/np - 1),
+          vcuda::LaunchBounds{opsPerRow, 0.05, "binning_accum_privatized",
+                              /*Shardable=*/true});
       }
       else
       {
@@ -586,11 +687,37 @@ void DataBinning::RunBinning(const Snapshot &snap)
     if (accumulated &&
         this->GpuStrategy_ == GpuBinningStrategy::Privatized)
     {
-      // merge kernel: each bin gathers its privatized copies
+      // merge kernel: each bin gathers its privatized copies. With real
+      // slabs the body does the per-bin tree reduction; in serial mode
+      // the accumulation already wrote the final grids and the kernel
+      // only charges the virtual merge cost, as before.
       constexpr double PrivateCopies = 64.0;
-      vcuda::LaunchN(strm, nBins * (1 + nRed), nullptr,
+      vp::KernelFn mergeFn;
+      if (privMax > 1)
+      {
+        double *pc = dPrivCnt;
+        double *cf = dCnt;
+        double *const *pg = dPrivGrids.data();
+        double *const *gf = dGrids.data();
+        const BinningOp *kn = kinds.data();
+        const std::size_t bins = nBins;
+        mergeFn = [=](std::size_t jb, std::size_t je)
+        {
+          for (std::size_t j = jb; j < je; ++j)
+          {
+            const std::size_t g = j / bins;
+            const std::size_t i = j % bins;
+            if (g == 0)
+              treeMerge(pc, cf, np, bins, i, BinningOp::Sum);
+            else
+              treeMerge(pg[g - 1], gf[g - 1], np, bins, i, kn[g - 1]);
+          }
+        };
+      }
+      vcuda::LaunchN(strm, nBins * (1 + nRed), mergeFn,
                      vcuda::LaunchBounds{PrivateCopies, 0.0,
-                                         "binning_merge_privatized"});
+                                         "binning_merge_privatized",
+                                         /*Shardable=*/privMax > 1});
     }
     vcuda::StreamSynchronize(strm);
 
@@ -600,7 +727,11 @@ void DataBinning::RunBinning(const Snapshot &snap)
       grids[k].resize(nBins);
       vcuda::Memcpy(grids[k].data(), dGrids[k], nBins * sizeof(double));
       vcuda::Free(dGrids[k]);
+      if (dPrivGrids[k])
+        vcuda::Free(dPrivGrids[k]);
     }
+    if (dPrivCnt)
+      vcuda::Free(dPrivCnt);
     vcuda::Free(dCnt);
   }
   else
@@ -612,12 +743,65 @@ void DataBinning::RunBinning(const Snapshot &snap)
     for (std::size_t k = 0; k < nRed; ++k)
       gPtrs[k] = grids[k].data();
 
+    vp::exec::Engine &eng = vp::exec::Engine::Get();
     for (std::size_t b = 0; b < nBlocks; ++b)
-      if (rows[b])
+    {
+      if (!rows[b])
+        continue;
+
+      const int priv = eng.PlanShards(rows[b], 0);
+      if (priv <= 1)
+      {
+        // VP_EXEC=serial (and blocks below the shard grain): the shared
+        // grid path, bit-exact with the pre-engine implementation
         vp::Platform::Get().HostParallelFor(
           vp::KernelDesc{rows[b], opsPerRow, 0.15, "binning_accum_host"},
           makeBody(counts.data(), gPtrs.data(), kinds.data(), ax[b].data(),
                    vals[b].data()));
+        continue;
+      }
+
+      // threads mode: privatize per-shard histogram copies so the
+      // sharded accumulation scales, then tree-reduce them into the
+      // final grids
+      const std::size_t np = static_cast<std::size_t>(priv);
+      std::vector<double> pCnt(np * nBins, 0.0);
+      std::vector<std::vector<double>> pGrids(nRed);
+      std::vector<double *> pgPtrs(nRed);
+      for (std::size_t k = 0; k < nRed; ++k)
+      {
+        pGrids[k].assign(np * nBins, initValue(kinds[k]));
+        pgPtrs[k] = pGrids[k].data();
+      }
+
+      vp::Platform::Get().HostParallelFor(
+        vp::KernelDesc{rows[b], opsPerRow, 0.15,
+                       "binning_accum_host_privatized", /*Shardable=*/true},
+        makeBody(pCnt.data(), pgPtrs.data(), kinds.data(), ax[b].data(),
+                 vals[b].data(), /*slabStride=*/nBins,
+                 /*maxSlab=*/np - 1));
+
+      double *pc = pCnt.data();
+      double *const *pg = pgPtrs.data();
+      double *cf = counts.data();
+      double *const *gf = gPtrs.data();
+      const BinningOp *kn = kinds.data();
+      const std::size_t bins = nBins;
+      const double mergeOps =
+        static_cast<double>(np) * static_cast<double>(1 + nRed);
+      vp::Platform::Get().HostParallelFor(
+        vp::KernelDesc{nBins, mergeOps, 0.0, "binning_merge_host",
+                       /*Shardable=*/true},
+        [=](std::size_t mb, std::size_t me)
+        {
+          for (std::size_t i = mb; i < me; ++i)
+          {
+            treeMerge(pc, cf, np, bins, i, BinningOp::Sum);
+            for (std::size_t k = 0; k < nRedC; ++k)
+              treeMerge(pg[k], gf[k], np, bins, i, kn[k]);
+          }
+        });
+    }
   }
 
   // --- cross-rank reduction -----------------------------------------------------

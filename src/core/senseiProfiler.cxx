@@ -1,6 +1,7 @@
 #include "senseiProfiler.h"
 
 #include "cmpCodec.h"
+#include "execEngine.h"
 #include "schedPipeline.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
@@ -150,6 +151,20 @@ void ExportCompressStats(Profiler &prof)
              static_cast<double>(p.PayloadRawBytes));
   prof.Event("cmp::payload_encoded_bytes",
              static_cast<double>(p.PayloadEncodedBytes));
+}
+
+void ExportExecStats(Profiler &prof)
+{
+  const vp::exec::EngineStats s = vp::exec::Stats();
+  prof.Event("exec::mode_threads", vp::exec::ThreadsEnabled() ? 1.0 : 0.0);
+  prof.Event("exec::lanes",
+             static_cast<double>(vp::exec::Engine::Get().Lanes()));
+  prof.Event("exec::tasks_enqueued", static_cast<double>(s.TasksEnqueued));
+  prof.Event("exec::copies_enqueued", static_cast<double>(s.CopiesEnqueued));
+  prof.Event("exec::tasks_inline", static_cast<double>(s.TasksInline));
+  prof.Event("exec::sharded_regions", static_cast<double>(s.ShardedRegions));
+  prof.Event("exec::shards_executed", static_cast<double>(s.ShardsExecuted));
+  prof.Event("exec::fence_joins", static_cast<double>(s.FenceJoins));
 }
 
 } // namespace sensei

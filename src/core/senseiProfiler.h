@@ -164,6 +164,13 @@ void ExportSchedStats(Profiler &prof);
 /// async queues can be audited from the same JSON.
 void ExportCompressStats(Profiler &prof);
 
+/// Record the execution-engine counters (vp::exec::Stats) as profiler
+/// events: exec::mode_threads (1 when VP_EXEC=threads), exec::lanes,
+/// exec::tasks_enqueued, exec::copies_enqueued, exec::tasks_inline,
+/// exec::sharded_regions, exec::shards_executed, exec::fence_joins — so
+/// campaigns can audit how much real concurrency the run actually had.
+void ExportExecStats(Profiler &prof);
+
 } // namespace sensei
 
 #endif

@@ -318,7 +318,9 @@ public:
       return;
     T *p = this->Data_.get();
     vp::Platform &plat = vp::Platform::Get();
-    vp::KernelDesc desc{this->Size_, 1.0, 0.0, "hamr_fill"};
+    // disjoint per-index stores: safe to run as concurrent chunks
+    vp::KernelDesc desc{this->Size_, 1.0, 0.0, "hamr_fill",
+                        /*Shardable=*/true};
     const auto body = [p, val](std::size_t b, std::size_t e)
     {
       for (std::size_t i = b; i < e; ++i)

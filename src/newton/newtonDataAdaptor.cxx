@@ -67,7 +67,7 @@ svtkDataObject *DataAdaptor::GetMesh(const std::string &meshName)
           pr[i] = std::sqrt(x[i] * x[i] + y[i] * y[i] + z[i] * z[i]);
         }
       },
-      vomp::TargetBounds{12.0, 0.0, "newton_derived"});
+      vomp::TargetBounds{12.0, 0.0, "newton_derived", /*Shardable=*/true});
   }
 
   table->AddColumn(speed);

@@ -179,7 +179,7 @@ void Solver::PairwiseAccumulate(const double *sx, const double *sy,
       }
     },
     vomp::TargetBounds{OpsPerInteraction * static_cast<double>(nSrc), 0.0,
-                       "newton_force"});
+                       "newton_force", /*Shardable=*/true});
 }
 
 void Solver::ComputeAccelerations()
@@ -204,7 +204,7 @@ void Solver::ComputeAccelerations()
           az[i] = 0.0;
         }
       },
-      vomp::TargetBounds{3.0, 0.0, "newton_zero"});
+      vomp::TargetBounds{3.0, 0.0, "newton_zero", /*Shardable=*/true});
   }
 
   // local-local interactions
@@ -283,7 +283,7 @@ void Solver::Kick(double dt)
         vz[i] += dt * az[i];
       }
     },
-    vomp::TargetBounds{6.0, 0.0, "newton_kick"});
+    vomp::TargetBounds{6.0, 0.0, "newton_kick", /*Shardable=*/true});
 }
 
 void Solver::Drift(double dt)
@@ -310,7 +310,7 @@ void Solver::Drift(double dt)
         z[i] += dt * vz[i];
       }
     },
-    vomp::TargetBounds{6.0, 0.0, "newton_drift"});
+    vomp::TargetBounds{6.0, 0.0, "newton_drift", /*Shardable=*/true});
 }
 
 void Solver::Step()

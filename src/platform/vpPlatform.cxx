@@ -1,5 +1,6 @@
 #include "vpPlatform.h"
 
+#include "execEngine.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
 
@@ -92,6 +93,9 @@ void Platform::AtInitialize(std::function<void()> hook)
 void Platform::Initialize(const PlatformConfig &config)
 {
   Platform &inst = Platform::Get();
+  // drain any real in-flight work before the caching layers release
+  // platform memory and before the live-allocation check below
+  exec::Engine::Get().Quiesce();
   {
     std::vector<std::function<void()>> hooks;
     {
@@ -133,6 +137,7 @@ void Platform::Build(const PlatformConfig &config)
     }
   }
   this->Stats_.Reset();
+  exec::Engine::Get().ResetTopology(config.NumNodes, config.DevicesPerNode);
 }
 
 Node &Platform::GetNode(int node)
@@ -258,6 +263,12 @@ void Platform::Free(void *p)
     throw Error("Platform::Free: pointer is owned by a vp::MemoryPool "
                 "(cached block freed twice?)");
 
+  // deferred bodies may still be touching device-resident storage; drain
+  // the owning device's queues before the backing memory goes away
+  if (exec::ThreadsEnabled() &&
+      (info.Space == MemSpace::Device || info.Space == MemSpace::Managed))
+    exec::Engine::Get().WaitDeviceTails(info.Node, info.Device);
+
   check::OnFree(p);
 
   if (info.Space == MemSpace::Device)
@@ -315,9 +326,43 @@ void Platform::LaunchKernel(const Stream &stream, const KernelDesc &desc,
 
   this->Stats_.KernelsLaunched++;
 
-  // eager real execution
+  // real execution. Virtual time is fully charged above, at submission,
+  // in both modes — VP_EXEC only decides where the body's wall-clock is
+  // spent. Serial mode runs it inline (the bit-exact legacy path);
+  // threads mode defers it to the device's compute queue, ordered after
+  // the stream's real frontier, and shards opted-in bodies across the
+  // node's worker pool.
   if (this->Config_.ExecuteKernels && fn && desc.N)
-    fn(0, desc.N);
+  {
+    if (exec::ThreadsEnabled())
+    {
+      exec::Engine &eng = exec::Engine::Get();
+      const std::size_t n = desc.N;
+      const int nodeId = s->Node;
+      const int shards = desc.Shardable ? eng.PlanShards(n, 0) : 1;
+      exec::FencePtr fence;
+      {
+        // frontier snapshot and replacement are one critical section so
+        // a concurrent submitter on the same stream cannot lose a fence
+        std::lock_guard<std::mutex> lock(s->Mutex);
+        std::vector<exec::FencePtr> deps = s->RealFrontier;
+        fence = eng.Enqueue(nodeId, s->Device, exec::Engine::ComputeQueue,
+                            std::move(deps), [fn, n, nodeId, shards]()
+                            {
+                              exec::Engine::Get().RunSharded(nodeId, n,
+                                                             shards, fn);
+                            });
+        s->RealFrontier.assign(1, fence);
+      }
+      if (synchronous)
+        fence->Wait();
+    }
+    else
+    {
+      exec::NoteInlineTask();
+      fn(0, desc.N);
+    }
+  }
 
   if (synchronous)
     ThisClock().AdvanceTo(complete);
@@ -331,10 +376,16 @@ void Platform::HostParallelFor(const KernelDesc &desc, const KernelFn &fn,
   Node &node = this->GetNode(GetThisNode());
   const CostModel &cost = this->Config_.Cost;
 
-  const int lanes = width > 0 ? width : node.HostPool->Lanes();
+  // charge by the lanes actually claimed: the per-lane rate is a fixed
+  // hardware property (HostOpRate spread over the whole pool), and a
+  // width-limited region only ever occupies min(width, pool) of those
+  // lanes — pricing it as `width` lanes when the pool is smaller made
+  // virtual time run ahead of any real execution
+  const int poolLanes = node.HostPool->Lanes();
+  const int lanes = width > 0 ? std::min(width, poolLanes) : poolLanes;
   const double serial =
     static_cast<double>(desc.N) * desc.OpsPerElement /
-    (cost.HostOpRate / static_cast<double>(node.HostPool->Lanes())) /
+    (cost.HostOpRate / static_cast<double>(poolLanes)) /
     (1.0 + desc.AtomicFraction * (cost.HostAtomicPenalty - 1.0));
 
   const double complete =
@@ -343,7 +394,20 @@ void Platform::HostParallelFor(const KernelDesc &desc, const KernelFn &fn,
   this->Stats_.HostRegions++;
 
   if (this->Config_.ExecuteKernels && fn && desc.N)
-    fn(0, desc.N);
+  {
+    exec::Engine &eng = exec::Engine::Get();
+    const int shards =
+      desc.Shardable ? eng.PlanShards(desc.N, lanes) : 1;
+    if (shards > 1)
+    {
+      eng.RunSharded(GetThisNode(), desc.N, shards, fn);
+    }
+    else
+    {
+      exec::NoteInlineTask();
+      fn(0, desc.N);
+    }
+  }
 
   ThisClock().AdvanceTo(complete);
 }
@@ -409,12 +473,28 @@ void Platform::CopyAsync(const Stream &stream, void *dst, const void *src,
   this->Stats_.CopyCount[static_cast<int>(kind)]++;
   this->Stats_.CopyBytes[static_cast<int>(kind)] += bytes;
 
-  // the bytes move now; virtual time says later. callers that reuse the
-  // source before synchronizing have a bug on real hardware too. in
-  // timing-only mode data contents are meaningless, so the movement is
-  // skipped along with kernel bodies.
+  // serial: the bytes move now; virtual time says later. callers that
+  // reuse the source before synchronizing have a bug on real hardware
+  // too. threads: the move is deferred to the device's copy engine
+  // queue, ordered after the stream's frontier, so it genuinely overlaps
+  // other queues. in timing-only mode data contents are meaningless, so
+  // the movement is skipped along with kernel bodies.
   if (this->Config_.ExecuteKernels)
-    std::memmove(dst, src, bytes);
+  {
+    if (exec::ThreadsEnabled())
+    {
+      std::lock_guard<std::mutex> lock(s->Mutex);
+      std::vector<exec::FencePtr> deps = s->RealFrontier;
+      exec::FencePtr fence = exec::Engine::Get().Enqueue(
+        s->Node, s->Device, exec::Engine::CopyQueue, std::move(deps),
+        [dst, src, bytes]() { std::memmove(dst, src, bytes); });
+      s->RealFrontier.assign(1, fence);
+    }
+    else
+    {
+      std::memmove(dst, src, bytes);
+    }
+  }
 
   ThisClock().Advance(cost.KernelSubmitOverhead);
 }
@@ -457,14 +537,28 @@ void Platform::StreamSynchronize(const Stream &stream)
 {
   if (!stream)
     return;
-  ThisClock().AdvanceTo(stream.Get()->Completion());
-  check::OnStreamSync(stream.Get());
+  StreamState *s = stream.Get();
+  // real join first: wait out the stream's deferred bodies (empty in
+  // serial mode). Fence::Wait also closes the checker's happens-before
+  // edge from the last deferred task into the calling thread.
+  std::vector<exec::FencePtr> frontier;
+  {
+    std::lock_guard<std::mutex> lock(s->Mutex);
+    frontier = s->RealFrontier;
+  }
+  for (const exec::FencePtr &f : frontier)
+    if (f)
+      f->Wait();
+  ThisClock().AdvanceTo(s->Completion());
+  check::OnStreamSync(s);
 }
 
 void Platform::DeviceSynchronize(DeviceId device)
 {
   this->CheckDevice(device);
   Device &dev = this->GetDevice(GetThisNode(), device);
+  if (exec::ThreadsEnabled())
+    exec::Engine::Get().WaitDeviceTails(GetThisNode(), device);
   ThisClock().AdvanceTo(dev.Engine.Available());
   ThisClock().AdvanceTo(dev.CopyEngine.Available());
   check::OnDeviceSync(GetThisNode(), device);

@@ -5,11 +5,14 @@
 /// The virtual heterogeneous platform: a configurable set of compute nodes,
 /// each with a host core pool and several accelerator devices. This is the
 /// substrate standing in for the CUDA / OpenMP-offload runtimes and the
-/// Perlmutter GPU nodes used in the paper. Kernels execute their real
-/// computation eagerly on the calling thread (results are genuine), while
-/// durations are charged to a discrete-event virtual timeline that models
-/// launch latency, bandwidths, device/host throughput, contention between
-/// streams sharing an engine, and the atomic-update penalty.
+/// Perlmutter GPU nodes used in the paper. Kernel durations are charged
+/// to a discrete-event virtual timeline that models launch latency,
+/// bandwidths, device/host throughput, contention between streams
+/// sharing an engine, and the atomic-update penalty. The real kernel
+/// bodies (results are genuine) run under the vp::exec engine: inline on
+/// the calling thread by default (VP_EXEC=serial, bit-exact), or
+/// genuinely concurrently on per-device worker queues with sharded
+/// bodies when VP_EXEC=threads. Virtual time is identical in both modes.
 
 #include "vpClock.h"
 #include "vpCostModel.h"
@@ -54,6 +57,7 @@ struct KernelDesc
   double OpsPerElement = 1.0;   ///< elementary operations per element
   double AtomicFraction = 0.0;  ///< fraction of work that is atomic-bound
   const char *Name = "kernel";  ///< label for diagnostics
+  bool Shardable = false;       ///< body may run as concurrent [b,e) chunks
 };
 
 /// A range kernel body: invoked as fn(begin, end) over [0, N).
@@ -178,17 +182,24 @@ public:
   /// The default stream of a device on the calling thread's node.
   Stream DefaultStream(DeviceId device);
 
-  /// Launch a kernel on a device stream. The body runs eagerly (unless
-  /// timing-only mode is on); the virtual duration is charged to the
-  /// stream and the device's compute engine. When `synchronous` the
-  /// calling thread's clock advances to the completion time, otherwise
-  /// only by the submit overhead.
+  /// Launch a kernel on a device stream. The virtual duration is charged
+  /// to the stream and the device's compute engine at submission. The
+  /// body runs eagerly in serial exec mode, or is deferred to the
+  /// device's compute queue (stream-ordered; sharded when
+  /// desc.Shardable) under VP_EXEC=threads; timing-only mode skips it.
+  /// When `synchronous` the calling thread's clock advances to the
+  /// completion time (and, in threads mode, the body is really waited
+  /// out), otherwise only by the submit overhead.
   void LaunchKernel(const Stream &stream, const KernelDesc &desc,
                     const KernelFn &fn, bool synchronous = false);
 
   /// Run a parallel region on the calling thread's node host core pool,
-  /// occupying `width` cores (0 = all). Synchronous: the thread clock
-  /// advances to completion. The body runs eagerly.
+  /// occupying `width` cores (0 = all); the virtual cost is priced
+  /// against the lanes actually claimed. Synchronous: the thread clock
+  /// advances to completion. The body runs on the calling thread, or —
+  /// when desc.Shardable and VP_EXEC=threads — split into per-lane
+  /// [begin, end) chunks across the node's worker pool (honouring
+  /// `width` as the concurrency bound).
   void HostParallelFor(const KernelDesc &desc, const KernelFn &fn,
                        int width = 0);
 

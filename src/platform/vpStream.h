@@ -14,9 +14,15 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 namespace vp
 {
+
+namespace exec
+{
+class Fence;
+}
 
 /// Shared state of one stream.
 struct StreamState
@@ -25,6 +31,13 @@ struct StreamState
   DeviceId Device = 0;
   double Last = 0.0; ///< virtual completion time of the newest operation
   std::mutex Mutex;
+
+  /// Real-execution ordering frontier (VP_EXEC=threads): the completion
+  /// fences the next operation enqueued on this stream must wait out.
+  /// Normally the fence of the previous operation; StreamWaitEvent adds
+  /// the recorded event's fences. Guarded by Mutex; empty in serial
+  /// mode, where bodies run inline and order is trivial.
+  std::vector<std::shared_ptr<exec::Fence>> RealFrontier;
 
   /// Record that an operation completed at time t.
   void Extend(double t)

@@ -1,5 +1,6 @@
 #include "vcuda.h"
 
+#include "execEngine.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
 #include "vpMemoryPool.h"
@@ -132,6 +133,7 @@ void LaunchN(const stream_t &stream, std::size_t n, const vp::KernelFn &fn,
   desc.OpsPerElement = bounds.OpsPerElement;
   desc.AtomicFraction = bounds.AtomicFraction;
   desc.Name = bounds.Name;
+  desc.Shardable = bounds.Shardable;
 
   plat.LaunchKernel(stream ? stream : plat.DefaultStream(CurrentDevice()),
                     desc, fn, /*synchronous=*/false);
@@ -144,9 +146,11 @@ void LaunchGrid(const stream_t &stream, std::size_t blocks,
 {
   const std::size_t total = blocks * threadsPerBlock;
   const std::size_t limit = total < n ? total : n;
+  // capture by value: under VP_EXEC=threads the body may outlive this
+  // call frame (it runs on a device worker queue)
   LaunchN(
     stream, limit,
-    [&fn](std::size_t begin, std::size_t end)
+    [fn](std::size_t begin, std::size_t end)
     {
       for (std::size_t i = begin; i < end; ++i)
         fn(i);
@@ -163,8 +167,15 @@ event_t EventRecord(const stream_t &stream)
     // carries no ordering edge — waiters proceed without synchronizing
     if (vp::fault::ShouldDropEvent())
       return ev;
-    ev.Time_ = stream.Get()->Completion();
-    ev.Token_ = vp::check::OnEventRecord(stream.Get());
+    vp::StreamState *s = stream.Get();
+    {
+      std::lock_guard<std::mutex> lock(s->Mutex);
+      ev.Time_ = s->Last;
+      // capture the real frontier too so cross-stream waiters order
+      // their deferred bodies after the recorded work (threads mode)
+      ev.Fences_ = s->RealFrontier;
+    }
+    ev.Token_ = vp::check::OnEventRecord(s);
   }
   return ev;
 }
@@ -173,13 +184,22 @@ void StreamWaitEvent(const stream_t &stream, const event_t &event)
 {
   if (stream)
   {
-    stream.Get()->Extend(event.Time_);
-    vp::check::OnStreamWaitEvent(stream.Get(), event.Token_);
+    vp::StreamState *s = stream.Get();
+    {
+      std::lock_guard<std::mutex> lock(s->Mutex);
+      s->Last = std::max(s->Last, event.Time_);
+      for (const auto &f : event.Fences_)
+        s->RealFrontier.push_back(f);
+    }
+    vp::check::OnStreamWaitEvent(s, event.Token_);
   }
 }
 
 void EventSynchronize(const event_t &event)
 {
+  for (const auto &f : event.Fences_)
+    if (f)
+      f->Wait();
   vp::ThisClock().AdvanceTo(event.Time_);
   vp::check::OnEventSync(event.Token_);
 }

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 namespace vcuda
 {
@@ -77,6 +79,7 @@ struct LaunchBounds
   double OpsPerElement = 1.0;  ///< elementary ops per index
   double AtomicFraction = 0.0; ///< fraction of atomic-bound work
   const char *Name = "vcuda_kernel";
+  bool Shardable = false;      ///< body may run as concurrent [b,e) chunks
 };
 
 /// Launch an n-index kernel on the current device in `stream`. The body is
@@ -107,6 +110,9 @@ private:
   friend void EventSynchronize(const event_t &);
   double Time_ = 0.0;
   std::uint64_t Token_ = 0; ///< checker happens-before token (0 = none)
+  /// Real-execution edge (VP_EXEC=threads): the recorded stream's
+  /// frontier fences at record time; empty in serial mode.
+  std::vector<std::shared_ptr<vp::exec::Fence>> Fences_;
 };
 
 /// Record an event capturing all work submitted to `stream` so far

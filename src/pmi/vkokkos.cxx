@@ -38,7 +38,9 @@ void parallel_for(const RangePolicy &policy,
   desc.AtomicFraction = bounds.AtomicFraction;
   desc.Name = bounds.Name;
 
-  const auto body = [begin, &fn](std::size_t b, std::size_t e)
+  // capture the functor by value: the asynchronous device launch below
+  // may defer the body past this frame under VP_EXEC=threads
+  const auto body = [begin, fn](std::size_t b, std::size_t e)
   {
     for (std::size_t i = b; i < e; ++i)
       fn(begin + i);

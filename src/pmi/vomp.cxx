@@ -78,10 +78,11 @@ void TargetParallelFor(int device, std::size_t n, const vp::KernelFn &fn,
   desc.OpsPerElement = bounds.OpsPerElement;
   desc.AtomicFraction = bounds.AtomicFraction;
   desc.Name = bounds.Name;
+  desc.Shardable = bounds.Shardable;
 
   if (IsInitialDevice(device))
   {
-    plat.HostParallelFor(desc, fn);
+    plat.HostParallelFor(desc, fn, bounds.Width);
     return;
   }
   plat.LaunchKernel(plat.DefaultStream(device), desc, fn,
@@ -98,10 +99,11 @@ void TargetParallelForNowait(int device, std::size_t n, const vp::KernelFn &fn,
   desc.OpsPerElement = bounds.OpsPerElement;
   desc.AtomicFraction = bounds.AtomicFraction;
   desc.Name = bounds.Name;
+  desc.Shardable = bounds.Shardable;
 
   if (IsInitialDevice(device))
   {
-    plat.HostParallelFor(desc, fn);
+    plat.HostParallelFor(desc, fn, bounds.Width);
     return;
   }
   plat.LaunchKernel(plat.DefaultStream(device), desc, fn,
@@ -124,7 +126,8 @@ void ParallelFor(std::size_t n, const vp::KernelFn &fn,
   desc.OpsPerElement = bounds.OpsPerElement;
   desc.AtomicFraction = bounds.AtomicFraction;
   desc.Name = bounds.Name;
-  vp::Platform::Get().HostParallelFor(desc, fn);
+  desc.Shardable = bounds.Shardable;
+  vp::Platform::Get().HostParallelFor(desc, fn, bounds.Width);
 }
 
 } // namespace vomp

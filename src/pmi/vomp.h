@@ -53,6 +53,8 @@ struct TargetBounds
   double OpsPerElement = 1.0;
   double AtomicFraction = 0.0;
   const char *Name = "vomp_target";
+  bool Shardable = false; ///< body may run as concurrent [b,e) chunks
+  int Width = 0;          ///< host lanes to occupy (num_threads); 0 = all
 };
 
 /// `#pragma omp target teams distribute parallel for device(device)`.

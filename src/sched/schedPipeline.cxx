@@ -1,5 +1,6 @@
 #include "schedPipeline.h"
 
+#include "execEngine.h"
 #include "vcuda.h"
 #include "vomp.h"
 #include "vpChecker.h"
@@ -369,7 +370,11 @@ void BoundedPipeline::Submit(std::function<void()> fn, std::size_t payloadBytes,
     std::lock_guard<std::mutex> lock(this->Mutex_);
     depth = this->EffectiveDepth();
     pressure = this->EffectivePressure();
-    realThreads = this->RealThreads_;
+    // real consumer threads: per-pipeline opt-in, the process-wide sched
+    // config, or the exec engine's threads mode (the bounded pipeline
+    // rides the same wall-clock concurrency the engine provides)
+    realThreads = this->RealThreads_ || GetConfig().RealThreads ||
+                  vp::exec::ThreadsEnabled();
     if (realThreads && !this->Worker_)
     {
       this->Worker_ = std::make_unique<RealWorker>();
