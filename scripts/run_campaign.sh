@@ -54,6 +54,14 @@ fi
 if [ -f BENCH_exec.json ]; then
   echo "wrote results/BENCH_exec.json"
 fi
+# um_service writes the multi-tenant service campaign: aggregate frames/s
+# and p99 latency for 1/2/4/8 streaming clients plus the kill experiment;
+# on machines with >= 4 hardware threads the binary exits nonzero unless
+# 4 clients reach 2x the aggregate throughput of 1 and killing 1 of 4
+# tenants costs the survivors < 10% throughput
+if [ -f BENCH_service.json ]; then
+  echo "wrote results/BENCH_service.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -80,6 +88,13 @@ echo "== execution-engine campaign (VP_CHECK=1 VP_EXEC=threads) =="
 # speedup where the hardware has >= 4 threads
 VP_CHECK=1 VP_EXEC=threads ../build/bench/um_exec --benchmark_min_time=0.05 \
   | tee um_exec_checked.txt
+echo "== multi-tenant service campaign (VP_CHECK=1) =="
+# the service's dispatcher, worker pool, and heartbeat threads under the
+# checker: the scaling sweep and the mid-run tenant kill must be
+# race/lifetime clean; the binary also gates on the 2x client-scaling
+# and <10% survivor-loss targets where the hardware has >= 4 threads
+VP_CHECK=1 ../build/bench/um_service --benchmark_min_time=0.05 \
+  | tee um_service_checked.txt
 echo "== scheduler-labelled tests =="
 ctest --test-dir ../build -L sched --output-on-failure
 
@@ -92,28 +107,37 @@ ctest --test-dir ../build -L compress --output-on-failure
 echo "== execution-engine tests =="
 ctest --test-dir ../build -L exec --output-on-failure
 
+echo "== service tests =="
+ctest --test-dir ../build -L svc --output-on-failure
+
 echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
 # a separate ASan+UBSan build configuration; the real-thread pipeline,
 # the drop/coalesce task destruction paths, and the codec byte-twiddling
 # (shuffle, varint, quantize) run under the sanitizers
 cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
-cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress
+cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService
 ../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_sanitized.txt
 ../build-sanitize/tests/testSched
 VP_CHECK=1 ../build-sanitize/bench/um_compress --benchmark_min_time=0.05 \
   | tee um_compress_sanitized.txt
 ../build-sanitize/tests/testCompress
+# the service's ring transfers, frame reassembly, and session teardown
+# paths under ASan+UBSan
+../build-sanitize/tests/testService
 
 echo "== ThreadSanitizer execution-engine run (-DVP_TSAN=ON) =="
 # a separate TSan build configuration (mutually exclusive with ASan):
 # the worker queues, sharded regions, fences and event edges of the
 # threaded engine run under the race detector
 cmake -B ../build-tsan -S .. -G Ninja -DVP_TSAN=ON
-cmake --build ../build-tsan --target testExec um_exec
+cmake --build ../build-tsan --target testExec um_exec testService
 ../build-tsan/tests/testExec
 VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
   | tee um_exec_tsan.txt
+# the service's dispatcher/worker/heartbeat thread interplay under the
+# race detector
+../build-tsan/tests/testService
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

@@ -19,6 +19,8 @@ struct Injector
   std::mt19937_64 Rng{1};
   std::uint64_t AllocN = 0;
   std::uint64_t EventN = 0;
+  std::uint64_t FrameN = 0;
+  std::uint64_t CrashN = 0;
 };
 
 Injector &Self()
@@ -38,6 +40,8 @@ void Configure(const FaultConfig &cfg)
   inj.Rng.seed(cfg.Seed);
   inj.AllocN = 0;
   inj.EventN = 0;
+  inj.FrameN = 0;
+  inj.CrashN = 0;
 }
 
 FaultConfig GetConfig()
@@ -117,6 +121,40 @@ bool PrematureReuseEnabled()
   Injector &inj = Self();
   std::lock_guard<std::mutex> lock(inj.Mutex);
   return inj.Config.Enabled && inj.Config.PrematureReuse;
+}
+
+bool ShouldDropFrame()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  if (!inj.Config.Enabled || !inj.Config.DropFrameNth)
+    return false;
+  const bool drop = ++inj.FrameN == inj.Config.DropFrameNth;
+  if (drop)
+    inj.Counts.FramesDropped++;
+  return drop;
+}
+
+bool ShouldCrashSend()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  if (!inj.Config.Enabled || !inj.Config.CrashSendNth)
+    return false;
+  const bool crash = ++inj.CrashN == inj.Config.CrashSendNth;
+  if (crash)
+    inj.Counts.SendCrashes++;
+  return crash;
+}
+
+double FrameDelay()
+{
+  Injector &inj = Self();
+  std::lock_guard<std::mutex> lock(inj.Mutex);
+  if (!inj.Config.Enabled || inj.Config.FrameDelaySeconds <= 0.0)
+    return 0.0;
+  inj.Counts.DelaysApplied++;
+  return inj.Config.FrameDelaySeconds;
 }
 
 } // namespace fault

@@ -40,6 +40,9 @@ struct FaultConfig
   int DelayNode = -1;               ///< node filter for the delay (-1 = all)
   DeviceId DelayDevice = -1;        ///< device filter (-1 = all devices)
   bool PrematureReuse = false;      ///< pool skips its stream-ready check
+  std::uint64_t DropFrameNth = 0;   ///< Nth service data frame lost in transit
+  std::uint64_t CrashSendNth = 0;   ///< Nth frame send dies mid-frame
+  double FrameDelaySeconds = 0.0;   ///< extra real+virtual delay per frame
 };
 
 /// Counters of the faults actually fired.
@@ -48,6 +51,8 @@ struct FaultStats
   std::uint64_t AllocFailures = 0;
   std::uint64_t EventsDropped = 0;
   std::uint64_t DelaysApplied = 0;
+  std::uint64_t FramesDropped = 0; ///< service frames lost in transit
+  std::uint64_t SendCrashes = 0;   ///< mid-frame client deaths fired
 };
 
 /// Install a fault plan and re-arm all counters.
@@ -84,6 +89,19 @@ double StreamDelay(int node, DeviceId device);
 /// True when the pool must skip its stream-ordered ready check and hand
 /// cached blocks out immediately (a deliberately injected lifetime bug).
 bool PrematureReuseEnabled();
+
+/// Should the current service data frame be silently lost in transit?
+/// Advances the frame counter; queried by svc::Client before each send.
+bool ShouldDropFrame();
+
+/// Should the current service frame send turn into a mid-frame client
+/// death (partial chunk stream, then the connection drops)? Keeps its
+/// own monotonic counter, advanced once per frame that reaches the
+/// wire.
+bool ShouldCrashSend();
+
+/// Extra seconds to stall the current frame send (0 when unconfigured).
+double FrameDelay();
 
 } // namespace fault
 } // namespace vp

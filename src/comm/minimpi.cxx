@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -105,6 +106,44 @@ public:
 
     vp::ThisClock().AdvanceTo(msg.AvailTime);
     return std::move(msg.Data);
+  }
+
+  /// Timed variant: false on a real-time timeout, nothing consumed.
+  bool RecvTimed(int self, int src, int tag, std::vector<std::uint8_t> &out,
+                 double timeoutSeconds)
+  {
+    if (src < 0 || src >= this->Size_)
+      throw std::out_of_range("minimpi::Recv: invalid source rank");
+
+    Mailbox &mb = *this->Mail_[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(mb.Mutex);
+    const auto key = std::make_pair(src, tag);
+    auto ready = [&]
+    {
+      auto it = mb.Queue.lower_bound(key);
+      return it != mb.Queue.end() && it->first == key;
+    };
+
+    if (timeoutSeconds < 0.0)
+    {
+      mb.Cv.wait(lock, ready);
+    }
+    else
+    {
+      const auto deadline = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(std::max(0.0, timeoutSeconds) * 1e9));
+      if (!mb.Cv.wait_for(lock, deadline, ready))
+        return false;
+    }
+
+    auto it = mb.Queue.lower_bound(key);
+    Message msg = std::move(it->second);
+    mb.Queue.erase(it);
+    lock.unlock();
+
+    vp::ThisClock().AdvanceTo(msg.AvailTime);
+    out = std::move(msg.Data);
+    return true;
   }
 
   // --- collectives -------------------------------------------------------------
@@ -276,6 +315,12 @@ std::vector<std::uint8_t> Communicator::Recv(int src, int tag)
   return this->Ctx_->Recv(this->Rank_, src, tag);
 }
 
+bool Communicator::Recv(int src, int tag, std::vector<std::uint8_t> &out,
+                        double timeoutSeconds)
+{
+  return this->Ctx_->RecvTimed(this->Rank_, src, tag, out, timeoutSeconds);
+}
+
 void Communicator::SendChunked(int dest, int tag, const void *data,
                                std::size_t bytes)
 {
@@ -327,6 +372,48 @@ std::vector<std::uint8_t> Communicator::RecvChunked(int src, int tag)
       "minimpi::RecvChunked: reassembled " + std::to_string(out.size()) +
       " bytes, header promised " + std::to_string(total));
   return out;
+}
+
+bool Communicator::RecvChunked(int src, int tag,
+                               std::vector<std::uint8_t> &out,
+                               double timeoutSeconds)
+{
+  std::vector<std::uint8_t> header;
+  if (!this->Recv(src, tag, header, timeoutSeconds))
+    return false; // nothing consumed: the transfer can be retried
+
+  if (header.size() != 16)
+    throw std::runtime_error(
+      "minimpi::RecvChunked: expected a 16 byte chunk header, got " +
+      std::to_string(header.size()) + " bytes");
+
+  const std::uint64_t total = LoadU64LE(header.data());
+  const std::uint64_t nChunks = LoadU64LE(header.data() + 8);
+  if ((total == 0) != (nChunks == 0))
+    throw std::runtime_error("minimpi::RecvChunked: malformed chunk header");
+
+  out.clear();
+  out.reserve(static_cast<std::size_t>(total));
+  for (std::uint64_t c = 0; c < nChunks; ++c)
+  {
+    // once the header is consumed the stream is committed: a missing
+    // chunk cannot be resynchronized, so mid-stream timeout is a short
+    // read, not a retryable miss
+    std::vector<std::uint8_t> chunk;
+    if (!this->Recv(src, tag, chunk, timeoutSeconds))
+      throw std::runtime_error(
+        "minimpi::RecvChunked: short read, sender delivered " +
+        std::to_string(c) + " of " + std::to_string(nChunks) + " chunks");
+    if (chunk.empty() || chunk.size() > total - out.size())
+      throw std::runtime_error(
+        "minimpi::RecvChunked: chunk stream does not match its header");
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  if (out.size() != total)
+    throw std::runtime_error(
+      "minimpi::RecvChunked: reassembled " + std::to_string(out.size()) +
+      " bytes, header promised " + std::to_string(total));
+  return true;
 }
 
 void Communicator::Barrier()

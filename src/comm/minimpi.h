@@ -92,6 +92,14 @@ public:
   /// sent. Returns the payload.
   std::vector<std::uint8_t> Recv(int src, int tag);
 
+  /// Timed receive: wait at most `timeoutSeconds` of real time for a
+  /// message from (src, tag). Returns false on timeout with nothing
+  /// consumed — an error return, not an abort, so a service can probe a
+  /// possibly-dead peer and keep running; the same (src, tag) can be
+  /// received again later. Negative timeouts mean wait forever.
+  bool Recv(int src, int tag, std::vector<std::uint8_t> &out,
+            double timeoutSeconds);
+
   /// Send a payload of any size as a 16-byte header frame (u64 total
   /// bytes, u64 chunk count, little endian) followed by chunk frames of
   /// at most GetMaxMessageBytes() each, all on `tag`. Pair with
@@ -101,6 +109,16 @@ public:
   /// Receive a payload sent with SendChunked, reassembling the chunk
   /// frames. Throws std::runtime_error on a malformed chunk stream.
   std::vector<std::uint8_t> RecvChunked(int src, int tag);
+
+  /// Timed chunked receive. Returns false when the 16-byte chunk
+  /// header does not arrive within `timeoutSeconds` (nothing consumed;
+  /// the transfer can still be received later). Once the header has
+  /// been consumed the transfer is committed: a chunk missing its
+  /// deadline mid-stream is a short read and throws std::runtime_error
+  /// — the stream cannot be resynchronized. Negative timeouts wait
+  /// forever.
+  bool RecvChunked(int src, int tag, std::vector<std::uint8_t> &out,
+                   double timeoutSeconds);
 
   /// Receive into a typed vector.
   template <typename T>

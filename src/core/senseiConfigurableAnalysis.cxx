@@ -7,6 +7,7 @@
 #include "senseiPosthocIO.h"
 #include "execEngine.h"
 #include "schedPipeline.h"
+#include "svcSession.h"
 #include "sxml.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
@@ -183,6 +184,81 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     }
   }
 
+  // optional <service> element configures the multi-tenant in-transit
+  // service (pool size, per-session flow control, heartbeat budget,
+  // optional server-side codec override). VP_SVC_* environment
+  // variables win over the XML, mirroring the VP_EXEC convention.
+  if (const sxml::Element *ve = root.FirstChild("service"))
+  {
+    svc::ServiceConfig cfg = svc::GetConfig();
+    try
+    {
+      if (!std::getenv("VP_SVC_MAX_SESSIONS"))
+        cfg.MaxSessions = static_cast<int>(
+          ve->AttributeInt("max_sessions", cfg.MaxSessions));
+      if (!std::getenv("VP_SVC_WORKERS"))
+        cfg.Workers =
+          static_cast<int>(ve->AttributeInt("workers", cfg.Workers));
+      if (!std::getenv("VP_SVC_QUEUE_DEPTH"))
+        cfg.QueueDepth = static_cast<long>(
+          ve->AttributeInt("queue_depth", cfg.QueueDepth));
+      if (!std::getenv("VP_SVC_BACKPRESSURE"))
+        cfg.Pressure = sched::BackpressureFromName(ve->Attribute(
+          "backpressure", sched::BackpressureName(cfg.Pressure)));
+      if (!std::getenv("VP_SVC_POLICY"))
+        cfg.Policy = sched::PolicyKindFromName(
+          ve->Attribute("policy", sched::PolicyKindName(cfg.Policy)));
+      if (!std::getenv("VP_SVC_HEARTBEAT_MS"))
+        cfg.HeartbeatMs = static_cast<int>(
+          ve->AttributeInt("heartbeat_ms", cfg.HeartbeatMs));
+      cfg.MissedHeartbeats = static_cast<int>(
+        ve->AttributeInt("missed_heartbeats", cfg.MissedHeartbeats));
+      cfg.RingBytes = static_cast<std::size_t>(ve->AttributeInt(
+        "ring_bytes", static_cast<long long>(cfg.RingBytes)));
+      cfg.MaxChunkBytes = static_cast<std::size_t>(ve->AttributeInt(
+        "max_chunk_bytes", static_cast<long long>(cfg.MaxChunkBytes)));
+      if (const char *env = std::getenv("VP_SVC_CODEC"))
+      {
+        cfg.HaveCodecOverride = true;
+        cfg.CodecOverride.Codec = cmp::CodecIdFromName(env);
+      }
+      else if (ve->HasAttribute("codec"))
+      {
+        cfg.HaveCodecOverride = true;
+        cfg.CodecOverride.Codec =
+          cmp::CodecIdFromName(ve->Attribute("codec"));
+      }
+      if (cfg.HaveCodecOverride)
+      {
+        cfg.CodecOverride.Level = static_cast<int>(
+          ve->AttributeInt("codec_level", cfg.CodecOverride.Level));
+        cfg.CodecOverride.ErrorBound = ve->AttributeDouble(
+          "codec_error_bound", cfg.CodecOverride.ErrorBound);
+      }
+
+      // the env overrides proper
+      if (const char *env = std::getenv("VP_SVC_MAX_SESSIONS"))
+        cfg.MaxSessions = std::atoi(env);
+      if (const char *env = std::getenv("VP_SVC_WORKERS"))
+        cfg.Workers = std::atoi(env);
+      if (const char *env = std::getenv("VP_SVC_QUEUE_DEPTH"))
+        cfg.QueueDepth = std::atol(env);
+      if (const char *env = std::getenv("VP_SVC_BACKPRESSURE"))
+        cfg.Pressure = sched::BackpressureFromName(env);
+      if (const char *env = std::getenv("VP_SVC_POLICY"))
+        cfg.Policy = sched::PolicyKindFromName(env);
+      if (const char *env = std::getenv("VP_SVC_HEARTBEAT_MS"))
+        cfg.HeartbeatMs = std::atoi(env);
+
+      svc::Configure(cfg);
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(
+        std::string("ConfigurableAnalysis: <service> ") + e.what());
+    }
+  }
+
   // optional <fault> element arms the deterministic fault injector
   if (const sxml::Element *fe = root.FirstChild("fault"))
   {
@@ -198,6 +274,11 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     cfg.DelayNode = static_cast<int>(fe->AttributeInt("delay_node", -1));
     cfg.DelayDevice = static_cast<int>(fe->AttributeInt("delay_device", -1));
     cfg.PrematureReuse = fe->AttributeBool("premature_reuse", false);
+    cfg.DropFrameNth =
+      static_cast<std::uint64_t>(fe->AttributeInt("drop_frame_nth", 0));
+    cfg.CrashSendNth =
+      static_cast<std::uint64_t>(fe->AttributeInt("crash_send_nth", 0));
+    cfg.FrameDelaySeconds = fe->AttributeDouble("frame_delay", 0.0);
     vp::fault::Configure(cfg);
   }
 

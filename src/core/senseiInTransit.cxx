@@ -4,6 +4,7 @@
 #include "vpPlatform.h"
 
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 namespace sensei
@@ -98,6 +99,14 @@ InTransitEndpoint::InTransitEndpoint(minimpi::Communicator *world,
     throw std::logic_error("InTransitEndpoint: this rank is a sender");
 }
 
+void InTransitEndpoint::SetMaxFrameErrors(long strikes)
+{
+  if (strikes < 1)
+    throw std::invalid_argument(
+      "InTransitEndpoint::SetMaxFrameErrors: strikes must be >= 1");
+  this->MaxFrameErrors_ = strikes;
+}
+
 long InTransitEndpoint::Run(AnalysisAdaptor *analysis)
 {
   if (!analysis)
@@ -105,6 +114,7 @@ long InTransitEndpoint::Run(AnalysisAdaptor *analysis)
   analysis->Register();
 
   std::vector<int> open = this->Layout_.SendersOf(this->World_->Rank());
+  std::map<int, long> strikes; // consecutive per-sender frame failures
   long steps = 0;
 
   while (!open.empty())
@@ -116,26 +126,70 @@ long InTransitEndpoint::Run(AnalysisAdaptor *analysis)
 
     for (int sender : open)
     {
-      const std::vector<std::uint8_t> frame =
-        this->World_->RecvChunked(sender, TagTransport);
-      if (frame.empty() || frame[0] == FrameClose)
+      // receive and decode under a per-frame failure contract: a short
+      // read, a corrupt frame, or a missed deadline skips this frame
+      // and strikes the sender; the session keeps running
+      std::vector<std::uint8_t> frame;
+      bool good = true;
+      try
+      {
+        if (this->RecvTimeout_ < 0.0)
+          frame = this->World_->RecvChunked(sender, TagTransport);
+        else
+          good = this->World_->RecvChunked(sender, TagTransport, frame,
+                                           this->RecvTimeout_);
+      }
+      catch (const std::runtime_error &)
+      {
+        good = false; // short read / malformed chunk stream
+      }
+
+      if (good && (frame.empty() || frame[0] == FrameClose))
         continue; // sender is done
 
-      if (frame.size() < 1 + sizeof(std::uint64_t) ||
-          (frame[0] != FrameData && frame[0] != FrameDataCompressed))
-        throw std::runtime_error("InTransitEndpoint: malformed frame");
-      step = cmp::LoadLE64(frame.data() + 1);
-      // dispatch on the payload's own magic: compressed senders and
-      // legacy senders can share an endpoint
-      blocks.push_back(
-        DeserializeTableAuto(frame.data() + 1 + sizeof(std::uint64_t),
-                             frame.size() - 1 - sizeof(std::uint64_t)));
+      if (good)
+      {
+        try
+        {
+          if (frame.size() < 1 + sizeof(std::uint64_t) ||
+              (frame[0] != FrameData && frame[0] != FrameDataCompressed))
+            throw std::runtime_error("InTransitEndpoint: malformed frame");
+          step = cmp::LoadLE64(frame.data() + 1);
+          // dispatch on the payload's own magic: compressed senders and
+          // legacy senders can share an endpoint
+          blocks.push_back(
+            DeserializeTableAuto(frame.data() + 1 + sizeof(std::uint64_t),
+                                 frame.size() - 1 - sizeof(std::uint64_t)));
+        }
+        catch (const std::runtime_error &)
+        {
+          good = false; // corrupt frame or payload
+        }
+      }
+
+      if (!good)
+      {
+        ++this->FrameErrors_;
+        if (++strikes[sender] >= this->MaxFrameErrors_)
+        {
+          ++this->DeadSenders_; // struck out: stop waiting on this sender
+          continue;
+        }
+        stillOpen.push_back(sender);
+        continue;
+      }
+
+      strikes[sender] = 0;
       stillOpen.push_back(sender);
     }
     open.swap(stillOpen);
 
     if (blocks.empty())
-      break; // everything closed in this round
+    {
+      if (open.empty())
+        break; // everything closed (or struck out) in this round
+      continue; // a round of failures with live senders: keep receiving
+    }
 
     svtkTable *assembled = ConcatenateTables(blocks);
     for (svtkTable *b : blocks)

@@ -117,13 +117,38 @@ public:
   /// `analysis` once per assembled step with a TableAdaptor whose
   /// communicator is the endpoint group. Returns the number of steps
   /// processed. A reference is taken on the analysis for the call.
+  ///
+  /// A partial frame (short read), a corrupt frame, or a frame missing
+  /// the receive deadline is a clean per-frame failure: the frame is
+  /// skipped, the session keeps running, and the failure is counted in
+  /// FrameErrors(). A sender failing MaxFrameErrors consecutive frames
+  /// is declared dead and removed from the round (DeadSenders()) so the
+  /// remaining senders keep flowing.
   long Run(AnalysisAdaptor *analysis);
+
+  /// Bound the real time Run waits for any one frame. Negative (the
+  /// default) blocks forever — the original, bit-exact behavior.
+  void SetRecvTimeout(double seconds) { this->RecvTimeout_ = seconds; }
+
+  /// Consecutive per-frame failures before a sender is declared dead
+  /// (default 3; minimum 1).
+  void SetMaxFrameErrors(long strikes);
+
+  /// Per-frame failures survived across Run calls.
+  long FrameErrors() const { return this->FrameErrors_; }
+
+  /// Senders dropped after striking out.
+  long DeadSenders() const { return this->DeadSenders_; }
 
 private:
   minimpi::Communicator *World_;
   minimpi::Communicator *EndpointComm_;
   InTransitLayout Layout_;
   std::string MeshName_;
+  double RecvTimeout_ = -1.0;
+  long MaxFrameErrors_ = 3;
+  long FrameErrors_ = 0;
+  long DeadSenders_ = 0;
 };
 
 } // namespace sensei

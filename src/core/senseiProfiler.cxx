@@ -3,6 +3,7 @@
 #include "cmpCodec.h"
 #include "execEngine.h"
 #include "schedPipeline.h"
+#include "svcSession.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
 #include "vpLoadTracker.h"
@@ -165,6 +166,29 @@ void ExportExecStats(Profiler &prof)
   prof.Event("exec::sharded_regions", static_cast<double>(s.ShardedRegions));
   prof.Event("exec::shards_executed", static_cast<double>(s.ShardsExecuted));
   prof.Event("exec::fence_joins", static_cast<double>(s.FenceJoins));
+}
+
+void ExportServiceStats(Profiler &prof)
+{
+  const svc::ServiceStats s = svc::Stats();
+  prof.Event("svc::sessions_opened", static_cast<double>(s.SessionsOpened));
+  prof.Event("svc::sessions_rejected",
+             static_cast<double>(s.SessionsRejected));
+  prof.Event("svc::sessions_closed", static_cast<double>(s.SessionsClosed));
+  prof.Event("svc::sessions_reaped", static_cast<double>(s.SessionsReaped));
+  prof.Event("svc::frames_sent", static_cast<double>(s.FramesSent));
+  prof.Event("svc::frames_accepted", static_cast<double>(s.FramesAccepted));
+  prof.Event("svc::frames_dropped", static_cast<double>(s.FramesDropped));
+  prof.Event("svc::frames_coalesced",
+             static_cast<double>(s.FramesCoalesced));
+  prof.Event("svc::frames_rejected", static_cast<double>(s.FramesRejected));
+  prof.Event("svc::frames_executed", static_cast<double>(s.FramesExecuted));
+  prof.Event("svc::heartbeats", static_cast<double>(s.Heartbeats));
+  prof.Event("svc::bytes_raw", static_cast<double>(s.BytesRaw));
+  prof.Event("svc::bytes_wire", static_cast<double>(s.BytesWire));
+  prof.Event("svc::queue_depth_high_water",
+             static_cast<double>(s.QueueHighWater));
+  prof.Event("svc::short_reads", static_cast<double>(s.ShortReads));
 }
 
 } // namespace sensei

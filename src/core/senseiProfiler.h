@@ -171,6 +171,14 @@ void ExportCompressStats(Profiler &prof);
 /// campaigns can audit how much real concurrency the run actually had.
 void ExportExecStats(Profiler &prof);
 
+/// Record the in-transit service counters (svc::Stats) as profiler
+/// events: svc::sessions_opened / _rejected / _closed / _reaped,
+/// svc::frames_sent / _accepted / _dropped / _coalesced / _rejected /
+/// _executed, svc::heartbeats, svc::bytes_raw, svc::bytes_wire,
+/// svc::queue_depth_high_water, svc::short_reads — the multi-tenant
+/// service's health in the same JSON as the timing data.
+void ExportServiceStats(Profiler &prof);
+
 } // namespace sensei
 
 #endif

@@ -1,0 +1,174 @@
+#include "senseiService.h"
+
+#include "senseiSerialization.h"
+#include "sxml.h"
+#include "vpPlatform.h"
+
+#include <stdexcept>
+
+namespace sensei
+{
+
+// ---------------------------------------------------------------------------
+ServiceClient::ServiceClient(std::shared_ptr<svc::Port> port,
+                             std::string meshName)
+  : Client_(std::move(port), meshName), MeshName_(std::move(meshName))
+{
+}
+
+bool ServiceClient::Connect(double timeoutSeconds)
+{
+  const cmp::Config &cfg = cmp::GetConfig();
+  return this->Client_.Connect(cfg.Default, cfg.Enabled, timeoutSeconds);
+}
+
+bool ServiceClient::Send(DataAdaptor *data)
+{
+  if (!data)
+    throw std::invalid_argument("ServiceClient::Send: null adaptor");
+
+  svtkDataObject *obj = data->GetMesh(this->MeshName_);
+  auto *table = dynamic_cast<svtkTable *>(obj);
+  if (!table)
+  {
+    if (obj)
+      obj->UnRegister();
+    return false;
+  }
+
+  const svc::WelcomeInfo &grant = this->Client_.Negotiated();
+  const std::vector<std::uint8_t> payload =
+    grant.UseCompression ? SerializeTableCompressed(table, grant.Codec)
+                         : SerializeTable(table);
+
+  // the raw volume the frame stands for; compressed columns serialize
+  // the same logical data, so size it from the table itself
+  const std::size_t rawBytes =
+    grant.UseCompression
+      ? static_cast<std::size_t>(table->GetNumberOfRows()) *
+          static_cast<std::size_t>(table->GetNumberOfColumns()) *
+          sizeof(double)
+      : payload.size();
+  table->UnRegister();
+
+  // serialization is host memory-bandwidth work the tenant pays for
+  vp::Platform &plat = vp::Platform::Get();
+  plat.HostCompute(static_cast<double>(payload.size()) /
+                   plat.Config().Cost.H2HBandwidth);
+
+  return this->Client_.SendFrame(
+    static_cast<std::uint64_t>(data->GetDataTimeStep()), payload.data(),
+    payload.size(), rawBytes, grant.UseCompression);
+}
+
+void ServiceClient::Close()
+{
+  this->Client_.Close();
+}
+
+void ServiceClient::Crash()
+{
+  this->Client_.Crash();
+}
+
+// ---------------------------------------------------------------------------
+ServiceHost::ServiceHost(const sxml::Element &root)
+{
+  // the first chain parses the whole document, which also applies the
+  // <service> element to svc::Configure; the pool is sized from the
+  // resulting configuration
+  auto *first = ConfigurableAnalysis::New();
+  try
+  {
+    first->Initialize(root);
+  }
+  catch (...)
+  {
+    first->UnRegister();
+    throw;
+  }
+  this->Analyses_.push_back(first);
+
+  const svc::ServiceConfig cfg = svc::GetConfig();
+  for (int w = 1; w < cfg.Workers; ++w)
+  {
+    auto *a = ConfigurableAnalysis::New();
+    a->Initialize(root);
+    this->Analyses_.push_back(a);
+  }
+
+  this->Server_ = std::make_unique<svc::Server>(
+    [this](int worker, const svc::FrameHeader &h,
+           std::vector<std::uint8_t> &&payload)
+    { this->HandleFrame(worker, h, std::move(payload)); },
+    cfg);
+  this->Server_->SetSessionCallbacks(
+    [this](std::uint32_t session, const svc::HelloInfo &hello)
+    {
+      std::lock_guard<std::mutex> lock(this->MeshMutex_);
+      this->Meshes_[session] = hello.MeshName;
+    },
+    [this](std::uint32_t session, svc::SessionEnd)
+    {
+      std::lock_guard<std::mutex> lock(this->MeshMutex_);
+      this->Meshes_.erase(session);
+    });
+}
+
+std::unique_ptr<ServiceHost> ServiceHost::FromString(const std::string &xml)
+{
+  const std::unique_ptr<sxml::Element> root = sxml::Parse(xml);
+  return std::make_unique<ServiceHost>(*root);
+}
+
+std::unique_ptr<ServiceHost> ServiceHost::FromFile(const std::string &path)
+{
+  const std::unique_ptr<sxml::Element> root = sxml::ParseFile(path);
+  return std::make_unique<ServiceHost>(*root);
+}
+
+ServiceHost::~ServiceHost()
+{
+  this->Stop();
+  for (ConfigurableAnalysis *a : this->Analyses_)
+    a->UnRegister();
+  this->Analyses_.clear();
+}
+
+void ServiceHost::Stop()
+{
+  if (this->Stopped_)
+    return;
+  this->Server_->Stop();
+  for (ConfigurableAnalysis *a : this->Analyses_)
+    a->Finalize();
+  this->Stopped_ = true;
+}
+
+void ServiceHost::HandleFrame(int worker, const svc::FrameHeader &h,
+                              std::vector<std::uint8_t> &&payload)
+{
+  std::string mesh = "table";
+  {
+    std::lock_guard<std::mutex> lock(this->MeshMutex_);
+    auto it = this->Meshes_.find(h.Session);
+    if (it != this->Meshes_.end())
+      mesh = it->second;
+  }
+
+  // compressed and raw payloads share the self-describing table formats
+  svtkTable *table = DeserializeTableAuto(payload.data(), payload.size());
+  payload.clear();
+
+  TableAdaptor *adaptor = TableAdaptor::New(mesh);
+  adaptor->SetTable(table);
+  table->UnRegister();
+  adaptor->SetDataTimeStep(static_cast<long>(h.Step));
+
+  this->Analyses_[static_cast<std::size_t>(worker)]->Execute(adaptor);
+  adaptor->ReleaseData();
+  adaptor->Delete();
+  this->Frames_.fetch_add(1);
+}
+
+} // namespace sensei

@@ -1,0 +1,233 @@
+#include "svcClient.h"
+
+#include "svcSession.h"
+#include "vpChecker.h"
+#include "vpClock.h"
+#include "vpFaultInjector.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace svc
+{
+
+namespace
+{
+double RealNow()
+{
+  return std::chrono::duration<double>(
+           std::chrono::steady_clock::now().time_since_epoch())
+    .count();
+}
+} // namespace
+
+Client::Client(std::shared_ptr<Port> port, std::string meshName)
+  : Port_(std::move(port)), MeshName_(std::move(meshName))
+{
+  if (!this->Port_)
+    throw std::invalid_argument("svc::Client: null port");
+}
+
+Client::~Client()
+{
+  this->StopBeats();
+  if (this->Connected_.load() && !this->Down_.load())
+    this->Close();
+}
+
+bool Client::Connect(const cmp::Params &want, bool wantCompression,
+                     double timeoutSeconds)
+{
+  HelloInfo hello;
+  hello.Codec = want;
+  hello.WantCompression = wantCompression;
+  hello.MeshName = this->MeshName_;
+  const std::vector<std::uint8_t> body = EncodeHello(hello);
+
+  FrameHeader h;
+  h.Kind = FrameKind::Hello;
+  h.SendTime = RealNow();
+  const std::vector<std::uint8_t> img =
+    EncodeFrame(h, body.data(), body.size());
+
+  const std::size_t chunk = GetConfig().MaxChunkBytes;
+  if (this->Port_->SendChunked(img.data(), img.size(), chunk,
+                               timeoutSeconds) != IoStatus::Ok)
+    return false;
+
+  // wait for the Welcome (or a Reject) with a real-time deadline
+  const double deadline = RealNow() + timeoutSeconds;
+  FrameAssembler assembler;
+  while (true)
+  {
+    const double left = deadline - RealNow();
+    if (left <= 0.0)
+      return false;
+    std::vector<std::uint8_t> msg;
+    const IoStatus st = this->Port_->Recv(msg, left);
+    if (st != IoStatus::Ok)
+      return false;
+    std::vector<std::uint8_t> wire;
+    if (!assembler.Feed(std::move(msg), wire))
+      continue;
+
+    Frame f = DecodeFrame(std::move(wire));
+    if (f.Header.Kind == FrameKind::Welcome)
+    {
+      this->Welcome_ = DecodeWelcome(f.Payload.data(), f.Payload.size());
+      this->RejectReason_.clear();
+      this->Connected_.store(true);
+      return true;
+    }
+    if (f.Header.Kind == FrameKind::Reject)
+    {
+      this->RejectReason_.assign(f.Payload.begin(), f.Payload.end());
+      return false;
+    }
+    // anything else on a half-open connection is a protocol error
+    return false;
+  }
+}
+
+bool Client::SendFrame(std::uint64_t step, const void *payload,
+                       std::size_t bytes, std::size_t rawBytes,
+                       bool compressed)
+{
+  if (!this->Connected_.load() || this->Down_.load())
+    return false;
+  this->SendSeq_.fetch_add(1);
+
+  if (vp::fault::ShouldDropFrame())
+    return false; // lost in transit: the ring never sees it
+
+  const double delay = vp::fault::FrameDelay();
+  if (delay > 0.0)
+  {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    vp::ThisClock().Advance(delay);
+  }
+
+  FrameHeader h;
+  h.Kind = FrameKind::Data;
+  h.Session = this->Welcome_.Session;
+  h.Flags = compressed ? kFrameFlagCompressed : 0;
+  h.Step = step;
+  h.SendTime = RealNow();
+  h.RawBytes = rawBytes;
+  const std::vector<std::uint8_t> img = EncodeFrame(h, payload, bytes);
+  const std::size_t chunk = GetConfig().MaxChunkBytes;
+
+  if (vp::fault::ShouldCrashSend())
+  {
+    // die mid-frame: announce the full chunk stream, deliver at most
+    // one chunk, then the connection drops — the server's assembler is
+    // left mid-message (a short read)
+    const std::size_t limit = std::max<std::size_t>(1, chunk);
+    const std::uint64_t nChunks =
+      (static_cast<std::uint64_t>(img.size()) + limit - 1) / limit;
+    std::vector<std::uint8_t> header(16);
+    for (int i = 0; i < 8; ++i)
+    {
+      header[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(img.size()) >> (8 * i));
+      header[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(nChunks >> (8 * i));
+    }
+    this->Port_->Send(std::move(header), /*timeout=*/1.0);
+    if (nChunks > 1)
+    {
+      std::vector<std::uint8_t> first(img.begin(),
+                                      img.begin() +
+                                        static_cast<std::ptrdiff_t>(limit));
+      this->Port_->Send(std::move(first), /*timeout=*/1.0);
+    }
+    this->Crash();
+    return false;
+  }
+
+  if (this->Port_->SendChunked(img.data(), img.size(), chunk) != IoStatus::Ok)
+  {
+    this->Down_.store(true);
+    return false;
+  }
+  this->Delivered_.fetch_add(1);
+  UpdateStats([](ServiceStats &st) { ++st.FramesSent; });
+  return true;
+}
+
+void Client::Heartbeat()
+{
+  if (!this->Connected_.load() || this->Down_.load())
+    return;
+  FrameHeader h;
+  h.Kind = FrameKind::Heartbeat;
+  h.Session = this->Welcome_.Session;
+  h.SendTime = RealNow();
+  const std::vector<std::uint8_t> img = EncodeFrame(h, nullptr, 0);
+  // a full ring means the session has buffered traffic, which already
+  // proves liveness — dropping the beat is fine (timeout 0)
+  this->Port_->SendChunked(img.data(), img.size(), GetConfig().MaxChunkBytes,
+                           /*timeout=*/0.0);
+}
+
+void Client::StartHeartbeats()
+{
+  if (this->Beats_.joinable() || !this->Connected_.load())
+    return;
+  this->BeatsStop_.store(false);
+  const int intervalMs = std::max(1, this->Welcome_.HeartbeatMs);
+  const std::uint64_t token = vp::check::OnThreadSpawn();
+  this->Beats_ = std::thread(
+    [this, intervalMs, token]
+    {
+      vp::check::OnThreadStart(token);
+      while (!this->BeatsStop_.load())
+      {
+        std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, intervalMs / 2)));
+        if (this->BeatsStop_.load())
+          break;
+        this->Heartbeat();
+      }
+      this->BeatsEndToken_.store(vp::check::OnThreadEnd());
+    });
+}
+
+void Client::StopBeats()
+{
+  if (!this->Beats_.joinable())
+    return;
+  this->BeatsStop_.store(true);
+  this->Beats_.join();
+  vp::check::OnThreadJoin(this->BeatsEndToken_.load());
+}
+
+void Client::Close()
+{
+  this->StopBeats();
+  if (this->Connected_.load() && !this->Down_.load())
+  {
+    FrameHeader h;
+    h.Kind = FrameKind::Goodbye;
+    h.Session = this->Welcome_.Session;
+    h.SendTime = RealNow();
+    const std::vector<std::uint8_t> img = EncodeFrame(h, nullptr, 0);
+    this->Port_->SendChunked(img.data(), img.size(),
+                             GetConfig().MaxChunkBytes, /*timeout=*/1.0);
+    this->Port_->CloseTx();
+  }
+  this->Connected_.store(false);
+  this->Down_.store(true);
+}
+
+void Client::Crash()
+{
+  // never joins its own heartbeat thread from that thread; Crash is
+  // called from the simulation thread in every harness
+  this->StopBeats();
+  this->Port_->Kill();
+  this->Connected_.store(false);
+  this->Down_.store(true);
+}
+
+} // namespace svc

@@ -1,0 +1,96 @@
+#ifndef svcClient_h
+#define svcClient_h
+
+/// @file svcClient.h
+/// The simulation-side endpoint of a service connection. A Client
+/// performs the Hello/Welcome negotiation, stamps every data frame
+/// with its session id and real-time send stamp, heartbeats while
+/// idle, and leaves either gracefully (Close -> Goodbye) or abruptly
+/// (Crash -> the rings die, as if the process was killed). The
+/// deterministic fault injector can also drop the Nth frame in
+/// transit, delay frames, or turn the Nth send into a mid-frame crash
+/// (a partial chunk stream followed by ring death) — the short-read
+/// case the server must survive.
+
+#include "svcRing.h"
+#include "svcWire.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace svc
+{
+
+class Client
+{
+public:
+  /// `port` is the client-side port from Server::Connect().
+  explicit Client(std::shared_ptr<Port> port, std::string meshName = "table");
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Negotiate a session: send Hello, wait for the Welcome. `want` is
+  /// the requested frame codec (ignored by a server with a codec
+  /// override); `wantCompression` false requests raw frames. Returns
+  /// false on timeout or Reject.
+  bool Connect(const cmp::Params &want, bool wantCompression,
+               double timeoutSeconds = 5.0);
+
+  /// The server's grant (valid after a successful Connect).
+  const WelcomeInfo &Negotiated() const { return this->Welcome_; }
+  std::uint32_t SessionId() const { return this->Welcome_.Session; }
+
+  /// Why the last Connect failed ("" when it succeeded).
+  const std::string &RejectReason() const { return this->RejectReason_; }
+
+  /// Ship one data frame. `rawBytes` is the pre-compression payload
+  /// size (= `bytes` for uncompressed frames). Returns false when the
+  /// frame was not delivered (connection down, injected drop or crash).
+  bool SendFrame(std::uint64_t step, const void *payload, std::size_t bytes,
+                 std::size_t rawBytes, bool compressed);
+
+  /// Send one heartbeat (cheap; lets an idle client stay admitted).
+  void Heartbeat();
+
+  /// Beat automatically from a background thread at the negotiated
+  /// interval until Close/Crash.
+  void StartHeartbeats();
+
+  /// Graceful leave: Goodbye, then close the outgoing ring.
+  void Close();
+
+  /// Abrupt death: both rings die, nothing is announced. The server
+  /// finds out via its heartbeat budget (or a short read when a frame
+  /// was in flight).
+  void Crash();
+
+  bool Connected() const { return this->Connected_.load(); }
+
+  /// Data frames this client delivered into the ring.
+  std::uint64_t FramesDelivered() const { return this->Delivered_.load(); }
+
+private:
+  void StopBeats();
+
+  std::shared_ptr<Port> Port_;
+  std::string MeshName_;
+  WelcomeInfo Welcome_;
+  std::string RejectReason_;
+  std::atomic<bool> Connected_{false};
+  std::atomic<bool> Down_{false};
+  std::atomic<std::uint64_t> Delivered_{0};
+  std::atomic<std::uint64_t> SendSeq_{0};
+
+  std::thread Beats_;
+  std::atomic<bool> BeatsStop_{false};
+  std::atomic<std::uint64_t> BeatsEndToken_{0};
+};
+
+} // namespace svc
+
+#endif

@@ -1,0 +1,214 @@
+#include "svcRing.h"
+
+#include "vpClock.h"
+#include "vpPlatform.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace svc
+{
+
+namespace
+{
+std::chrono::nanoseconds ToNs(double seconds)
+{
+  return std::chrono::nanoseconds(
+    static_cast<std::int64_t>(std::max(0.0, seconds) * 1e9));
+}
+} // namespace
+
+const char *IoStatusName(IoStatus s)
+{
+  switch (s)
+  {
+    case IoStatus::Ok: return "ok";
+    case IoStatus::Timeout: return "timeout";
+    case IoStatus::Closed: return "closed";
+    case IoStatus::Dead: return "dead";
+  }
+  return "unknown";
+}
+
+ShmRing::ShmRing(std::size_t capacityBytes, std::size_t maxMessages)
+  : CapacityBytes_(std::max<std::size_t>(1, capacityBytes)),
+    MaxMessages_(std::max<std::size_t>(1, maxMessages))
+{
+}
+
+IoStatus ShmRing::Push(std::vector<std::uint8_t> &&msg, double timeoutSeconds)
+{
+  std::unique_lock<std::mutex> lock(this->Mutex_);
+  auto room = [&]
+  {
+    // an oversized message is admitted into an empty ring so transfers
+    // larger than the budget degrade to lock-step instead of deadlock
+    return this->Queue_.size() < this->MaxMessages_ &&
+           (this->UsedBytes_ + msg.size() <= this->CapacityBytes_ ||
+            this->Queue_.empty());
+  };
+  auto stopped = [&] { return this->Closed_ || this->Dead_; };
+
+  if (timeoutSeconds < 0.0)
+  {
+    this->CanPush_.wait(lock, [&] { return room() || stopped(); });
+  }
+  else if (!this->CanPush_.wait_for(lock, ToNs(timeoutSeconds),
+                                    [&] { return room() || stopped(); }))
+  {
+    return IoStatus::Timeout;
+  }
+
+  if (stopped())
+    return this->Dead_ ? IoStatus::Dead : IoStatus::Closed;
+
+  this->UsedBytes_ += msg.size();
+  this->PushedBytes_ += msg.size();
+  this->Queue_.emplace_back(std::move(msg));
+  lock.unlock();
+  this->CanPop_.notify_one();
+  return IoStatus::Ok;
+}
+
+IoStatus ShmRing::Pop(std::vector<std::uint8_t> &out, double timeoutSeconds)
+{
+  std::unique_lock<std::mutex> lock(this->Mutex_);
+  auto ready = [&]
+  { return !this->Queue_.empty() || this->Closed_ || this->Dead_; };
+
+  if (timeoutSeconds < 0.0)
+  {
+    this->CanPop_.wait(lock, ready);
+  }
+  else if (timeoutSeconds == 0.0)
+  {
+    if (!ready())
+      return IoStatus::Timeout;
+  }
+  else if (!this->CanPop_.wait_for(lock, ToNs(timeoutSeconds), ready))
+  {
+    return IoStatus::Timeout;
+  }
+
+  if (this->Queue_.empty())
+    return this->Dead_ ? IoStatus::Dead : IoStatus::Closed;
+
+  out = std::move(this->Queue_.front());
+  this->Queue_.pop_front();
+  this->UsedBytes_ -= out.size();
+  lock.unlock();
+  this->CanPush_.notify_one();
+  return IoStatus::Ok;
+}
+
+void ShmRing::Close()
+{
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    this->Closed_ = true;
+  }
+  this->CanPush_.notify_all();
+  this->CanPop_.notify_all();
+}
+
+void ShmRing::MarkDead()
+{
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    this->Dead_ = true;
+  }
+  this->CanPush_.notify_all();
+  this->CanPop_.notify_all();
+}
+
+std::size_t ShmRing::Pending() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return this->Queue_.size();
+}
+
+std::size_t ShmRing::PendingBytes() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return this->UsedBytes_;
+}
+
+std::uint64_t ShmRing::BytesPushed() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return this->PushedBytes_;
+}
+
+IoStatus Port::Send(std::vector<std::uint8_t> &&msg, double timeoutSeconds)
+{
+  const std::size_t bytes = msg.size();
+  const IoStatus s = this->Tx().Push(std::move(msg), timeoutSeconds);
+  if (s == IoStatus::Ok)
+  {
+    // the sender pays the injection cost in virtual time, mirroring
+    // minimpi::Send: latency plus volume over the message bandwidth
+    const vp::CostModel &cost = vp::Platform::Get().Config().Cost;
+    vp::ThisClock().Advance(cost.MessageLatency +
+                            static_cast<double>(bytes) /
+                              cost.MessageBandwidth);
+  }
+  return s;
+}
+
+IoStatus Port::Recv(std::vector<std::uint8_t> &out, double timeoutSeconds)
+{
+  return this->Rx().Pop(out, timeoutSeconds);
+}
+
+IoStatus Port::SendChunked(const void *data, std::size_t bytes,
+                           std::size_t maxChunkBytes, double timeoutSeconds)
+{
+  const std::size_t limit = std::max<std::size_t>(1, maxChunkBytes);
+  const std::uint64_t nChunks =
+    bytes ? (static_cast<std::uint64_t>(bytes) + limit - 1) / limit : 0;
+
+  std::vector<std::uint8_t> header(16);
+  for (int i = 0; i < 8; ++i)
+  {
+    header[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(static_cast<std::uint64_t>(bytes) >> (8 * i));
+    header[static_cast<std::size_t>(8 + i)] =
+      static_cast<std::uint8_t>(nChunks >> (8 * i));
+  }
+  IoStatus s = this->Send(std::move(header), timeoutSeconds);
+  if (s != IoStatus::Ok)
+    return s;
+
+  const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+  std::size_t remaining = bytes;
+  while (remaining)
+  {
+    const std::size_t n = std::min(remaining, limit);
+    std::vector<std::uint8_t> chunk(p, p + n);
+    s = this->Send(std::move(chunk), timeoutSeconds);
+    if (s != IoStatus::Ok)
+      return s;
+    p += n;
+    remaining -= n;
+  }
+  return IoStatus::Ok;
+}
+
+std::size_t Port::RxPending() const
+{
+  return this->RxC().Pending();
+}
+
+void Port::CloseTx()
+{
+  this->Tx().Close();
+}
+
+void Port::Kill()
+{
+  this->Tx().MarkDead();
+  this->Rx().MarkDead();
+}
+
+} // namespace svc

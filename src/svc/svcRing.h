@@ -1,0 +1,163 @@
+#ifndef svcRing_h
+#define svcRing_h
+
+/// @file svcRing.h
+/// The service transport boundary: bounded shared-memory rings. A ring
+/// models one direction of a client<->server connection as a bounded
+/// descriptor queue with a byte budget — the moral equivalent of the
+/// shared-memory segment an on-node in-transit transport (ADIOS SST's
+/// shm data plane, libIS) places between a simulation and an analysis
+/// daemon. Only bytes cross the boundary: the two sides share no
+/// pointers, no locks beyond the ring's own, and no virtual-clock state.
+///
+/// Capacity is the flow-control primitive. A producer pushing into a
+/// full ring blocks (bounded real time, optional timeout); a consumer
+/// that stops draining therefore exerts end-to-end backpressure all the
+/// way into the client's Send call, which is exactly how the service
+/// implements the `block` per-session policy without any extra
+/// machinery.
+///
+/// Lifecycle mirrors a socket: Close() is a graceful shutdown (readers
+/// drain buffered messages, then see Closed), MarkDead() is an abrupt
+/// peer death (readers drain what already made it into the ring, then
+/// see Dead — buffered bytes of a half-written frame are how the server
+/// observes a short read).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace svc
+{
+
+/// Result of a ring/port transfer.
+enum class IoStatus : int
+{
+  Ok = 0,  ///< a message moved
+  Timeout, ///< nothing moved within the deadline
+  Closed,  ///< peer closed gracefully and the ring is drained
+  Dead     ///< peer died abruptly and the ring is drained
+};
+
+/// Stable lower-case name for an IoStatus (diagnostics).
+const char *IoStatusName(IoStatus s);
+
+/// One direction of a connection: a bounded byte-budgeted message queue.
+class ShmRing
+{
+public:
+  /// `capacityBytes` bounds the payload bytes buffered in the ring;
+  /// `maxMessages` bounds the descriptor count. A single message larger
+  /// than the byte budget is still accepted (alone) so oversized chunks
+  /// degrade to lock-step transfer instead of deadlocking.
+  ShmRing(std::size_t capacityBytes, std::size_t maxMessages);
+
+  /// Move `msg` into the ring. Blocks while full. `timeoutSeconds < 0`
+  /// means wait forever. Returns Ok, Timeout (msg untouched), or
+  /// Closed/Dead when the ring was shut down.
+  IoStatus Push(std::vector<std::uint8_t> &&msg, double timeoutSeconds = -1.0);
+
+  /// Move the oldest message out. Blocks up to `timeoutSeconds` for one
+  /// to arrive (0 = poll, < 0 = wait forever). Buffered messages are
+  /// delivered even after Close/MarkDead; the terminal status is only
+  /// reported once the ring is drained.
+  IoStatus Pop(std::vector<std::uint8_t> &out, double timeoutSeconds);
+
+  /// Graceful shutdown: no further pushes; pops drain then see Closed.
+  void Close();
+
+  /// Abrupt shutdown: no further pushes; pops drain then see Dead.
+  void MarkDead();
+
+  /// Messages currently buffered (racy snapshot; used for liveness: a
+  /// peer with buffered traffic is not a dead peer).
+  std::size_t Pending() const;
+
+  /// Payload bytes currently buffered (racy snapshot).
+  std::size_t PendingBytes() const;
+
+  /// Total payload bytes ever pushed (the wire-byte counter).
+  std::uint64_t BytesPushed() const;
+
+private:
+  mutable std::mutex Mutex_;
+  std::condition_variable CanPush_;
+  std::condition_variable CanPop_;
+  std::deque<std::vector<std::uint8_t>> Queue_;
+  std::size_t CapacityBytes_;
+  std::size_t MaxMessages_;
+  std::size_t UsedBytes_ = 0;
+  std::uint64_t PushedBytes_ = 0;
+  bool Closed_ = false;
+  bool Dead_ = false;
+};
+
+/// A full-duplex connection: one ring per direction.
+struct Channel
+{
+  Channel(std::size_t ringBytes, std::size_t maxMessages)
+    : ToServer(ringBytes, maxMessages), ToClient(ringBytes, maxMessages)
+  {
+  }
+
+  ShmRing ToServer;
+  ShmRing ToClient;
+};
+
+/// One endpoint's view of a Channel: Send writes the outgoing ring,
+/// Recv reads the incoming one. The client holds the client-side port,
+/// the server dispatcher the server-side port; both share the Channel
+/// by shared_ptr but touch only ring bytes.
+class Port
+{
+public:
+  Port(std::shared_ptr<Channel> ch, bool clientSide)
+    : Channel_(std::move(ch)), ClientSide_(clientSide)
+  {
+  }
+
+  /// Send one message (blocking while the peer's ring is full; charges
+  /// the sender's virtual clock with the platform message cost).
+  IoStatus Send(std::vector<std::uint8_t> &&msg, double timeoutSeconds = -1.0);
+
+  /// Receive one message; 0 = poll, < 0 = wait forever.
+  IoStatus Recv(std::vector<std::uint8_t> &out, double timeoutSeconds);
+
+  /// Non-blocking receive.
+  IoStatus TryRecv(std::vector<std::uint8_t> &out) { return this->Recv(out, 0.0); }
+
+  /// Send a payload of any size as minimpi's chunked wire format: a
+  /// 16-byte header message (u64 total bytes, u64 chunk count, LE)
+  /// followed by chunk messages of at most `maxChunkBytes`. Returns the
+  /// first non-Ok status (a partially sent stream is exactly the short
+  /// read the assembler must survive).
+  IoStatus SendChunked(const void *data, std::size_t bytes,
+                       std::size_t maxChunkBytes,
+                       double timeoutSeconds = -1.0);
+
+  /// Incoming messages waiting (liveness probe).
+  std::size_t RxPending() const;
+
+  /// Graceful close of this endpoint's outgoing direction.
+  void CloseTx();
+
+  /// Abrupt death of this endpoint: both directions die (a crashed
+  /// process neither sends nor drains).
+  void Kill();
+
+private:
+  ShmRing &Tx() { return this->ClientSide_ ? this->Channel_->ToServer : this->Channel_->ToClient; }
+  ShmRing &Rx() { return this->ClientSide_ ? this->Channel_->ToClient : this->Channel_->ToServer; }
+  const ShmRing &RxC() const { return this->ClientSide_ ? this->Channel_->ToClient : this->Channel_->ToServer; }
+
+  std::shared_ptr<Channel> Channel_;
+  bool ClientSide_;
+};
+
+} // namespace svc
+
+#endif

@@ -1,0 +1,496 @@
+#include "svcServer.h"
+
+#include "vpChecker.h"
+#include "vpLoadTracker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace svc
+{
+
+namespace
+{
+double RealNow()
+{
+  return std::chrono::duration<double>(
+           std::chrono::steady_clock::now().time_since_epoch())
+    .count();
+}
+} // namespace
+
+const char *SessionEndName(SessionEnd e)
+{
+  switch (e)
+  {
+    case SessionEnd::Closed: return "closed";
+    case SessionEnd::Reaped: return "reaped";
+    case SessionEnd::ShortRead: return "short-read";
+    case SessionEnd::Error: return "error";
+  }
+  return "unknown";
+}
+
+Server::Server(FrameHandler handler, ServiceConfig cfg)
+  : Config_(cfg), Handler_(std::move(handler))
+{
+  if (!this->Handler_)
+    throw std::invalid_argument("svc::Server: null frame handler");
+}
+
+Server::~Server()
+{
+  this->Stop();
+}
+
+void Server::SetSessionCallbacks(OpenHandler onOpen, CloseHandler onClose)
+{
+  this->OnOpen_ = std::move(onOpen);
+  this->OnClose_ = std::move(onClose);
+}
+
+void Server::Start()
+{
+  if (this->Running_.exchange(true))
+    return;
+  this->StopRequested_.store(false);
+  this->WorkersStop_.store(false);
+
+  for (int w = 0; w < this->Config_.Workers; ++w)
+  {
+    auto worker = std::make_unique<Worker>();
+    worker->SpawnToken = vp::check::OnThreadSpawn();
+    Worker *wp = worker.get();
+    this->Workers_.emplace_back(std::move(worker));
+    wp->Thread = std::thread([this, w] { this->WorkerLoop(w); });
+  }
+
+  this->DispatcherSpawnToken_ = vp::check::OnThreadSpawn();
+  this->Dispatcher_ = std::thread([this] { this->DispatchLoop(); });
+}
+
+void Server::Stop()
+{
+  if (!this->Running_.load())
+    return;
+  this->StopRequested_.store(true);
+
+  if (this->Dispatcher_.joinable())
+  {
+    this->Dispatcher_.join();
+    vp::check::OnThreadJoin(this->DispatcherEndToken_);
+  }
+
+  this->WorkersStop_.store(true);
+  for (auto &w : this->Workers_)
+    w->Cv.notify_all();
+  for (auto &w : this->Workers_)
+  {
+    if (w->Thread.joinable())
+    {
+      w->Thread.join();
+      vp::check::OnThreadJoin(w->EndToken);
+    }
+  }
+  this->Workers_.clear();
+  this->Running_.store(false);
+}
+
+std::shared_ptr<Port> Server::Connect()
+{
+  auto link = std::make_shared<Channel>(this->Config_.RingBytes,
+                                        this->Config_.RingMessages);
+  {
+    std::lock_guard<std::mutex> lock(this->PendingMutex_);
+    this->Pending_.push_back(link);
+  }
+  return std::make_shared<Port>(link, /*clientSide=*/true);
+}
+
+int Server::ActiveSessions() const
+{
+  return this->Active_.load();
+}
+
+std::uint64_t Server::Ended(SessionEnd why) const
+{
+  return this->EndCounts_[static_cast<int>(why)].load();
+}
+
+std::vector<double> Server::Latencies() const
+{
+  std::lock_guard<std::mutex> lock(this->LatencyMutex_);
+  return this->Latencies_;
+}
+
+bool Server::AdmitPending()
+{
+  std::vector<std::shared_ptr<Channel>> fresh;
+  {
+    std::lock_guard<std::mutex> lock(this->PendingMutex_);
+    fresh.swap(this->Pending_);
+  }
+  for (auto &link : fresh)
+  {
+    auto s = std::make_unique<Session>();
+    s->Link = link;
+    s->Io = std::make_unique<Port>(link, /*clientSide=*/false);
+    s->LastHeard = RealNow();
+    this->Sessions_.emplace_back(std::move(s));
+  }
+  return !fresh.empty();
+}
+
+int Server::PlaceFrame(const Session &s, const Frame &f)
+{
+  sched::PlacementRequest req;
+  req.Rank = static_cast<int>(s.Id);
+  req.DevicesPerNode = this->Config_.Workers;
+  req.Node = kServicePlaneNode;
+  // size the hint from the frame so cost-model placement has something
+  // real to predict with: raw elements moved and touched once
+  req.Hint.Elements = static_cast<std::size_t>(f.Header.RawBytes / 8);
+  req.Hint.MoveBytes = static_cast<std::size_t>(f.Header.PayloadBytes);
+  const int d = sched::GetPolicy(this->Config_.Policy).SelectDevice(req);
+  if (d < 0 || d >= this->Config_.Workers)
+    return static_cast<int>(s.Id) % this->Config_.Workers;
+  return d;
+}
+
+void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
+{
+  Frame f = DecodeFrame(std::move(wire));
+
+  switch (f.Header.Kind)
+  {
+    case FrameKind::Hello:
+    {
+      if (s.Welcomed)
+        throw std::runtime_error("svc: duplicate hello on session " +
+                                 std::to_string(s.Id));
+      const HelloInfo hello = DecodeHello(f.Payload.data(), f.Payload.size());
+      const bool slotFree = this->Active_.load() < this->Config_.MaxSessions;
+      if (hello.Protocol != kProtocolVersion || !slotFree)
+      {
+        const std::string why = !slotFree ? "session pool full"
+                                          : "unsupported protocol";
+        FrameHeader rh;
+        rh.Kind = FrameKind::Reject;
+        const std::vector<std::uint8_t> img =
+          EncodeFrame(rh, why.data(), why.size());
+        s.Io->SendChunked(img.data(), img.size(),
+                          this->Config_.MaxChunkBytes, /*timeout=*/1.0);
+        UpdateStats([](ServiceStats &st) { ++st.SessionsRejected; });
+        s.Draining = true;
+        s.Why = SessionEnd::Closed;
+        return;
+      }
+
+      s.Hello = hello;
+      s.Id = this->NextSession_++;
+      s.Welcomed = true;
+      this->Active_.fetch_add(1);
+
+      WelcomeInfo w;
+      w.Session = s.Id;
+      if (this->Config_.HaveCodecOverride)
+      {
+        w.Codec = this->Config_.CodecOverride;
+        w.UseCompression = w.Codec.Codec != cmp::CodecId::None;
+      }
+      else
+      {
+        w.Codec = hello.Codec;
+        w.UseCompression = hello.WantCompression;
+      }
+      w.QueueDepth = this->Config_.QueueDepth;
+      w.Pressure = this->Config_.Pressure;
+      w.HeartbeatMs = this->Config_.HeartbeatMs;
+
+      FrameHeader wh;
+      wh.Kind = FrameKind::Welcome;
+      wh.Session = s.Id;
+      const std::vector<std::uint8_t> body = EncodeWelcome(w);
+      const std::vector<std::uint8_t> img =
+        EncodeFrame(wh, body.data(), body.size());
+      s.Io->SendChunked(img.data(), img.size(), this->Config_.MaxChunkBytes,
+                        /*timeout=*/1.0);
+      UpdateStats([](ServiceStats &st) { ++st.SessionsOpened; });
+      if (this->OnOpen_)
+        this->OnOpen_(s.Id, s.Hello);
+      return;
+    }
+
+    case FrameKind::Heartbeat:
+      UpdateStats([](ServiceStats &st) { ++st.Heartbeats; });
+      return;
+
+    case FrameKind::Goodbye:
+      s.Draining = true;
+      s.Why = SessionEnd::Closed;
+      return;
+
+    case FrameKind::Data:
+    {
+      if (!s.Welcomed || f.Header.Session != s.Id)
+      {
+        UpdateStats([](ServiceStats &st) { ++st.FramesRejected; });
+        return;
+      }
+      const std::uint64_t raw = f.Header.RawBytes;
+      const std::uint64_t wireBytes = kFrameHeaderBytes + f.Header.PayloadBytes;
+      const Admit a = s.Queue.Push(std::move(f), this->Config_.QueueDepth,
+                                   this->Config_.Pressure);
+      const std::uint64_t hw = s.Queue.HighWater();
+      UpdateStats(
+        [&](ServiceStats &st)
+        {
+          st.BytesRaw += raw;
+          st.BytesWire += wireBytes;
+          st.QueueHighWater = std::max<std::uint64_t>(st.QueueHighWater, hw);
+          switch (a)
+          {
+            case Admit::Queued: ++st.FramesAccepted; break;
+            case Admit::DroppedOldest:
+              ++st.FramesAccepted;
+              ++st.FramesDropped;
+              break;
+            case Admit::Coalesced:
+              ++st.FramesAccepted;
+              ++st.FramesCoalesced;
+              break;
+            case Admit::WouldBlock: ++st.FramesRejected; break;
+          }
+        });
+      return;
+    }
+
+    case FrameKind::Welcome:
+    case FrameKind::Reject:
+      // server-bound streams must not carry server-to-client kinds
+      throw std::runtime_error("svc: unexpected frame kind on session " +
+                               std::to_string(s.Id));
+  }
+}
+
+bool Server::PollSession(Session &s)
+{
+  bool moved = false;
+  // bound the per-session work per round so one chatty tenant cannot
+  // starve the others
+  for (int i = 0; i < 8; ++i)
+  {
+    if (s.Draining ||
+        s.Queue.Full(this->Config_.QueueDepth, this->Config_.Pressure))
+      break; // `block`: leave traffic in the ring, the client stalls
+
+    std::vector<std::uint8_t> msg;
+    const IoStatus st = s.Io->TryRecv(msg);
+    if (st == IoStatus::Timeout)
+      break; // nothing buffered
+    if (st == IoStatus::Closed || st == IoStatus::Dead)
+    {
+      if (s.Assembler.MidMessage())
+      {
+        s.Why = SessionEnd::ShortRead;
+        UpdateStats([](ServiceStats &stt) { ++stt.ShortReads; });
+      }
+      else
+      {
+        s.Why = st == IoStatus::Closed ? SessionEnd::Closed
+                                       : SessionEnd::Reaped;
+      }
+      s.Draining = true;
+      moved = true;
+      break;
+    }
+
+    s.LastHeard = RealNow();
+    moved = true;
+    try
+    {
+      std::vector<std::uint8_t> wire;
+      if (s.Assembler.Feed(std::move(msg), wire))
+        this->HandleWire(s, std::move(wire));
+    }
+    catch (const std::exception &)
+    {
+      UpdateStats([](ServiceStats &stt) { ++stt.FramesRejected; });
+      s.Why = SessionEnd::Error;
+      s.Draining = true;
+      break;
+    }
+  }
+
+  // liveness: a silent, empty connection past its heartbeat budget is a
+  // dead client; one with buffered traffic or a blocked queue is not
+  if (!s.Draining)
+  {
+    const double budget = 1e-3 * this->Config_.HeartbeatMs *
+                          this->Config_.MissedHeartbeats;
+    if (s.Io->RxPending() == 0 && RealNow() - s.LastHeard > budget &&
+        !s.Queue.Full(this->Config_.QueueDepth, this->Config_.Pressure))
+    {
+      s.Why = s.Assembler.MidMessage() ? SessionEnd::ShortRead
+                                       : SessionEnd::Reaped;
+      if (s.Assembler.MidMessage())
+        UpdateStats([](ServiceStats &stt) { ++stt.ShortReads; });
+      s.Draining = true;
+      moved = true;
+    }
+  }
+  return moved;
+}
+
+bool Server::DrainSession(Session &s)
+{
+  bool moved = false;
+  Frame f;
+  while (s.Queue.Pop(f))
+  {
+    const int w = this->PlaceFrame(s, f);
+    Worker &wk = *this->Workers_[static_cast<std::size_t>(w)];
+    if (wk.InboxSize.load() >= 2)
+    {
+      // the pool is saturated here: keep the frame at the head and let
+      // the next round retry (the retry re-consults the policy, whose
+      // recorded backlog now steers it elsewhere)
+      s.Queue.Requeue(std::move(f));
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(wk.Mutex);
+      wk.Inbox.emplace_back(std::move(f));
+    }
+    wk.InboxSize.fetch_add(1);
+    wk.Cv.notify_one();
+    moved = true;
+  }
+  return moved;
+}
+
+void Server::DispatchLoop()
+{
+  vp::check::OnThreadStart(this->DispatcherSpawnToken_);
+
+  while (true)
+  {
+    const bool stopping = this->StopRequested_.load();
+    bool progress = this->AdmitPending();
+
+    for (auto &sp : this->Sessions_)
+    {
+      Session &s = *sp;
+      progress |= this->PollSession(s);
+      progress |= this->DrainSession(s);
+    }
+
+    // finalize drained sessions
+    for (std::size_t i = 0; i < this->Sessions_.size();)
+    {
+      Session &s = *this->Sessions_[i];
+      if (s.Draining && s.Queue.Empty())
+      {
+        this->EndSession(s, s.Why);
+        this->Sessions_.erase(this->Sessions_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        progress = true;
+      }
+      else
+      {
+        ++i;
+      }
+    }
+
+    if (stopping)
+    {
+      // final pass: push everything still queued to the workers
+      // (ignoring the inbox bound), then leave
+      for (auto &sp : this->Sessions_)
+      {
+        Session &s = *sp;
+        Frame f;
+        while (s.Queue.Pop(f))
+        {
+          const int w = this->PlaceFrame(s, f);
+          Worker &wk = *this->Workers_[static_cast<std::size_t>(w)];
+          {
+            std::lock_guard<std::mutex> lock(wk.Mutex);
+            wk.Inbox.emplace_back(std::move(f));
+          }
+          wk.InboxSize.fetch_add(1);
+          wk.Cv.notify_one();
+        }
+        this->EndSession(s, SessionEnd::Closed);
+      }
+      this->Sessions_.clear();
+      break;
+    }
+
+    if (!progress)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  this->DispatcherEndToken_ = vp::check::OnThreadEnd();
+}
+
+void Server::EndSession(Session &s, SessionEnd why)
+{
+  if (s.Welcomed)
+    this->Active_.fetch_sub(1);
+  this->EndCounts_[static_cast<int>(why)].fetch_add(1);
+  UpdateStats(
+    [&](ServiceStats &st)
+    {
+      switch (why)
+      {
+        case SessionEnd::Closed: ++st.SessionsClosed; break;
+        case SessionEnd::Reaped:
+        case SessionEnd::ShortRead:
+        case SessionEnd::Error: ++st.SessionsReaped; break;
+      }
+    });
+  s.Assembler.Reset();
+  // wake a client blocked in Send (its ring will not drain again) and
+  // tell one blocked in Recv that the server is done with it
+  s.Link->ToServer.Close();
+  s.Link->ToClient.Close();
+  if (this->OnClose_ && s.Welcomed)
+    this->OnClose_(s.Id, why);
+}
+
+void Server::WorkerLoop(int index)
+{
+  Worker &me = *this->Workers_[static_cast<std::size_t>(index)];
+  vp::check::OnThreadStart(me.SpawnToken);
+
+  while (true)
+  {
+    Frame f;
+    {
+      std::unique_lock<std::mutex> lock(me.Mutex);
+      me.Cv.wait(lock,
+                 [&]
+                 { return !me.Inbox.empty() || this->WorkersStop_.load(); });
+      if (me.Inbox.empty())
+        break; // stop requested and fully drained
+      f = std::move(me.Inbox.front());
+      me.Inbox.pop_front();
+    }
+    me.InboxSize.fetch_sub(1);
+
+    this->Handler_(index, f.Header, std::move(f.Payload));
+
+    const double latency = RealNow() - f.Header.SendTime;
+    {
+      std::lock_guard<std::mutex> lock(this->LatencyMutex_);
+      this->Latencies_.push_back(latency);
+    }
+    UpdateStats([](ServiceStats &st) { ++st.FramesExecuted; });
+  }
+
+  me.EndToken = vp::check::OnThreadEnd();
+}
+
+} // namespace svc

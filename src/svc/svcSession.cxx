@@ -1,0 +1,117 @@
+#include "svcSession.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace svc
+{
+
+namespace
+{
+struct Global
+{
+  std::mutex Mutex;
+  ServiceConfig Config;
+  ServiceStats Counts;
+};
+
+Global &Self()
+{
+  static Global g;
+  return g;
+}
+} // namespace
+
+void Configure(const ServiceConfig &cfg)
+{
+  if (cfg.MaxSessions < 1)
+    throw std::invalid_argument("svc: max_sessions must be >= 1");
+  if (cfg.Workers < 1)
+    throw std::invalid_argument("svc: workers must be >= 1");
+  if (cfg.QueueDepth < 0)
+    throw std::invalid_argument("svc: queue_depth must be >= 0");
+  if (cfg.HeartbeatMs < 1)
+    throw std::invalid_argument("svc: heartbeat_ms must be >= 1");
+  if (cfg.MissedHeartbeats < 1)
+    throw std::invalid_argument("svc: missed_heartbeats must be >= 1");
+  if (cfg.HaveCodecOverride &&
+      cfg.CodecOverride.Codec == cmp::CodecId::Quantize &&
+      cfg.CodecOverride.ErrorBound <= 0.0)
+    throw std::invalid_argument(
+      "svc: a quantize codec override requires error_bound > 0");
+
+  Global &g = Self();
+  std::lock_guard<std::mutex> lock(g.Mutex);
+  g.Config = cfg;
+}
+
+ServiceConfig GetConfig()
+{
+  Global &g = Self();
+  std::lock_guard<std::mutex> lock(g.Mutex);
+  return g.Config;
+}
+
+ServiceStats Stats()
+{
+  Global &g = Self();
+  std::lock_guard<std::mutex> lock(g.Mutex);
+  return g.Counts;
+}
+
+void ResetStats()
+{
+  Global &g = Self();
+  std::lock_guard<std::mutex> lock(g.Mutex);
+  g.Counts = ServiceStats{};
+}
+
+void UpdateStats(const std::function<void(ServiceStats &)> &fn)
+{
+  Global &g = Self();
+  std::lock_guard<std::mutex> lock(g.Mutex);
+  fn(g.Counts);
+}
+
+Admit FrameQueue::Push(Frame &&f, long depth, sched::Backpressure pressure)
+{
+  const bool bounded = depth > 0;
+  if (!bounded || this->Q_.size() < static_cast<std::size_t>(depth))
+  {
+    this->Q_.emplace_back(std::move(f));
+    this->HighWater_ = std::max(this->HighWater_, this->Q_.size());
+    return Admit::Queued;
+  }
+
+  switch (pressure)
+  {
+    case sched::Backpressure::Block:
+      return Admit::WouldBlock;
+    case sched::Backpressure::DropOldest:
+      this->Q_.pop_front();
+      this->Q_.emplace_back(std::move(f));
+      return Admit::DroppedOldest;
+    case sched::Backpressure::Coalesce:
+      this->Q_.back() = std::move(f);
+      return Admit::Coalesced;
+  }
+  return Admit::WouldBlock;
+}
+
+bool FrameQueue::Full(long depth, sched::Backpressure pressure) const
+{
+  return pressure == sched::Backpressure::Block && depth > 0 &&
+         this->Q_.size() >= static_cast<std::size_t>(depth);
+}
+
+bool FrameQueue::Pop(Frame &out)
+{
+  if (this->Q_.empty())
+    return false;
+  out = std::move(this->Q_.front());
+  this->Q_.pop_front();
+  return true;
+}
+
+} // namespace svc

@@ -368,3 +368,168 @@ TEST(InTransit, MisuseIsRejected)
                  }
                });
 }
+
+// --- per-frame failure contract ---------------------------------------------
+
+namespace
+{
+// the endpoint transport tag (senseiInTransit.cxx's TagTransport) and
+// frame kind bytes, reproduced here to inject corruption at the wire
+constexpr int kTransportTag = 7000;
+constexpr std::uint8_t kFrameData = 0;
+
+/// A freshly constructed binning analysis on the "bodies" mesh.
+sensei::DataBinning *MakeBinning()
+{
+  sensei::DataBinning *b = sensei::DataBinning::New();
+  b->SetMeshName("bodies");
+  b->SetAxes({"x", "y"});
+  b->SetResolution({16});
+  b->SetRange(0, -1, 1);
+  b->SetRange(1, -1, 1);
+  b->AddOperation("m", sensei::BinningOp::Sum);
+  b->SetDeviceId(sensei::AnalysisAdaptor::DEVICE_HOST);
+  return b;
+}
+} // namespace
+
+TEST(InTransitFault, CorruptFrameIsACleanPerFrameFailure)
+{
+  ResetPlatform();
+  long steps = -1, frameErrors = -1, deadSenders = -1;
+  minimpi::Run(2,
+               [&](minimpi::Communicator &world)
+               {
+                 const InTransitLayout layout(2, 1);
+                 minimpi::Communicator group =
+                   world.Split(layout.IsEndpoint(world.Rank()) ? 1 : 0);
+
+                 if (!layout.IsEndpoint(world.Rank()))
+                 {
+                   InTransitSender sender(&world, layout, "bodies");
+                   sensei::TableAdaptor *da =
+                     sensei::TableAdaptor::New("bodies");
+                   svtkTable *mine = MakeTable(200, 11);
+                   da->SetTable(mine);
+                   mine->Delete();
+
+                   da->SetDataTimeStep(0);
+                   EXPECT_TRUE(sender.Send(da));
+
+                   // a frame whose kind and step are plausible but whose
+                   // payload is garbage: deserialization must fail, the
+                   // session must not
+                   std::vector<std::uint8_t> corrupt;
+                   corrupt.push_back(kFrameData);
+                   cmp::PutLE64(corrupt, 1);
+                   for (int i = 0; i < 100; ++i)
+                     corrupt.push_back(0xDE);
+                   world.SendChunked(layout.EndpointOf(world.Rank()),
+                                     kTransportTag, corrupt.data(),
+                                     corrupt.size());
+
+                   da->SetDataTimeStep(1);
+                   EXPECT_TRUE(sender.Send(da));
+                   sender.Close();
+                   da->ReleaseData();
+                   da->Delete();
+                   return;
+                 }
+
+                 sensei::DataBinning *b = MakeBinning();
+                 InTransitEndpoint ep(&world, &group, layout, "bodies");
+                 steps = ep.Run(b);
+                 frameErrors = ep.FrameErrors();
+                 deadSenders = ep.DeadSenders();
+                 b->Delete();
+               });
+
+  // the corrupt frame was skipped and counted; both good frames around
+  // it were analyzed and the sender was never written off
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(frameErrors, 1);
+  EXPECT_EQ(deadSenders, 0);
+}
+
+TEST(InTransitFault, StruckOutSenderIsDeclaredDeadOthersKeepFlowing)
+{
+  ResetPlatform();
+  long steps = -1, frameErrors = -1, deadSenders = -1;
+  minimpi::Run(3,
+               [&](minimpi::Communicator &world)
+               {
+                 const InTransitLayout layout(3, 1);
+                 minimpi::Communicator group =
+                   world.Split(layout.IsEndpoint(world.Rank()) ? 1 : 0);
+
+                 if (world.Rank() == 0)
+                 {
+                   // the dying sender: one good frame, then a frame that
+                   // is cut off mid-stream (a chunk header promising two
+                   // chunks, one chunk delivered, then silence — the
+                   // short read a killed process leaves behind)
+                   InTransitSender sender(&world, layout, "bodies");
+                   sensei::TableAdaptor *da =
+                     sensei::TableAdaptor::New("bodies");
+                   svtkTable *mine = MakeTable(200, 21);
+                   da->SetTable(mine);
+                   mine->Delete();
+                   da->SetDataTimeStep(0);
+                   EXPECT_TRUE(sender.Send(da));
+                   da->ReleaseData();
+                   da->Delete();
+
+                   std::uint8_t header[16] = {};
+                   const std::uint64_t total = 512, nChunks = 2;
+                   for (int i = 0; i < 8; ++i)
+                   {
+                     header[i] =
+                       static_cast<std::uint8_t>((total >> (8 * i)) & 0xFF);
+                     header[8 + i] = static_cast<std::uint8_t>(
+                       (nChunks >> (8 * i)) & 0xFF);
+                   }
+                   const int ep = layout.EndpointOf(world.Rank());
+                   world.Send(ep, kTransportTag, header, sizeof(header));
+                   const std::vector<std::uint8_t> chunk(256, 0x22);
+                   world.Send(ep, kTransportTag, chunk.data(), chunk.size());
+                   return; // no Close, no more frames: the sender is gone
+                 }
+
+                 if (!layout.IsEndpoint(world.Rank()))
+                 {
+                   // the healthy sender streams three steps and leaves
+                   InTransitSender sender(&world, layout, "bodies");
+                   sensei::TableAdaptor *da =
+                     sensei::TableAdaptor::New("bodies");
+                   svtkTable *mine = MakeTable(200, 22);
+                   da->SetTable(mine);
+                   mine->Delete();
+                   for (long s = 0; s < 3; ++s)
+                   {
+                     da->SetDataTimeStep(s);
+                     EXPECT_TRUE(sender.Send(da));
+                   }
+                   sender.Close();
+                   da->ReleaseData();
+                   da->Delete();
+                   return;
+                 }
+
+                 sensei::DataBinning *b = MakeBinning();
+                 InTransitEndpoint ep(&world, &group, layout, "bodies");
+                 ep.SetRecvTimeout(0.05);
+                 ep.SetMaxFrameErrors(2);
+                 EXPECT_THROW(ep.SetMaxFrameErrors(0), std::invalid_argument);
+                 steps = ep.Run(b);
+                 frameErrors = ep.FrameErrors();
+                 deadSenders = ep.DeadSenders();
+                 b->Delete();
+               });
+
+  // round 1 is whole; the dead sender then strikes out (short read,
+  // then a missed deadline) while the healthy sender's remaining steps
+  // keep being analyzed — the endpoint never stalls on the corpse
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(frameErrors, 2);
+  EXPECT_EQ(deadSenders, 1);
+}

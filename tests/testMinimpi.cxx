@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 namespace
 {
@@ -413,6 +415,116 @@ TEST(MinimpiChunked, BackToBackChunkedTransfersDoNotInterleave)
                  {
                    EXPECT_EQ(comm.RecvChunked(0, 2), a);
                    EXPECT_EQ(comm.RecvChunked(0, 2), b);
+                 }
+               });
+}
+
+// --- timed receives ---------------------------------------------------------
+
+TEST(MinimpiTimeout, RecvTimesOutThenSucceedsOnSameTag)
+{
+  ResetPlatform();
+  std::atomic<bool> timedOut{false};
+  minimpi::Run(2,
+               [&](minimpi::Communicator &comm)
+               {
+                 if (comm.Rank() == 1)
+                 {
+                   // nothing has been sent: a short deadline elapses
+                   // with an error return instead of an abort
+                   std::vector<std::uint8_t> out;
+                   EXPECT_FALSE(comm.Recv(0, /*tag=*/7, out, 0.02));
+                   EXPECT_TRUE(out.empty());
+                   timedOut.store(true);
+
+                   // the same (src, tag) key still works afterwards —
+                   // a timeout consumes nothing and poisons nothing
+                   ASSERT_TRUE(comm.Recv(0, 7, out, 30.0));
+                   ASSERT_EQ(out.size(), sizeof(int));
+                   EXPECT_EQ(*reinterpret_cast<int *>(out.data()), 42);
+
+                   // negative deadline means wait forever (the
+                   // pre-timeout behavior, bit for bit)
+                   ASSERT_TRUE(comm.Recv(0, 7, out, -1.0));
+                   EXPECT_EQ(*reinterpret_cast<int *>(out.data()), 43);
+                 }
+                 else
+                 {
+                   // hold the sends until rank 1 has observed a timeout
+                   while (!timedOut.load())
+                     std::this_thread::sleep_for(
+                       std::chrono::milliseconds(1));
+                   const int a = 42, b = 43;
+                   comm.Send(1, 7, &a, sizeof(a));
+                   comm.Send(1, 7, &b, sizeof(b));
+                 }
+               });
+}
+
+TEST(MinimpiTimeout, ChunkedRecvTimesOutThenSucceeds)
+{
+  ResetPlatform();
+  std::atomic<bool> timedOut{false};
+  minimpi::Run(2,
+               [&](minimpi::Communicator &comm)
+               {
+                 if (comm.Rank() == 1)
+                 {
+                   std::vector<std::uint8_t> out;
+                   EXPECT_FALSE(comm.RecvChunked(0, 9, out, 0.02));
+                   timedOut.store(true);
+                   ASSERT_TRUE(comm.RecvChunked(0, 9, out, 30.0));
+                   EXPECT_EQ(out, std::vector<std::uint8_t>(5000, 0xEE));
+                 }
+                 else
+                 {
+                   while (!timedOut.load())
+                     std::this_thread::sleep_for(
+                       std::chrono::milliseconds(1));
+                   const std::vector<std::uint8_t> payload(5000, 0xEE);
+                   comm.SendChunked(1, 9, payload.data(), payload.size());
+                 }
+               });
+}
+
+TEST(MinimpiTimeout, MidStreamShortReadThrows)
+{
+  ResetPlatform();
+  // a header that promises two chunks followed by only one: the stream
+  // cannot be resynchronized, so the timed receive must throw (not
+  // return false — false means "retryable, nothing consumed")
+  minimpi::Run(2,
+               [](minimpi::Communicator &comm)
+               {
+                 if (comm.Rank() == 0)
+                 {
+                   std::uint8_t header[16] = {};
+                   const std::uint64_t total = 512, nChunks = 2;
+                   for (int i = 0; i < 8; ++i)
+                   {
+                     header[i] =
+                       static_cast<std::uint8_t>((total >> (8 * i)) & 0xFF);
+                     header[8 + i] = static_cast<std::uint8_t>(
+                       (nChunks >> (8 * i)) & 0xFF);
+                   }
+                   comm.Send(1, 5, header, sizeof(header));
+                   const std::vector<std::uint8_t> chunk(256, 0x11);
+                   comm.Send(1, 5, chunk.data(), chunk.size());
+                   // ... and the second chunk never arrives
+                 }
+                 else
+                 {
+                   std::vector<std::uint8_t> out;
+                   try
+                   {
+                     comm.RecvChunked(0, 5, out, 0.1);
+                     FAIL() << "short chunk stream did not throw";
+                   }
+                   catch (const std::runtime_error &e)
+                   {
+                     EXPECT_NE(std::string(e.what()).find("short read"),
+                               std::string::npos);
+                   }
                  }
                });
 }
