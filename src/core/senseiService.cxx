@@ -102,17 +102,6 @@ ServiceHost::ServiceHost(const sxml::Element &root)
            std::vector<std::uint8_t> &&payload)
     { this->HandleFrame(worker, h, std::move(payload)); },
     cfg);
-  this->Server_->SetSessionCallbacks(
-    [this](std::uint32_t session, const svc::HelloInfo &hello)
-    {
-      std::lock_guard<std::mutex> lock(this->MeshMutex_);
-      this->Meshes_[session] = hello.MeshName;
-    },
-    [this](std::uint32_t session, svc::SessionEnd)
-    {
-      std::lock_guard<std::mutex> lock(this->MeshMutex_);
-      this->Meshes_.erase(session);
-    });
 }
 
 std::unique_ptr<ServiceHost> ServiceHost::FromString(const std::string &xml)
@@ -148,13 +137,9 @@ void ServiceHost::Stop()
 void ServiceHost::HandleFrame(int worker, const svc::FrameHeader &h,
                               std::vector<std::uint8_t> &&payload)
 {
-  std::string mesh = "table";
-  {
-    std::lock_guard<std::mutex> lock(this->MeshMutex_);
-    auto it = this->Meshes_.find(h.Session);
-    if (it != this->Meshes_.end())
-      mesh = it->second;
-  }
+  // the dispatcher resolved the session's mesh name when it queued the
+  // frame, so a tenant that has since closed still lands on its own mesh
+  const std::string mesh = h.Mesh.empty() ? "table" : h.Mesh;
 
   // compressed and raw payloads share the self-describing table formats
   svtkTable *table = DeserializeTableAuto(payload.data(), payload.size());

@@ -16,9 +16,7 @@
 #include "svcServer.h"
 
 #include <atomic>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 namespace sxml
@@ -102,8 +100,6 @@ private:
 
   std::vector<ConfigurableAnalysis *> Analyses_; ///< one chain per worker
   std::unique_ptr<svc::Server> Server_;
-  mutable std::mutex MeshMutex_;
-  std::map<std::uint32_t, std::string> Meshes_; ///< session -> mesh name
   std::atomic<long> Frames_{0};
   bool Stopped_ = false;
 };

@@ -51,9 +51,12 @@ bool Client::Connect(const cmp::Params &want, bool wantCompression,
     EncodeFrame(h, body.data(), body.size());
 
   const std::size_t chunk = GetConfig().MaxChunkBytes;
-  if (this->Port_->SendChunked(img.data(), img.size(), chunk,
-                               timeoutSeconds) != IoStatus::Ok)
-    return false;
+  {
+    std::lock_guard<std::mutex> lock(this->SendMutex_);
+    if (this->Port_->SendChunked(img.data(), img.size(), chunk,
+                                 timeoutSeconds) != IoStatus::Ok)
+      return false;
+  }
 
   // wait for the Welcome (or a Reject) with a real-time deadline
   const double deadline = RealNow() + timeoutSeconds;
@@ -117,6 +120,8 @@ bool Client::SendFrame(std::uint64_t step, const void *payload,
   const std::vector<std::uint8_t> img = EncodeFrame(h, payload, bytes);
   const std::size_t chunk = GetConfig().MaxChunkBytes;
 
+  std::lock_guard<std::mutex> lock(this->SendMutex_);
+
   if (vp::fault::ShouldCrashSend())
   {
     // die mid-frame: announce the full chunk stream, deliver at most
@@ -159,15 +164,24 @@ void Client::Heartbeat()
 {
   if (!this->Connected_.load() || this->Down_.load())
     return;
+  // a send already in flight on another thread proves liveness by
+  // itself, and two concurrent chunk streams would interleave on the
+  // ring — skip the beat rather than wait behind a (possibly blocked)
+  // data frame
+  std::unique_lock<std::mutex> lock(this->SendMutex_, std::try_to_lock);
+  if (!lock.owns_lock())
+    return;
   FrameHeader h;
   h.Kind = FrameKind::Heartbeat;
   h.Session = this->Welcome_.Session;
   h.SendTime = RealNow();
   const std::vector<std::uint8_t> img = EncodeFrame(h, nullptr, 0);
   // a full ring means the session has buffered traffic, which already
-  // proves liveness — dropping the beat is fine (timeout 0)
-  this->Port_->SendChunked(img.data(), img.size(), GetConfig().MaxChunkBytes,
-                           /*timeout=*/0.0);
+  // proves liveness — dropping the beat is fine (timeout 0). The send
+  // is all-or-nothing: a beat that fits only partially would leave a
+  // dangling announced transfer and corrupt the stream.
+  this->Port_->SendChunkedAtomic(img.data(), img.size(),
+                                 GetConfig().MaxChunkBytes, /*timeout=*/0.0);
 }
 
 void Client::StartHeartbeats()
@@ -212,8 +226,9 @@ void Client::Close()
     h.Session = this->Welcome_.Session;
     h.SendTime = RealNow();
     const std::vector<std::uint8_t> img = EncodeFrame(h, nullptr, 0);
-    this->Port_->SendChunked(img.data(), img.size(),
-                             GetConfig().MaxChunkBytes, /*timeout=*/1.0);
+    std::lock_guard<std::mutex> lock(this->SendMutex_);
+    this->Port_->SendChunkedAtomic(img.data(), img.size(),
+                                   GetConfig().MaxChunkBytes, /*timeout=*/1.0);
     this->Port_->CloseTx();
   }
   this->Connected_.store(false);

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -78,6 +79,11 @@ private:
   void StopBeats();
 
   std::shared_ptr<Port> Port_;
+  /// Serializes every outgoing chunk stream: SendChunked emits multiple
+  /// ring messages, so the heartbeat thread and the application thread
+  /// must never send concurrently or the streams interleave and the
+  /// server's assembler kills the session.
+  std::mutex SendMutex_;
   std::string MeshName_;
   WelcomeInfo Welcome_;
   std::string RejectReason_;

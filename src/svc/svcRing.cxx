@@ -71,6 +71,51 @@ IoStatus ShmRing::Push(std::vector<std::uint8_t> &&msg, double timeoutSeconds)
   return IoStatus::Ok;
 }
 
+IoStatus ShmRing::PushAll(std::vector<std::vector<std::uint8_t>> &&msgs,
+                          double timeoutSeconds)
+{
+  if (msgs.empty())
+    return IoStatus::Ok;
+
+  std::size_t totalBytes = 0;
+  for (const auto &m : msgs)
+    totalBytes += m.size();
+
+  std::unique_lock<std::mutex> lock(this->Mutex_);
+  auto room = [&]
+  {
+    // like Push, an oversized batch is admitted alone into an empty
+    // ring so a batch larger than either budget cannot deadlock
+    return (this->Queue_.size() + msgs.size() <= this->MaxMessages_ &&
+            this->UsedBytes_ + totalBytes <= this->CapacityBytes_) ||
+           this->Queue_.empty();
+  };
+  auto stopped = [&] { return this->Closed_ || this->Dead_; };
+
+  if (timeoutSeconds < 0.0)
+  {
+    this->CanPush_.wait(lock, [&] { return room() || stopped(); });
+  }
+  else if (!this->CanPush_.wait_for(lock, ToNs(timeoutSeconds),
+                                    [&] { return room() || stopped(); }))
+  {
+    return IoStatus::Timeout;
+  }
+
+  if (stopped())
+    return this->Dead_ ? IoStatus::Dead : IoStatus::Closed;
+
+  for (auto &m : msgs)
+  {
+    this->UsedBytes_ += m.size();
+    this->PushedBytes_ += m.size();
+    this->Queue_.emplace_back(std::move(m));
+  }
+  lock.unlock();
+  this->CanPop_.notify_all();
+  return IoStatus::Ok;
+}
+
 IoStatus ShmRing::Pop(std::vector<std::uint8_t> &out, double timeoutSeconds)
 {
   std::unique_lock<std::mutex> lock(this->Mutex_);
@@ -193,6 +238,49 @@ IoStatus Port::SendChunked(const void *data, std::size_t bytes,
     remaining -= n;
   }
   return IoStatus::Ok;
+}
+
+IoStatus Port::SendChunkedAtomic(const void *data, std::size_t bytes,
+                                 std::size_t maxChunkBytes,
+                                 double timeoutSeconds)
+{
+  const std::size_t limit = std::max<std::size_t>(1, maxChunkBytes);
+  const std::uint64_t nChunks =
+    bytes ? (static_cast<std::uint64_t>(bytes) + limit - 1) / limit : 0;
+
+  std::vector<std::vector<std::uint8_t>> msgs;
+  msgs.reserve(1 + static_cast<std::size_t>(nChunks));
+
+  std::vector<std::uint8_t> header(16);
+  for (int i = 0; i < 8; ++i)
+  {
+    header[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(static_cast<std::uint64_t>(bytes) >> (8 * i));
+    header[static_cast<std::size_t>(8 + i)] =
+      static_cast<std::uint8_t>(nChunks >> (8 * i));
+  }
+  msgs.emplace_back(std::move(header));
+
+  const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+  std::size_t remaining = bytes;
+  while (remaining)
+  {
+    const std::size_t n = std::min(remaining, limit);
+    msgs.emplace_back(p, p + n);
+    p += n;
+    remaining -= n;
+  }
+
+  const std::size_t nMsgs = msgs.size();
+  const IoStatus s = this->Tx().PushAll(std::move(msgs), timeoutSeconds);
+  if (s == IoStatus::Ok)
+  {
+    const vp::CostModel &cost = vp::Platform::Get().Config().Cost;
+    vp::ThisClock().Advance(static_cast<double>(nMsgs) * cost.MessageLatency +
+                            static_cast<double>(16 + bytes) /
+                              cost.MessageBandwidth);
+  }
+  return s;
 }
 
 std::size_t Port::RxPending() const

@@ -61,6 +61,16 @@ public:
   /// Closed/Dead when the ring was shut down.
   IoStatus Push(std::vector<std::uint8_t> &&msg, double timeoutSeconds = -1.0);
 
+  /// Move every message in `msgs` into the ring as one atomic admission:
+  /// either all of them are enqueued (contiguously, no interleaving with
+  /// concurrent pushers) or none are (Timeout/Closed/Dead, msgs
+  /// untouched). Headroom for the whole batch — descriptor count and
+  /// byte budget — is checked under one lock, so a partially admitted
+  /// batch is impossible. Intended for small control transfers; an
+  /// oversized batch is admitted alone into an empty ring, like Push.
+  IoStatus PushAll(std::vector<std::vector<std::uint8_t>> &&msgs,
+                   double timeoutSeconds = -1.0);
+
   /// Move the oldest message out. Blocks up to `timeoutSeconds` for one
   /// to arrive (0 = poll, < 0 = wait forever). Buffered messages are
   /// delivered even after Close/MarkDead; the terminal status is only
@@ -138,6 +148,16 @@ public:
   IoStatus SendChunked(const void *data, std::size_t bytes,
                        std::size_t maxChunkBytes,
                        double timeoutSeconds = -1.0);
+
+  /// SendChunked, but all-or-nothing: the chunk header and every chunk
+  /// are admitted to the ring atomically (one ring lock), so neither a
+  /// partial stream (dangling announced transfer) nor interleaving with
+  /// a concurrent sender on the same port is possible. The whole
+  /// payload must fit in the ring at once — use it for small control
+  /// frames (Heartbeat, Goodbye), not bulk data.
+  IoStatus SendChunkedAtomic(const void *data, std::size_t bytes,
+                             std::size_t maxChunkBytes,
+                             double timeoutSeconds = -1.0);
 
   /// Incoming messages waiting (liveness probe).
   std::size_t RxPending() const;

@@ -57,14 +57,17 @@ void Server::Start()
   this->StopRequested_.store(false);
   this->WorkersStop_.store(false);
 
+  // populate the pool fully before spawning any thread: WorkerLoop
+  // indexes Workers_, which must not reallocate under a running worker
   for (int w = 0; w < this->Config_.Workers; ++w)
   {
     auto worker = std::make_unique<Worker>();
     worker->SpawnToken = vp::check::OnThreadSpawn();
-    Worker *wp = worker.get();
     this->Workers_.emplace_back(std::move(worker));
-    wp->Thread = std::thread([this, w] { this->WorkerLoop(w); });
   }
+  for (int w = 0; w < this->Config_.Workers; ++w)
+    this->Workers_[static_cast<std::size_t>(w)]->Thread =
+      std::thread([this, w] { this->WorkerLoop(w); });
 
   this->DispatcherSpawnToken_ = vp::check::OnThreadSpawn();
   this->Dispatcher_ = std::thread([this] { this->DispatchLoop(); });
@@ -238,6 +241,9 @@ void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
         UpdateStats([](ServiceStats &st) { ++st.FramesRejected; });
         return;
       }
+      // resolve the mesh name now: by the time a worker executes this
+      // frame the session may already be closed and reclaimed
+      f.Header.Mesh = s.Hello.MeshName;
       const std::uint64_t raw = f.Header.RawBytes;
       const std::uint64_t wireBytes = kFrameHeaderBytes + f.Header.PayloadBytes;
       const Admit a = s.Queue.Push(std::move(f), this->Config_.QueueDepth,
@@ -422,7 +428,8 @@ void Server::DispatchLoop()
           wk.InboxSize.fetch_add(1);
           wk.Cv.notify_one();
         }
-        this->EndSession(s, SessionEnd::Closed);
+        // a session caught mid-drain keeps its already-determined cause
+        this->EndSession(s, s.Draining ? s.Why : SessionEnd::Closed);
       }
       this->Sessions_.clear();
       break;
@@ -480,7 +487,18 @@ void Server::WorkerLoop(int index)
     }
     me.InboxSize.fetch_sub(1);
 
-    this->Handler_(index, f.Header, std::move(f.Payload));
+    try
+    {
+      this->Handler_(index, f.Header, std::move(f.Payload));
+    }
+    catch (...)
+    {
+      // framing validates header/length consistency, not payload
+      // content; a garbled payload (the handler throwing) must cost
+      // only this frame, not the whole multi-tenant process
+      UpdateStats([](ServiceStats &st) { ++st.FramesRejected; });
+      continue;
+    }
 
     const double latency = RealNow() - f.Header.SendTime;
     {

@@ -65,6 +65,12 @@ struct FrameHeader
   double SendTime = 0.0; ///< real-clock seconds at the sender
   std::uint64_t PayloadBytes = 0;
   std::uint64_t RawBytes = 0; ///< pre-compression size of the payload
+
+  /// Server-side annotation, never on the wire: the mesh name the
+  /// session negotiated in its Hello, attached by the dispatcher when
+  /// the frame is queued. Frames of a session that has since closed
+  /// still carry the right name when a worker finally executes them.
+  std::string Mesh;
 };
 
 /// Append the 48-byte encoding of `h` to `out`.

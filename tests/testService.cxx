@@ -213,6 +213,48 @@ TEST(SvcRing, CapacityBlocksAndShutdownModesDiffer)
   EXPECT_EQ(dead.Pop(out, 0.0), svc::IoStatus::Dead);
 }
 
+TEST(SvcRing, AtomicChunkedSendIsAllOrNothing)
+{
+  ResetAll();
+  auto ch = std::make_shared<svc::Channel>(1 << 16, /*maxMessages=*/4);
+  svc::Port tx(ch, /*clientSide=*/true), rx(ch, /*clientSide=*/false);
+
+  // occupy all but one descriptor slot
+  ASSERT_EQ(tx.Send(Blob(8, 1), 0.01), svc::IoStatus::Ok);
+  ASSERT_EQ(tx.Send(Blob(8, 2), 0.01), svc::IoStatus::Ok);
+  ASSERT_EQ(tx.Send(Blob(8, 3), 0.01), svc::IoStatus::Ok);
+
+  // a heartbeat is two ring messages (chunk header + body); with one
+  // free slot a plain SendChunked would push the header and dangle —
+  // the atomic variant must refuse without pushing anything
+  svc::FrameHeader h;
+  h.Kind = svc::FrameKind::Heartbeat;
+  const std::vector<std::uint8_t> img = svc::EncodeFrame(h, nullptr, 0);
+  EXPECT_EQ(tx.SendChunkedAtomic(img.data(), img.size(), 64, 0.0),
+            svc::IoStatus::Timeout);
+  EXPECT_EQ(ch->ToServer.Pending(), 3u); // no dangling chunk header
+
+  std::vector<std::uint8_t> out;
+  ASSERT_EQ(rx.Recv(out, 0.0), svc::IoStatus::Ok);
+  ASSERT_EQ(rx.Recv(out, 0.0), svc::IoStatus::Ok);
+
+  // two slots free now: the whole beat goes in at once...
+  EXPECT_EQ(tx.SendChunkedAtomic(img.data(), img.size(), 64, 0.0),
+            svc::IoStatus::Ok);
+  ASSERT_EQ(rx.Recv(out, 0.0), svc::IoStatus::Ok); // remaining filler
+
+  // ...and reassembles into a well-formed heartbeat frame
+  svc::FrameAssembler asmr;
+  std::vector<std::uint8_t> wire;
+  bool complete = false;
+  while (rx.TryRecv(out) == svc::IoStatus::Ok)
+    if (asmr.Feed(std::move(out), wire))
+      complete = true;
+  ASSERT_TRUE(complete);
+  const svc::Frame f = svc::DecodeFrame(std::move(wire));
+  EXPECT_EQ(f.Header.Kind, svc::FrameKind::Heartbeat);
+}
+
 // --- sessions ---------------------------------------------------------------
 
 TEST(SvcSession, NegotiationGrantsConfiguredTerms)
@@ -335,6 +377,55 @@ TEST(SvcSession, JoinLeaveOrderingIsObserved)
   EXPECT_EQ(closed[0], opened[1]); // 2 left first
   EXPECT_EQ(closed[1], opened[2]); // then 3
   EXPECT_EQ(closed[2], opened[0]); // then 1
+}
+
+TEST(SvcSession, MeshNameSticksToFramesAfterTheTenantLeaves)
+{
+  ResetAll();
+  svc::ServiceConfig cfg = FastConfig();
+  cfg.Workers = 1;
+  std::mutex mx;
+  std::vector<std::string> meshes;
+  std::vector<int> activeAtExec;
+  svc::Server *sp = nullptr;
+  svc::Server server(
+    [&](int, const svc::FrameHeader &h, std::vector<std::uint8_t> &&)
+    {
+      // slow worker: the tenant is long gone by the time its last
+      // frames execute, so the mesh must travel with the frame, not be
+      // looked up against live-session state
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::lock_guard<std::mutex> l(mx);
+      meshes.push_back(h.Mesh);
+      activeAtExec.push_back(sp->ActiveSessions());
+    },
+    cfg);
+  sp = &server;
+  server.Start();
+
+  svc::Client client(server.Connect(), "bodies");
+  ASSERT_TRUE(client.Connect(cmp::Params{}, false));
+  const std::vector<std::uint8_t> payload = Blob(64, 1);
+  for (int s = 0; s < 3; ++s)
+    ASSERT_TRUE(client.SendFrame(static_cast<std::uint64_t>(s),
+                                 payload.data(), payload.size(),
+                                 payload.size(), false));
+  client.Close();
+
+  EXPECT_TRUE(Eventually(
+    [&]
+    {
+      std::lock_guard<std::mutex> l(mx);
+      return meshes.size() == 3u;
+    }));
+  server.Stop();
+
+  std::lock_guard<std::mutex> l(mx);
+  for (const std::string &m : meshes)
+    EXPECT_EQ(m, "bodies");
+  // the closed tenant's tail frames really did run after its session
+  // was reclaimed
+  EXPECT_EQ(activeAtExec.back(), 0);
 }
 
 // --- frame flow and flow control -------------------------------------------
@@ -599,6 +690,86 @@ TEST(SvcFault, InjectedFrameDelayIsCounted)
   server.Stop();
 }
 
+TEST(SvcFault, ThrowingHandlerCostsOnlyThatFrame)
+{
+  ResetAll();
+  svc::ServiceConfig cfg = FastConfig();
+  cfg.Workers = 1;
+  std::atomic<long> executed{0};
+  svc::Server server(
+    [&](int, const svc::FrameHeader &h, std::vector<std::uint8_t> &&)
+    {
+      // framing can't validate payload content — a garbled table
+      // surfaces as the handler throwing on a worker thread
+      if (h.Step == 1)
+        throw std::runtime_error("garbled payload");
+      executed.fetch_add(1);
+    },
+    cfg);
+  server.Start();
+
+  svc::Client client(server.Connect());
+  ASSERT_TRUE(client.Connect(cmp::Params{}, false));
+  const std::vector<std::uint8_t> payload = Blob(64, 1);
+  for (int s = 0; s < 4; ++s)
+    ASSERT_TRUE(client.SendFrame(static_cast<std::uint64_t>(s),
+                                 payload.data(), payload.size(),
+                                 payload.size(), false));
+  client.Close();
+  EXPECT_TRUE(Eventually([&] { return server.ActiveSessions() == 0; }));
+  EXPECT_TRUE(Eventually([&] { return executed.load() == 3; }));
+  server.Stop();
+
+  const svc::ServiceStats s = svc::Stats();
+  EXPECT_EQ(s.FramesAccepted, 4u);
+  EXPECT_EQ(s.FramesExecuted, 3u);
+  EXPECT_EQ(s.FramesRejected, 1u);
+  // the tenant (and the process!) survived its bad frame
+  EXPECT_EQ(server.Ended(svc::SessionEnd::Closed), 1u);
+  EXPECT_EQ(server.Ended(svc::SessionEnd::Error), 0u);
+}
+
+TEST(SvcFault, StopPreservesEndCauseOfDrainingSessions)
+{
+  ResetAll();
+  vp::fault::FaultConfig fault;
+  fault.Enabled = true;
+  fault.CrashSendNth = 5; // the 5th frame dies mid-send
+  vp::fault::Configure(fault);
+
+  svc::ServiceConfig cfg = FastConfig();
+  cfg.Workers = 1;
+  std::atomic<bool> release{false};
+  svc::Server server(
+    [&](int, const svc::FrameHeader &, std::vector<std::uint8_t> &&)
+    {
+      while (!release.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    },
+    cfg);
+  server.Start();
+
+  svc::Client client(server.Connect());
+  ASSERT_TRUE(client.Connect(cmp::Params{}, false));
+  const std::vector<std::uint8_t> payload = Blob(100000, 7); // multi-chunk
+  for (int s = 0; s < 5; ++s)
+    client.SendFrame(static_cast<std::uint64_t>(s), payload.data(),
+                     payload.size(), payload.size(), false);
+  // the worker is wedged on frame 0, frames 1-2 fill its inbox, frame 3
+  // stays queued — the session is draining (short read) but cannot
+  // finalize before Stop
+  ASSERT_TRUE(Eventually([&] { return svc::Stats().ShortReads == 1; }));
+
+  std::thread stopper([&] { server.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  stopper.join();
+
+  // shutdown must keep the already-determined cause, not report Closed
+  EXPECT_EQ(server.Ended(svc::SessionEnd::ShortRead), 1u);
+  EXPECT_EQ(server.Ended(svc::SessionEnd::Closed), 0u);
+}
+
 // --- liveness ---------------------------------------------------------------
 
 TEST(SvcLiveness, HeartbeatsKeepAnIdleTenantAlive)
@@ -624,6 +795,49 @@ TEST(SvcLiveness, HeartbeatsKeepAnIdleTenantAlive)
   client.Close();
   server.Stop();
   EXPECT_GT(svc::Stats().Heartbeats, 0u);
+}
+
+TEST(SvcLiveness, HeartbeatsDuringFrameStreamNeverCorruptTheSession)
+{
+  ResetAll();
+  svc::ServiceConfig cfg = FastConfig();
+  cfg.HeartbeatMs = 2;        // the beat thread fires every ~1 ms
+  cfg.MissedHeartbeats = 500; // ~1 s budget: no legitimate reaps on a
+                              // loaded box — this test is about stream
+                              // atomicity, not liveness
+  cfg.MaxChunkBytes = 1024;   // every frame is many ring messages
+  cfg.RingMessages = 8;       // a small ring: sends regularly block partway
+  cfg.Workers = 1;
+  std::atomic<long> executed{0};
+  svc::Server server(
+    [&](int, const svc::FrameHeader &, std::vector<std::uint8_t> &&)
+    { executed.fetch_add(1); },
+    cfg);
+  server.Start();
+
+  svc::Client client(server.Connect());
+  ASSERT_TRUE(client.Connect(cmp::Params{}, false));
+  client.StartHeartbeats();
+
+  // the app thread streams multi-chunk frames while the beat thread
+  // fires as fast as it can: the two chunk streams must never
+  // interleave on the ring, and a beat that only half-fits must never
+  // leave a dangling announced transfer
+  const std::vector<std::uint8_t> payload = Blob(8000, 3);
+  constexpr int kFrames = 60;
+  for (int s = 0; s < kFrames; ++s)
+    ASSERT_TRUE(client.SendFrame(static_cast<std::uint64_t>(s),
+                                 payload.data(), payload.size(),
+                                 payload.size(), false));
+  client.Close();
+  EXPECT_TRUE(Eventually([&] { return server.ActiveSessions() == 0; }));
+  server.Stop();
+
+  EXPECT_EQ(executed.load(), kFrames);
+  EXPECT_EQ(server.Ended(svc::SessionEnd::Error), 0u);
+  EXPECT_EQ(server.Ended(svc::SessionEnd::ShortRead), 0u);
+  EXPECT_EQ(server.Ended(svc::SessionEnd::Closed), 1u);
+  EXPECT_EQ(svc::Stats().ShortReads, 0u);
 }
 
 TEST(SvcLiveness, SilentTenantIsReapedAndDrained)
