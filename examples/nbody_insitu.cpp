@@ -125,6 +125,7 @@ int main(int argc, char **argv)
   sensei::ExportSchedStats(sensei::Profiler::Global());
   sensei::ExportCompressStats(sensei::Profiler::Global());
   sensei::ExportExecStats(sensei::Profiler::Global());
+  sensei::ExportGraphStats(sensei::Profiler::Global());
   {
     std::ofstream json("nbody_profile.json");
     json << sensei::Profiler::Global().ToJson() << '\n';

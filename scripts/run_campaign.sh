@@ -62,6 +62,14 @@ fi
 if [ -f BENCH_service.json ]; then
   echo "wrote results/BENCH_service.json"
 fi
+# um_graph writes the captured step-graph campaign: the eight cases under
+# VP_GRAPH=0 vs VP_GRAPH=1 plus the serial bit-exactness probe; the binary
+# exits nonzero unless replay stays bit-exact with the eager timeline and
+# exec::tasks_enqueued drops >= 5x with fusion+replay (wall-clock must also
+# hold steady on machines with >= 4 hardware threads)
+if [ -f BENCH_graph.json ]; then
+  echo "wrote results/BENCH_graph.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -95,6 +103,13 @@ echo "== multi-tenant service campaign (VP_CHECK=1) =="
 # and <10% survivor-loss targets where the hardware has >= 4 threads
 VP_CHECK=1 ../build/bench/um_service --benchmark_min_time=0.05 \
   | tee um_service_checked.txt
+echo "== step-graph campaign (VP_CHECK=1) =="
+# capture, fusion, and replay under the checker: the validate-once capture
+# step plus every replayed step's summary edges must be race/lifetime
+# clean; the binary also gates on bit-exact replay and the 5x
+# tasks_enqueued drop, so a regression in either aborts the script here
+VP_CHECK=1 ../build/bench/um_graph --benchmark_min_time=0.05 \
+  | tee um_graph_checked.txt
 echo "== scheduler-labelled tests =="
 ctest --test-dir ../build -L sched --output-on-failure
 
@@ -110,12 +125,15 @@ ctest --test-dir ../build -L exec --output-on-failure
 echo "== service tests =="
 ctest --test-dir ../build -L svc --output-on-failure
 
+echo "== step-graph tests =="
+ctest --test-dir ../build -L graph --output-on-failure
+
 echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
 # a separate ASan+UBSan build configuration; the real-thread pipeline,
 # the drop/coalesce task destruction paths, and the codec byte-twiddling
 # (shuffle, varint, quantize) run under the sanitizers
 cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
-cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService
+cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph
 ../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_sanitized.txt
 ../build-sanitize/tests/testSched
@@ -125,19 +143,30 @@ VP_CHECK=1 ../build-sanitize/bench/um_compress --benchmark_min_time=0.05 \
 # the service's ring transfers, frame reassembly, and session teardown
 # paths under ASan+UBSan
 ../build-sanitize/tests/testService
+# capture-node lifetimes, fused-launch trampolines, and the replay
+# rebinding paths under ASan+UBSan; um_graph keeps its bit-exact and 5x
+# gates in the sanitized build too
+ctest --test-dir ../build-sanitize -L graph --output-on-failure
+VP_CHECK=1 ../build-sanitize/bench/um_graph --benchmark_min_time=0.05 \
+  | tee um_graph_sanitized.txt
 
 echo "== ThreadSanitizer execution-engine run (-DVP_TSAN=ON) =="
 # a separate TSan build configuration (mutually exclusive with ASan):
 # the worker queues, sharded regions, fences and event edges of the
 # threaded engine run under the race detector
 cmake -B ../build-tsan -S .. -G Ninja -DVP_TSAN=ON
-cmake --build ../build-tsan --target testExec um_exec testService
+cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph
 ../build-tsan/tests/testExec
 VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
   | tee um_exec_tsan.txt
 # the service's dispatcher/worker/heartbeat thread interplay under the
 # race detector
 ../build-tsan/tests/testService
+# graph flush vs worker threads: the armed session's inline replay bodies
+# and the threaded engine's queues share streams; both must be race clean
+ctest --test-dir ../build-tsan -L graph --output-on-failure
+VP_EXEC=threads ../build-tsan/bench/um_graph --benchmark_min_time=0.05 \
+  | tee um_graph_tsan.txt
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

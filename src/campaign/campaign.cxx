@@ -1,6 +1,7 @@
 #include "campaign.h"
 
 #include "execEngine.h"
+#include "graphCapture.h"
 #include "minimpi.h"
 #include "newtonDriver.h"
 #include "schedPipeline.h"
@@ -209,6 +210,11 @@ CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g)
   // prior case cannot leak into this one, and zero its counters
   vp::exec::Configure(vp::exec::DefaultConfig());
   vp::exec::ResetStats();
+
+  // and captured step-graph execution: re-read the environment (VP_GRAPH)
+  // so a <graph> element or a prior Configure cannot leak across cases
+  vp::graph::Configure(vp::graph::DefaultConfig());
+  vp::graph::ResetStats();
 
   newton::Config sim;
   sim.TotalBodies = g.BodiesPerNode * static_cast<std::size_t>(g.Nodes);

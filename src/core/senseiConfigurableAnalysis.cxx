@@ -6,6 +6,7 @@
 #include "senseiHistogram.h"
 #include "senseiPosthocIO.h"
 #include "execEngine.h"
+#include "graphCapture.h"
 #include "schedPipeline.h"
 #include "svcSession.h"
 #include "sxml.h"
@@ -158,6 +159,33 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
         "ConfigurableAnalysis: <exec> shard_grain must be >= 1");
     cfg.ShardGrain = static_cast<std::size_t>(grain);
     vp::exec::Configure(cfg);
+  }
+
+  // optional <graph> element turns on captured step-graph execution
+  // (capture a step's device DAG once, replay it with pointer rebinding
+  // and kernel fusion on later steps). VP_GRAPH / VP_GRAPH_FUSION in the
+  // environment win over the XML so command lines can force either mode.
+  if (const sxml::Element *ge = root.FirstChild("graph"))
+  {
+    vp::graph::GraphConfig cfg = vp::graph::GetConfig();
+    const vp::graph::GraphConfig env = vp::graph::DefaultConfig();
+    cfg.Enabled = std::getenv("VP_GRAPH") ? env.Enabled
+                                          : ge->AttributeBool("enabled", true);
+    cfg.Fusion = std::getenv("VP_GRAPH_FUSION")
+                   ? env.Fusion
+                   : ge->AttributeBool("fusion", cfg.Fusion);
+    const long long maxNodes = ge->AttributeInt(
+      "max_nodes", static_cast<long long>(cfg.MaxNodes));
+    if (maxNodes < 1)
+      throw std::runtime_error(
+        "ConfigurableAnalysis: <graph> max_nodes must be >= 1");
+    cfg.MaxNodes = static_cast<std::size_t>(maxNodes);
+    cfg.RepinThreshold =
+      ge->AttributeDouble("repin_threshold", cfg.RepinThreshold);
+    if (cfg.RepinThreshold < 0.0)
+      throw std::runtime_error(
+        "ConfigurableAnalysis: <graph> repin_threshold must be >= 0");
+    vp::graph::Configure(cfg);
   }
 
   // optional <compress> element configures the process-wide default

@@ -1,11 +1,14 @@
 #include "senseiDataBinning.h"
 
 #include "execEngine.h"
+#include "graphCapture.h"
 #include "senseiProfiler.h"
 #include "sio.h"
 #include "svtkAOSDataArray.h"
 #include "svtkArrayUtils.h"
 #include "vcuda.h"
+#include "vpClock.h"
+#include "vpLoadTracker.h"
 
 #include <algorithm>
 #include <cmath>
@@ -55,6 +58,8 @@ const char *BinningOpName(BinningOp op)
 }
 
 // ---------------------------------------------------------------------------
+DataBinning::DataBinning() = default;
+
 DataBinning::~DataBinning()
 {
   this->Runner_.Drain();
@@ -230,10 +235,42 @@ bool DataBinning::GatherInputs(DataAdaptor *data, bool deepCopy, Snapshot &snap)
   hint.AtomicFraction =
     this->GpuStrategy_ == GpuBinningStrategy::GlobalAtomics ? 0.6 : 0.05;
   hint.MoveBytes = snap.Bytes;
-  snap.Device = this->GetPlacementDevice(data, hint);
+  snap.Device = this->PlaceForGraph(data, hint);
 
   obj->UnRegister();
   return ok;
+}
+
+int DataBinning::PlaceForGraph(DataAdaptor *data, const sched::WorkHint &hint)
+{
+  const bool armed = this->GraphSession_ && this->GraphSession_->Armed();
+  if (!armed || this->GraphDevice_ < 0 || this->GetDeviceId() != DEVICE_AUTO)
+    return this->GraphDevice_ = this->GetPlacementDevice(data, hint);
+
+  // an armed graph pins the capture-time device — moving the work would
+  // invalidate the graph anyway — unless the policy has diverged from
+  // the pin (Eq. 1 names another device, or the pinned device's backlog
+  // fell behind the candidates by more than the repin threshold); then
+  // drop the graph and decide afresh
+  sched::PlacementRequest req;
+  req.Rank =
+    data && data->GetCommunicator() ? data->GetCommunicator()->Rank() : 0;
+  req.DevicesPerNode = vp::Platform::Get().NumDevices();
+  req.DevicesToUse = this->GetDevicesToUse();
+  req.DeviceStart = this->GetDeviceStart();
+  req.DeviceStride = this->GetDeviceStride();
+  req.Node = vp::Platform::GetThisNode();
+  req.Hint = hint;
+  if (sched::PlacementDiverged(this->GetPlacementPolicy(), req,
+                               this->GraphDevice_,
+                               vp::graph::GetConfig().RepinThreshold,
+                               vp::ThisClock().Now()))
+  {
+    this->GraphSession_->Drop();
+    return this->GraphDevice_ = this->GetPlacementDevice(data, hint);
+  }
+  vp::DeviceLoadTracker::Get().RecordPlacement(req.Node, this->GraphDevice_);
+  return this->GraphDevice_;
 }
 
 bool DataBinning::Execute(DataAdaptor *data)
@@ -276,47 +313,16 @@ int DataBinning::Finalize()
 // ---------------------------------------------------------------------------
 namespace
 {
-/// Compute the min/max of data already dereferenceable at the requested
-/// location (p is a view the caller acquired and synchronized; views are
-/// acquired once per execute so no column moves twice).
-void PointerRange(const double *p, std::size_t n, int device, double &lo,
-                  double &hi)
+/// Compute the min/max of host-resident data (p is a view the caller
+/// acquired and synchronized; views are acquired once per execute so no
+/// column moves twice). The device path scans every (axis, block) pair in
+/// one multi-output kernel inside RunBinning instead.
+void PointerRangeHost(const double *p, std::size_t n, double &lo, double &hi)
 {
   lo = std::numeric_limits<double>::infinity();
   hi = -std::numeric_limits<double>::infinity();
   if (!n)
     return;
-
-  if (device >= 0)
-  {
-    vcuda::SetDevice(device);
-    // a 2-element device scratch holds {min, max}
-    auto *scratch = static_cast<double *>(vcuda::Malloc(2 * sizeof(double)));
-    vcuda::stream_t strm = vcuda::StreamCreate();
-    vcuda::LaunchN(
-      strm, n,
-      [p, scratch, n](std::size_t, std::size_t)
-      {
-        double mn = std::numeric_limits<double>::infinity();
-        double mx = -mn;
-        for (std::size_t i = 0; i < n; ++i)
-        {
-          mn = std::min(mn, p[i]);
-          mx = std::max(mx, p[i]);
-        }
-        scratch[0] = mn;
-        scratch[1] = mx;
-      },
-      vcuda::LaunchBounds{2.0, 0.05, "binning_range"});
-    vcuda::StreamSynchronize(strm);
-
-    double out[2] = {lo, hi};
-    vcuda::Memcpy(out, scratch, 2 * sizeof(double));
-    vcuda::Free(scratch);
-    lo = out[0];
-    hi = out[1];
-    return;
-  }
 
   double mn = std::numeric_limits<double>::infinity();
   double mx = -mn;
@@ -390,9 +396,28 @@ void DataBinning::RunBinning(const Snapshot &snap)
       c->Synchronize();
   }
 
+  // --- captured step-graph session: the whole device DAG below runs on
+  // one private stream; capture it once, then replay it with pointer
+  // rebinding on later steps (see src/graph). The scope opens after the
+  // input views settle (their movement is data-dependent, not part of
+  // the recurring step shape) and closes when this function returns.
+  vcuda::stream_t strm;
+  std::optional<vp::graph::StepScope> graphScope;
+  if (onDevice)
+  {
+    strm = vcuda::StreamCreate();
+    if (vp::graph::Enabled())
+    {
+      if (!this->GraphSession_)
+        this->GraphSession_ = std::make_unique<vp::graph::Session>();
+      graphScope.emplace(*this->GraphSession_);
+    }
+  }
+
   // --- axis bounds: fixed, or computed on the fly (over every block) and
   // reduced across ranks ---
   std::vector<double> lo(nAxes), hi(nAxes);
+  std::vector<std::size_t> autoAxes;
   for (std::size_t a = 0; a < nAxes; ++a)
   {
     if (this->HasFixedRange_[a] || !this->AutoRange_)
@@ -408,13 +433,78 @@ void DataBinning::RunBinning(const Snapshot &snap)
     }
     lo[a] = std::numeric_limits<double>::infinity();
     hi[a] = -lo[a];
-    for (std::size_t b = 0; b < nBlocks; ++b)
+    autoAxes.push_back(a);
+  }
+
+  if (!autoAxes.empty() && onDevice)
+  {
+    // one multi-output kernel scans every (axis, block) pair: a single
+    // launch and a single stream-ordered readback replace the former
+    // per-pair round trips, and give the step graph a fixed shape
+    struct Unit
     {
-      double blo = 0, bhi = 0;
-      PointerRange(ax[b][a], rows[b], snap.Device, blo, bhi);
-      lo[a] = std::min(lo[a], blo);
-      hi[a] = std::max(hi[a], bhi);
+      const double *P;
+      std::size_t N;
+      std::size_t Axis;
+    };
+    auto units = std::make_shared<std::vector<Unit>>();
+    std::size_t totalRows = 0;
+    for (std::size_t a : autoAxes)
+      for (std::size_t b = 0; b < nBlocks; ++b)
+        if (rows[b])
+        {
+          units->push_back(Unit{ax[b][a], rows[b], a});
+          totalRows += rows[b];
+        }
+    if (!units->empty())
+    {
+      const std::size_t nUnits = units->size();
+      auto *scratch = static_cast<double *>(
+        vcuda::MallocAsync(2 * nUnits * sizeof(double), strm));
+      std::vector<double> out(2 * nUnits, 0.0);
+      const double opsPerUnit =
+        2.0 * static_cast<double>(totalRows) / static_cast<double>(nUnits);
+      vcuda::LaunchN(
+        strm, nUnits,
+        [units, scratch](std::size_t ub, std::size_t ue)
+        {
+          for (std::size_t u = ub; u < ue; ++u)
+          {
+            const Unit &unit = (*units)[u];
+            double mn = std::numeric_limits<double>::infinity();
+            double mx = -mn;
+            for (std::size_t i = 0; i < unit.N; ++i)
+            {
+              mn = std::min(mn, unit.P[i]);
+              mx = std::max(mx, unit.P[i]);
+            }
+            scratch[2 * u] = mn;
+            scratch[2 * u + 1] = mx;
+          }
+        },
+        vcuda::LaunchBounds{opsPerUnit, 0.05, "binning_range_multi"});
+      vcuda::MemcpyAsync(out.data(), scratch, 2 * nUnits * sizeof(double),
+                         strm);
+      vcuda::StreamSynchronize(strm);
+      vcuda::FreeAsync(scratch, strm);
+      for (std::size_t u = 0; u < nUnits; ++u)
+      {
+        const std::size_t a = (*units)[u].Axis;
+        lo[a] = std::min(lo[a], out[2 * u]);
+        hi[a] = std::max(hi[a], out[2 * u + 1]);
+      }
     }
+  }
+  else
+  {
+    for (std::size_t a : autoAxes)
+      for (std::size_t b = 0; b < nBlocks; ++b)
+      {
+        double blo = 0, bhi = 0;
+        PointerRangeHost(ax[b][a], rows[b], blo, bhi);
+        lo[a] = std::min(lo[a], blo);
+        hi[a] = std::max(hi[a], bhi);
+      }
   }
 
   if (snap.Comm && this->AutoRange_)
@@ -564,8 +654,6 @@ void DataBinning::RunBinning(const Snapshot &snap)
   {
     // device grids, accumulated with atomics (AtomicFraction models the
     // contention the paper identifies as binning's GPU weakness)
-    vcuda::stream_t strm = vcuda::StreamCreate();
-
     auto *dCnt =
       static_cast<double *>(vcuda::MallocAsync(nBins * sizeof(double), strm));
     std::vector<double *> dGrids(nRed);
@@ -573,7 +661,11 @@ void DataBinning::RunBinning(const Snapshot &snap)
       dGrids[k] = static_cast<double *>(
         vcuda::MallocAsync(nBins * sizeof(double), strm));
 
-    // initialize grids
+    // initialize grids. The inits write disjoint arrays of equal length —
+    // the FuseKey lets captured-graph replay merge them into one
+    // multi-output launch.
+    vcuda::LaunchBounds initLb{1.0, 0.0, "binning_init"};
+    initLb.FuseKey = dCnt;
     vcuda::LaunchN(
       strm, nBins,
       [dCnt](std::size_t b, std::size_t e)
@@ -581,7 +673,7 @@ void DataBinning::RunBinning(const Snapshot &snap)
         for (std::size_t i = b; i < e; ++i)
           dCnt[i] = 0.0;
       },
-      vcuda::LaunchBounds{1.0, 0.0, "binning_init"});
+      initLb);
     for (std::size_t k = 0; k < nRed; ++k)
     {
       double *g = dGrids[k];
@@ -593,7 +685,7 @@ void DataBinning::RunBinning(const Snapshot &snap)
           for (std::size_t i = b; i < e; ++i)
             g[i] = iv;
         },
-        vcuda::LaunchBounds{1.0, 0.0, "binning_init"});
+        initLb);
     }
 
     // privatized strategy under VP_EXEC=threads: real per-shard slab
@@ -619,6 +711,9 @@ void DataBinning::RunBinning(const Snapshot &snap)
         dPrivGrids[k] = static_cast<double *>(
           vcuda::MallocAsync(np * nBins * sizeof(double), strm));
 
+      vcuda::LaunchBounds privLb{1.0, 0.0, "binning_init",
+                                 /*Shardable=*/true};
+      privLb.FuseKey = dPrivCnt;
       double *pc = dPrivCnt;
       vcuda::LaunchN(
         strm, np * nBins,
@@ -627,7 +722,7 @@ void DataBinning::RunBinning(const Snapshot &snap)
           for (std::size_t i = b; i < e; ++i)
             pc[i] = 0.0;
         },
-        vcuda::LaunchBounds{1.0, 0.0, "binning_init", /*Shardable=*/true});
+        privLb);
       for (std::size_t k = 0; k < nRed; ++k)
       {
         double *g = dPrivGrids[k];
@@ -639,7 +734,7 @@ void DataBinning::RunBinning(const Snapshot &snap)
             for (std::size_t i = b; i < e; ++i)
               g[i] = iv;
           },
-          vcuda::LaunchBounds{1.0, 0.0, "binning_init", /*Shardable=*/true});
+          privLb);
       }
     }
 
@@ -719,13 +814,20 @@ void DataBinning::RunBinning(const Snapshot &snap)
                                          "binning_merge_privatized",
                                          /*Shardable=*/privMax > 1});
     }
-    vcuda::StreamSynchronize(strm);
-
-    vcuda::Memcpy(counts.data(), dCnt, nBins * sizeof(double));
+    // stream-ordered readbacks on the private stream (the default stream
+    // is shared with the simulation and would splice foreign work into
+    // the captured graph), settled by one synchronize
+    vcuda::MemcpyAsync(counts.data(), dCnt, nBins * sizeof(double), strm);
     for (std::size_t k = 0; k < nRed; ++k)
     {
       grids[k].resize(nBins);
-      vcuda::Memcpy(grids[k].data(), dGrids[k], nBins * sizeof(double));
+      vcuda::MemcpyAsync(grids[k].data(), dGrids[k], nBins * sizeof(double),
+                         strm);
+    }
+    vcuda::StreamSynchronize(strm);
+
+    for (std::size_t k = 0; k < nRed; ++k)
+    {
       vcuda::Free(dGrids[k]);
       if (dPrivGrids[k])
         vcuda::Free(dPrivGrids[k]);

@@ -32,6 +32,14 @@
 #include <string>
 #include <vector>
 
+namespace vp
+{
+namespace graph
+{
+class Session;
+}
+}
+
 namespace sensei
 {
 
@@ -133,7 +141,7 @@ public:
   long GetExecuteCount() const;
 
 protected:
-  DataBinning() = default;
+  DataBinning(); // out of line: GraphSession_ needs the complete type
   ~DataBinning() override;
 
 private:
@@ -167,6 +175,12 @@ private:
   bool GatherInputs(DataAdaptor *data, bool deepCopy, Snapshot &snap);
   void RunBinning(const Snapshot &snap);
 
+  /// Placement with the captured-graph pin: while GraphSession_ holds an
+  /// armed graph the capture-time device is kept (replay requires it),
+  /// unless the policy has genuinely diverged from the pin — then the
+  /// graph is dropped and placement re-decided.
+  int PlaceForGraph(DataAdaptor *data, const sched::WorkHint &hint);
+
   void StoreResult(svtkImageData *image);
 
   std::string MeshName_ = "table";
@@ -186,6 +200,11 @@ private:
   /// communicator duplicated for the in situ thread, so its collectives
   /// never interleave with the simulation's
   std::optional<minimpi::Communicator> AsyncComm_;
+
+  /// Captured step-graph session for the device path (src/graph),
+  /// created on the first device execution when vp::graph is enabled.
+  std::unique_ptr<vp::graph::Session> GraphSession_;
+  int GraphDevice_ = DEVICE_AUTO; ///< device pinned at capture
 
   mutable std::mutex ResultMutex_;
   svtkImageData *LastResult_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include "cmpCodec.h"
 #include "execEngine.h"
+#include "graphCapture.h"
 #include "schedPipeline.h"
 #include "svcSession.h"
 #include "vpChecker.h"
@@ -166,6 +167,19 @@ void ExportExecStats(Profiler &prof)
   prof.Event("exec::sharded_regions", static_cast<double>(s.ShardedRegions));
   prof.Event("exec::shards_executed", static_cast<double>(s.ShardsExecuted));
   prof.Event("exec::fence_joins", static_cast<double>(s.FenceJoins));
+}
+
+void ExportGraphStats(Profiler &prof)
+{
+  const vp::graph::GraphStats s = vp::graph::Stats();
+  prof.Event("graph::captures", static_cast<double>(s.Captures));
+  prof.Event("graph::capture_aborts", static_cast<double>(s.CaptureAborts));
+  prof.Event("graph::replays", static_cast<double>(s.Replays));
+  prof.Event("graph::invalidations", static_cast<double>(s.Invalidations));
+  prof.Event("graph::nodes_captured", static_cast<double>(s.NodesCaptured));
+  prof.Event("graph::launches_fused", static_cast<double>(s.LaunchesFused));
+  prof.Event("graph::flushes", static_cast<double>(s.Flushes));
+  prof.Event("graph::ops_absorbed", static_cast<double>(s.OpsAbsorbed));
 }
 
 void ExportServiceStats(Profiler &prof)

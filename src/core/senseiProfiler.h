@@ -171,6 +171,13 @@ void ExportCompressStats(Profiler &prof);
 /// campaigns can audit how much real concurrency the run actually had.
 void ExportExecStats(Profiler &prof);
 
+/// Record the captured step-graph counters (vp::graph::Stats) as
+/// profiler events: graph::captures, graph::capture_aborts,
+/// graph::replays, graph::invalidations, graph::nodes_captured,
+/// graph::launches_fused, graph::flushes, graph::ops_absorbed — how much
+/// of the campaign's submission work the replay path absorbed.
+void ExportGraphStats(Profiler &prof);
+
 /// Record the in-transit service counters (svc::Stats) as profiler
 /// events: svc::sessions_opened / _rejected / _closed / _reaped,
 /// svc::frames_sent / _accepted / _dropped / _coalesced / _rejected /

@@ -1,0 +1,35 @@
+#include "vpCaptureSink.h"
+
+#include <atomic>
+
+namespace vp
+{
+
+namespace
+{
+CaptureSink *&ThisSink() noexcept
+{
+  thread_local CaptureSink *sink = nullptr;
+  return sink;
+}
+} // namespace
+
+CaptureSink *GetCaptureSink() noexcept
+{
+  return ThisSink();
+}
+
+CaptureSink *SetCaptureSink(CaptureSink *sink) noexcept
+{
+  CaptureSink *prev = ThisSink();
+  ThisSink() = sink;
+  return prev;
+}
+
+std::uint64_t NextCaptureEventId() noexcept
+{
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace vp

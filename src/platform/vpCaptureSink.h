@@ -1,0 +1,91 @@
+#ifndef vpCaptureSink_h
+#define vpCaptureSink_h
+
+/// @file vpCaptureSink.h
+/// Interception interface for captured step-graph execution (src/graph).
+/// A sink installed on the calling thread sees every stream-ordered
+/// operation before the platform's eager path runs it. Each async hook
+/// returns true when the sink absorbed the operation (graph replay:
+/// nothing else happens at the call site) or false when the platform
+/// should execute it eagerly as usual (no capture, or capture mode,
+/// where the op is recorded *and* executed so the checker can validate
+/// the DAG once).
+///
+/// Synchronization points are never absorbed: the Before* hooks let the
+/// sink flush its pending replayed prefix (running the recorded bodies
+/// and charging the amortized virtual costs) before the platform's
+/// normal synchronize logic runs.
+///
+/// The sink is thread-local so an asynchronous in situ thread captures
+/// its own analysis pipeline without seeing the simulation's launches.
+
+#include "vpStream.h"
+#include "vpTypes.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace vp
+{
+
+struct KernelDesc;
+using KernelFn = std::function<void(std::size_t, std::size_t)>;
+
+class CaptureSink
+{
+public:
+  virtual ~CaptureSink() = default;
+
+  /// A kernel launch on `stream`. True = absorbed (replay).
+  virtual bool OnKernel(const Stream &stream, const KernelDesc &desc,
+                        const KernelFn &fn, bool synchronous) = 0;
+
+  /// An async copy on `stream` (bytes > 0). True = absorbed.
+  virtual bool OnCopy(const Stream &stream, void *dst, const void *src,
+                      std::size_t bytes) = 0;
+
+  /// An event record on `stream`; `captureId` is the event's process-wide
+  /// identity (never 0). True = absorbed (the caller's event_t carries
+  /// only the id; ordering is realized when the sink flushes).
+  virtual bool OnEventRecord(const Stream &stream, std::uint64_t captureId) = 0;
+
+  /// `stream` waits on the event recorded under `captureId`.
+  virtual bool OnStreamWaitEvent(const Stream &stream,
+                                 std::uint64_t captureId) = 0;
+
+  /// The calling thread is about to synchronize `stream` / the device /
+  /// the event. Never absorbs; the platform's synchronize runs after.
+  virtual void BeforeStreamSync(const Stream &stream) = 0;
+  virtual void BeforeDeviceSync(int node, DeviceId device) = 0;
+  virtual void BeforeEventSync(std::uint64_t captureId) = 0;
+};
+
+/// The calling thread's sink (null when none is installed).
+CaptureSink *GetCaptureSink() noexcept;
+
+/// Install `sink` on the calling thread; returns the previous sink.
+CaptureSink *SetCaptureSink(CaptureSink *sink) noexcept;
+
+/// Process-wide unique event identity for capture (never returns 0).
+std::uint64_t NextCaptureEventId() noexcept;
+
+/// RAII: install a sink for a scope, restoring the previous one.
+class CaptureSinkScope
+{
+public:
+  explicit CaptureSinkScope(CaptureSink *sink)
+    : Prev_(SetCaptureSink(sink))
+  {
+  }
+  ~CaptureSinkScope() { SetCaptureSink(this->Prev_); }
+  CaptureSinkScope(const CaptureSinkScope &) = delete;
+  CaptureSinkScope &operator=(const CaptureSinkScope &) = delete;
+
+private:
+  CaptureSink *Prev_ = nullptr;
+};
+
+} // namespace vp
+
+#endif

@@ -38,6 +38,12 @@ struct CostModel
   double AllocLatency = 2.0e-6;       ///< device allocation bookkeeping
   double AsyncAllocLatency = 0.4e-6;  ///< stream-ordered allocation
 
+  // --- captured step-graph replay ----------------------------------------
+  /// One amortized host-side charge per replay flush of a captured step
+  /// graph (src/graph), replacing the per-call KernelSubmitOverhead of
+  /// every absorbed operation — the cudaGraphLaunch analogue.
+  double GraphReplayLatency = 2.0e-6;
+
   // --- threading and messaging -------------------------------------------
   double ThreadSpawnCost = 2.0e-5;  ///< std::thread launch for async in situ
   double MessageLatency = 2.0e-6;   ///< per message fixed cost (on-node MPI)

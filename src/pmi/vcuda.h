@@ -80,6 +80,10 @@ struct LaunchBounds
   double AtomicFraction = 0.0; ///< fraction of atomic-bound work
   const char *Name = "vcuda_kernel";
   bool Shardable = false;      ///< body may run as concurrent [b,e) chunks
+
+  /// Fusion opt-in for captured step-graph replay; see
+  /// vp::KernelDesc::FuseKey. Null (the default) never fuses.
+  const void *FuseKey = nullptr;
 };
 
 /// Launch an n-index kernel on the current device in `stream`. The body is
@@ -110,6 +114,12 @@ private:
   friend void EventSynchronize(const event_t &);
   double Time_ = 0.0;
   std::uint64_t Token_ = 0; ///< checker happens-before token (0 = none)
+  /// Capture identity while a vp::CaptureSink is installed (0 = none):
+  /// lets step-graph capture/replay recognize this event at
+  /// StreamWaitEvent/EventSynchronize. An absorbed (replayed) record
+  /// carries only this id; Time_/Fences_ stay empty and ordering is
+  /// realized when the sink flushes.
+  std::uint64_t CaptureId_ = 0;
   /// Real-execution edge (VP_EXEC=threads): the recorded stream's
   /// frontier fences at record time; empty in serial mode.
   std::vector<std::shared_ptr<vp::exec::Fence>> Fences_;

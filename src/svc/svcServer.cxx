@@ -182,9 +182,11 @@ void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
         rh.Kind = FrameKind::Reject;
         const std::vector<std::uint8_t> img =
           EncodeFrame(rh, why.data(), why.size());
+        // count before the send: the client treats the Reject frame as
+        // the synchronization point and may read Stats() immediately
+        UpdateStats([](ServiceStats &st) { ++st.SessionsRejected; });
         s.Io->SendChunked(img.data(), img.size(),
                           this->Config_.MaxChunkBytes, /*timeout=*/1.0);
-        UpdateStats([](ServiceStats &st) { ++st.SessionsRejected; });
         s.Draining = true;
         s.Why = SessionEnd::Closed;
         return;
@@ -217,9 +219,9 @@ void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
       const std::vector<std::uint8_t> body = EncodeWelcome(w);
       const std::vector<std::uint8_t> img =
         EncodeFrame(wh, body.data(), body.size());
+      UpdateStats([](ServiceStats &st) { ++st.SessionsOpened; });
       s.Io->SendChunked(img.data(), img.size(), this->Config_.MaxChunkBytes,
                         /*timeout=*/1.0);
-      UpdateStats([](ServiceStats &st) { ++st.SessionsOpened; });
       if (this->OnOpen_)
         this->OnOpen_(s.Id, s.Hello);
       return;

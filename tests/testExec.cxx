@@ -10,6 +10,7 @@
 #include "campaign.h"
 #include "cmpCodec.h"
 #include "execEngine.h"
+#include "graphCapture.h"
 #include "newtonSolver.h"
 #include "senseiConfigurableAnalysis.h"
 #include "senseiDataAdaptor.h"
@@ -420,6 +421,97 @@ TEST(ExecChecker, EightCaseCampaignIsCheckerCleanUnderThreads)
 
   vp::check::Enable(false);
   ConfigureSerial();
+}
+
+TEST(ExecChecker, DanglingEventRecordIsCleanEagerAndReplayed)
+{
+  // an EventRecord whose event is never waited on leaves an unconsumed
+  // token behind; neither the eager path nor a capture/replay session may
+  // turn that into a violation at finalize time
+  ResetPlatform();
+  ConfigureSerial();
+  vp::check::Reset();
+  vp::check::Configure(vp::check::CheckConfig{true, 64, false});
+
+  auto danglingStep = [](vcuda::stream_t &s)
+  {
+    vcuda::LaunchN(s, 32, [](std::size_t, std::size_t) {},
+                   vcuda::LaunchBounds{1.0, 0.0, "dangle_work", false});
+    (void)vcuda::EventRecord(s); // recorded, never waited
+    vcuda::LaunchN(s, 32, [](std::size_t, std::size_t) {},
+                   vcuda::LaunchBounds{1.0, 0.0, "dangle_tail", false});
+    vcuda::StreamSynchronize(s);
+  };
+
+  // eager
+  {
+    vcuda::stream_t s = vcuda::StreamCreate();
+    danglingStep(s);
+    vcuda::StreamDestroy(s);
+  }
+
+  // captured then replayed: the replay absorbs the record, so only the
+  // capture step's token reaches the checker — still dangling at the end
+  vp::graph::GraphConfig gc;
+  gc.Enabled = true;
+  vp::graph::Configure(gc);
+  vp::graph::ResetStats();
+  {
+    vp::graph::Session sess;
+    for (int step = 0; step < 3; ++step)
+    {
+      vcuda::stream_t s = vcuda::StreamCreate();
+      {
+        vp::graph::StepScope scope(sess);
+        danglingStep(s);
+      }
+      vcuda::StreamDestroy(s);
+    }
+  }
+  EXPECT_GE(vp::graph::Stats().Replays, 1u);
+
+  const vp::check::Report r = vp::check::Snapshot();
+  EXPECT_EQ(r.Total(), 0u) << r.Summary();
+  vp::check::Enable(false);
+  vp::graph::Configure(vp::graph::GraphConfig());
+}
+
+// --- zero-N launches --------------------------------------------------------
+
+TEST(ExecCharging, ZeroNLaunchChargesSubmitOnlyAndSkipsTheBody)
+{
+  // regression: a zero-N launch short-circuits (the body never runs) and
+  // on real hardware the dispatch is elided too — it must charge only the
+  // host-side submit overhead, never the device launch latency, and must
+  // not extend the stream
+  ResetPlatform();
+  ConfigureSerial();
+  const vp::CostModel &cost = vp::Platform::Get().Config().Cost;
+  vcuda::stream_t s = vcuda::StreamCreate();
+
+  bool ran = false;
+  const std::uint64_t launched0 = vp::Platform::Get().Stats().KernelsLaunched;
+  const double t0 = vp::ThisClock().Now();
+  vcuda::LaunchN(s, 0,
+                 [&ran](std::size_t, std::size_t) { ran = true; },
+                 vcuda::LaunchBounds{1.0, 0.0, "zero_n", false});
+  const double t1 = vp::ThisClock().Now();
+
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(t1, t0 + cost.KernelSubmitOverhead);
+  EXPECT_EQ(vp::Platform::Get().Stats().KernelsLaunched, launched0 + 1);
+
+  // the stream was never extended: synchronizing is free
+  vcuda::StreamSynchronize(s);
+  EXPECT_DOUBLE_EQ(vp::ThisClock().Now(), t1);
+
+  // contrast: a real one-element launch pays the launch latency
+  vcuda::LaunchN(s, 1, [](std::size_t, std::size_t) {},
+                 vcuda::LaunchBounds{1.0, 0.0, "one_n", false});
+  vcuda::StreamSynchronize(s);
+  EXPECT_GE(vp::ThisClock().Now() - t1, cost.KernelLaunchLatency);
+
+  vcuda::StreamDestroy(s);
 }
 
 // --- shard boundaries -------------------------------------------------------
