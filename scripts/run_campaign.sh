@@ -70,6 +70,16 @@ fi
 if [ -f BENCH_graph.json ]; then
   echo "wrote results/BENCH_graph.json"
 fi
+# um_tune writes the auto-tuner campaign: every hand-written config scored
+# on the comparison campaign, the tuned configuration's winning margin,
+# annealer-vs-random search quality, and the online controller's
+# shifting-workload adaptation; the binary exits nonzero unless the tuned
+# config strictly beats the best hand-written one, the annealer beats
+# random at equal budget, the online controller improves the shifted
+# workload, and the fixed-seed search is bit-reproducible
+if [ -f BENCH_tune.json ]; then
+  echo "wrote results/BENCH_tune.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -103,6 +113,14 @@ echo "== multi-tenant service campaign (VP_CHECK=1) =="
 # and <10% survivor-loss targets where the hardware has >= 4 threads
 VP_CHECK=1 ../build/bench/um_service --benchmark_min_time=0.05 \
   | tee um_service_checked.txt
+echo "== auto-tuner smoke gate (VP_CHECK=1) =="
+# the tuner's campaigns under the checker: hand-config scoring, a
+# short warm-started comparison search (the committed tuned config keeps
+# the margin gate honest at the reduced budget), the annealer-vs-random
+# proxy searches, and both shifting-workload runs must be race/lifetime
+# clean; every acceptance gate still applies
+VP_CHECK=1 VP_TUNE_BUDGET=6 ../build/bench/um_tune \
+  --benchmark_min_time=0.05 | tee um_tune_checked.txt
 echo "== step-graph campaign (VP_CHECK=1) =="
 # capture, fusion, and replay under the checker: the validate-once capture
 # step plus every replayed step's summary edges must be race/lifetime
@@ -128,12 +146,15 @@ ctest --test-dir ../build -L svc --output-on-failure
 echo "== step-graph tests =="
 ctest --test-dir ../build -L graph --output-on-failure
 
+echo "== auto-tuner tests =="
+ctest --test-dir ../build -L tune --output-on-failure
+
 echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
 # a separate ASan+UBSan build configuration; the real-thread pipeline,
 # the drop/coalesce task destruction paths, and the codec byte-twiddling
 # (shuffle, varint, quantize) run under the sanitizers
 cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
-cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph
+cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph testTune
 ../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_sanitized.txt
 ../build-sanitize/tests/testSched
@@ -149,13 +170,16 @@ VP_CHECK=1 ../build-sanitize/bench/um_compress --benchmark_min_time=0.05 \
 ctest --test-dir ../build-sanitize -L graph --output-on-failure
 VP_CHECK=1 ../build-sanitize/bench/um_graph --benchmark_min_time=0.05 \
   | tee um_graph_sanitized.txt
+# the tuner's knob-space serialization, evaluator state resets, and the
+# online controller's apply/revert closures under ASan+UBSan
+../build-sanitize/tests/testTune
 
 echo "== ThreadSanitizer execution-engine run (-DVP_TSAN=ON) =="
 # a separate TSan build configuration (mutually exclusive with ASan):
 # the worker queues, sharded regions, fences and event edges of the
 # threaded engine run under the race detector
 cmake -B ../build-tsan -S .. -G Ninja -DVP_TSAN=ON
-cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph
+cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph testTune
 ../build-tsan/tests/testExec
 VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
   | tee um_exec_tsan.txt
@@ -167,6 +191,9 @@ VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
 ctest --test-dir ../build-tsan -L graph --output-on-failure
 VP_EXEC=threads ../build-tsan/bench/um_graph --benchmark_min_time=0.05 \
   | tee um_graph_tsan.txt
+# lockstep evaluator campaigns (rank threads under the cooperative
+# scheduler) and the online controller under the race detector
+../build-tsan/tests/testTune
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

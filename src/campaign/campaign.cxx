@@ -6,6 +6,7 @@
 #include "newtonDriver.h"
 #include "schedPipeline.h"
 #include "senseiConfigurableAnalysis.h"
+#include "sxml.h"
 #include "vpPlatform.h"
 
 #include <algorithm>
@@ -99,7 +100,8 @@ std::vector<CaseConfig> AllCases()
   return cases;
 }
 
-std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
+std::unique_ptr<sxml::Element> BuildDoc(const CaseConfig &c,
+                                        const CampaignConfig &g)
 {
   // the nine coordinate systems of the evaluation: spatial planes,
   // velocity planes, and position-velocity phase planes
@@ -119,8 +121,9 @@ std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
   static const std::array<const char *, 10> variables = {
     "x", "y", "z", "vx", "vy", "vz", "m", "speed", "ke", "r"};
 
-  std::string device;
-  std::string extra;
+  std::string device = "auto";
+  int devicesToUse = 0;
+  int deviceStart = 0;
   switch (c.Place)
   {
     case Placement::Host:
@@ -130,12 +133,12 @@ std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
       device = "auto"; // Eq. 1 defaults: d = r mod n_a = the sim device
       break;
     case Placement::OneDedicated:
-      device = "auto";
-      extra = " devices_to_use=\"1\" device_start=\"3\"";
+      devicesToUse = 1;
+      deviceStart = 3;
       break;
     case Placement::TwoDedicated:
-      device = "auto";
-      extra = " devices_to_use=\"2\" device_start=\"2\"";
+      devicesToUse = 2;
+      deviceStart = 2;
       break;
   }
 
@@ -144,46 +147,67 @@ std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
   const int nvar =
     std::min<int>(g.VariablesPerSystem, static_cast<int>(variables.size()));
 
-  std::ostringstream xml;
-  xml << "<sensei>\n";
+  auto root = std::make_unique<sxml::Element>();
+  root->SetName("sensei");
+
   if (!g.SchedPolicy.empty() || g.QueueDepth >= 0 || !g.Backpressure.empty())
   {
-    xml << "  <sched";
+    sxml::Element *se = root->AddChild("sched");
     if (!g.SchedPolicy.empty())
-      xml << " policy=\"" << g.SchedPolicy << '"';
+      se->SetAttribute("policy", g.SchedPolicy);
     if (g.QueueDepth >= 0)
-      xml << " queue_depth=\"" << g.QueueDepth << '"';
+      se->SetAttributeInt("queue_depth", g.QueueDepth);
     if (!g.Backpressure.empty())
-      xml << " backpressure=\"" << g.Backpressure << '"';
-    xml << "/>\n";
+      se->SetAttribute("backpressure", g.Backpressure);
   }
   if (!g.ExecMode.empty() || g.ExecThreads > 0 || g.ExecShardGrain > 0)
   {
-    xml << "  <exec";
+    sxml::Element *xe = root->AddChild("exec");
     if (!g.ExecMode.empty())
-      xml << " mode=\"" << g.ExecMode << '"';
+      xe->SetAttribute("mode", g.ExecMode);
     if (g.ExecThreads > 0)
-      xml << " threads=\"" << g.ExecThreads << '"';
+      xe->SetAttributeInt("threads", g.ExecThreads);
     if (g.ExecShardGrain > 0)
-      xml << " shard_grain=\"" << g.ExecShardGrain << '"';
-    xml << "/>\n";
+      xe->SetAttributeInt("shard_grain",
+                          static_cast<long long>(g.ExecShardGrain));
   }
+
   for (int s = 0; s < nsys; ++s)
   {
-    xml << "  <analysis type=\"data_binning\" mesh=\"bodies\" axes=\""
-        << systems[static_cast<std::size_t>(s)][0] << ','
-        << systems[static_cast<std::size_t>(s)][1] << "\" resolution=\""
-        << g.Resolution << "\" ops=\"";
+    sxml::Element *el = root->AddChild("analysis");
+    el->SetAttribute("type", "data_binning");
+    el->SetAttribute("mesh", "bodies");
+    el->SetAttribute("axes",
+                     std::string(systems[static_cast<std::size_t>(s)][0]) +
+                       ',' + systems[static_cast<std::size_t>(s)][1]);
+    el->SetAttributeInt("resolution", g.Resolution);
+    std::string ops;
+    std::string values;
     for (int v = 0; v < nvar; ++v)
-      xml << (v ? "," : "") << "sum";
-    xml << "\" values=\"";
-    for (int v = 0; v < nvar; ++v)
-      xml << (v ? "," : "") << variables[static_cast<std::size_t>(v)];
-    xml << "\" device=\"" << device << '"' << extra << " async=\""
-        << (c.Asynchronous ? 1 : 0) << "\"/>\n";
+    {
+      ops += v ? ",sum" : "sum";
+      values += (v ? "," : "") + std::string(
+        variables[static_cast<std::size_t>(v)]);
+    }
+    el->SetAttribute("ops", ops);
+    el->SetAttribute("values", values);
+    el->SetAttribute("device", device);
+    if (devicesToUse > 0)
+    {
+      el->SetAttributeInt("devices_to_use", devicesToUse);
+      el->SetAttributeInt("device_start", deviceStart);
+    }
+    el->SetAttributeBool("async", c.Asynchronous);
   }
-  xml << "</sensei>\n";
-  return xml.str();
+
+  if (g.ConfigMutator)
+    g.ConfigMutator(*root);
+  return root;
+}
+
+std::string BuildXml(const CaseConfig &c, const CampaignConfig &g)
+{
+  return sxml::Serialize(*BuildDoc(c, g));
 }
 
 CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g)
@@ -233,6 +257,7 @@ CaseResult RunCase(const CaseConfig &c, const CampaignConfig &g)
   minimpi::LaunchOptions opts;
   opts.Ranks = ranks;
   opts.RanksPerNode = rpn;
+  opts.Lockstep = g.Lockstep;
 
   minimpi::Run(opts,
                [&](minimpi::Communicator &comm)

@@ -22,8 +22,15 @@
 /// kernels really execute; paper-scale runs (full per-rank body counts,
 /// timing-only kernels) are available through CampaignConfig.
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
+
+namespace sxml
+{
+class Element;
+}
 
 namespace campaign
 {
@@ -60,6 +67,12 @@ struct CampaignConfig
   bool TimingOnly = true;         ///< skip kernel bodies (timing campaign)
   unsigned Seed = 42;
 
+  /// Run ranks under minimpi's deterministic cooperative scheduler so
+  /// virtual timings are bit-reproducible (see minimpi::LaunchOptions).
+  /// The auto-tuner forces this on for candidate evaluations; benches
+  /// keep the default free-running threads.
+  bool Lockstep = false;
+
   // adaptive scheduler controls, emitted as a <sched> element when any is
   // set: placement policy ("static", "least-loaded", "cost-model"; empty
   // keeps the built-in static default), bounded-pipeline depth (-1 keeps
@@ -78,6 +91,14 @@ struct CampaignConfig
   std::string ExecMode;
   int ExecThreads = 0;
   std::size_t ExecShardGrain = 0;
+
+  // per-case configuration injection: when set, the built <sensei>
+  // document is passed through this mutator before it is serialized and
+  // handed to ConfigurableAnalysis. The campaign auto-tuner (src/tune)
+  // uses it to overlay candidate <pool>/<sched>/<compress>/<exec>/<graph>
+  // elements and per-analysis override attributes onto every case of a
+  // run without the campaign knowing about the tuner's knob space.
+  std::function<void(sxml::Element &)> ConfigMutator;
 };
 
 /// A paper-shape configuration: per-node body count and grid resolution at
@@ -109,9 +130,14 @@ struct CaseResult
   double MeanInSituSeconds = 0.0; ///< Figure 3: avg (apparent) in situ / iter
 };
 
-/// The SENSEI XML configuration for a case: CoordSystems data_binning
-/// operator instances, each reducing VariablesPerSystem variables, with
-/// the placement and execution-method attributes set per the case.
+/// The SENSEI configuration for a case as a document tree: CoordSystems
+/// data_binning operator instances, each reducing VariablesPerSystem
+/// variables, with the placement and execution-method attributes set per
+/// the case. `g.ConfigMutator`, when set, has already been applied.
+std::unique_ptr<sxml::Element> BuildDoc(const CaseConfig &c,
+                                        const CampaignConfig &g);
+
+/// BuildDoc serialized to XML text (what RunCase feeds the analysis).
 std::string BuildXml(const CaseConfig &c, const CampaignConfig &g);
 
 /// Run one case: configures the platform (Nodes x 4 GPUs), launches the

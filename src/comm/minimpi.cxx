@@ -37,7 +37,126 @@ std::uint64_t LoadU64LE(const std::uint8_t *p)
     v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   return v;
 }
+
+/// Root-rank id of the current thread in a lockstep region (-1 outside).
+/// Indexed by launch rank, not per-context rank: Dup/Split children keep
+/// their own numbering, but the scheduling token belongs to the thread.
+thread_local int TlLockstepRank = -1;
 } // namespace
+
+/// Cooperative deterministic scheduler for LaunchOptions::Lockstep. One
+/// token, one runner: a rank thread executes only while it owns the
+/// token; blocking operations hand it back with a wakeup predicate, and
+/// every grant re-evaluates the blocked predicates and picks the
+/// lowest-numbered runnable rank. Because exactly one rank runs at a
+/// time and the handoff order is a pure function of program state, the
+/// order in which ranks reach shared virtual resources — and therefore
+/// every virtual timestamp — is reproducible across runs.
+///
+/// Progress from outside the rank set (e.g. a service endpoint thread
+/// delivering a message) is covered by Ping(), which re-runs the grant
+/// when the token is parked. An incorrect program that deadlocks under
+/// real MPI deadlocks here too (all ranks blocked, no owner) — lockstep
+/// preserves hang semantics rather than masking them.
+class LockstepSched
+{
+public:
+  explicit LockstepSched(int ranks)
+    : State_(static_cast<std::size_t>(ranks), Ready),
+      Preds_(static_cast<std::size_t>(ranks))
+  {
+    std::lock_guard<std::mutex> lock(this->M_);
+    this->Grant();
+  }
+
+  /// Called by rank `r`'s thread before the user function: wait for the
+  /// first grant.
+  void Start(int r)
+  {
+    std::unique_lock<std::mutex> lock(this->M_);
+    this->Cv_.wait(lock, [&] { return this->Owner_ == r; });
+    this->State_[static_cast<std::size_t>(r)] = Running;
+  }
+
+  /// Rank `r` finished (normally or by exception): retire it and pass
+  /// the token on.
+  void Finish(int r)
+  {
+    std::lock_guard<std::mutex> lock(this->M_);
+    this->State_[static_cast<std::size_t>(r)] = Done;
+    this->Owner_ = -1;
+    this->Grant();
+  }
+
+  /// Block rank `r` until `pred()` holds, yielding the token while it
+  /// does not. The predicate is re-evaluated under the scheduler lock by
+  /// whichever thread runs the grant, so it must take any locks the
+  /// state it reads needs. Re-checked after every wakeup: a concurrent
+  /// consumer may have invalidated it again.
+  void Wait(int r, const std::function<bool()> &pred)
+  {
+    std::unique_lock<std::mutex> lock(this->M_);
+    while (!pred())
+    {
+      this->State_[static_cast<std::size_t>(r)] = Blocked;
+      this->Preds_[static_cast<std::size_t>(r)] = pred;
+      this->Owner_ = -1;
+      this->Grant();
+      this->Cv_.wait(lock, [&] { return this->Owner_ == r; });
+      this->State_[static_cast<std::size_t>(r)] = Running;
+    }
+  }
+
+  /// External progress (a send from a non-rank thread): re-run the grant
+  /// when the token is parked with every rank blocked.
+  void Ping()
+  {
+    std::lock_guard<std::mutex> lock(this->M_);
+    if (this->Owner_ < 0)
+      this->Grant();
+  }
+
+private:
+  /// M_ held. Promote blocked ranks whose predicates now hold, then hand
+  /// the token to the lowest-numbered runnable rank.
+  void Grant()
+  {
+    if (this->Owner_ >= 0)
+      return;
+    const int n = static_cast<int>(this->State_.size());
+    for (int r = 0; r < n; ++r)
+    {
+      auto &pred = this->Preds_[static_cast<std::size_t>(r)];
+      if (this->State_[static_cast<std::size_t>(r)] == Blocked && pred &&
+          pred())
+      {
+        this->State_[static_cast<std::size_t>(r)] = Ready;
+        pred = nullptr;
+      }
+    }
+    for (int r = 0; r < n; ++r)
+      if (this->State_[static_cast<std::size_t>(r)] == Ready)
+      {
+        this->Owner_ = r;
+        this->Cv_.notify_all();
+        return;
+      }
+  }
+
+  enum RankState
+  {
+    Ready,
+    Running,
+    Blocked,
+    Done
+  };
+
+  std::mutex M_;
+  std::condition_variable Cv_;
+  int Owner_ = -1;
+  std::vector<RankState> State_;
+  std::vector<std::function<bool()>> Preds_;
+};
 
 /// Shared state of one rank-parallel region.
 class Context
@@ -54,6 +173,10 @@ public:
 
   int Size() const noexcept { return this->Size_; }
   int RanksPerNode() const noexcept { return this->RanksPerNode_; }
+
+  /// Attach the cooperative scheduler of a lockstep launch (propagated
+  /// to Dup/Split children; null outside lockstep regions).
+  void SetLockstep(LockstepSched *ls) { this->Ls_ = ls; }
 
   // --- p2p -------------------------------------------------------------------
   void Send(int src, int dest, int tag, const void *data, std::size_t bytes)
@@ -75,6 +198,8 @@ public:
       mb.Queue.emplace(std::make_pair(src, tag), std::move(msg));
     }
     mb.Cv.notify_all();
+    if (this->Ls_ && TlLockstepRank < 0)
+      this->Ls_->Ping(); // a non-rank thread made progress
 
     // the sender pays a small injection cost
     vp::ThisClock().Advance(cost.MessageLatency);
@@ -86,18 +211,28 @@ public:
       throw std::out_of_range("minimpi::Recv: invalid source rank");
 
     Mailbox &mb = *this->Mail_[static_cast<std::size_t>(self)];
-    std::unique_lock<std::mutex> lock(mb.Mutex);
     const auto key = std::make_pair(src, tag);
     // lower_bound, not find: multimap::find may return any message with
     // this key, but chunked transfers need oldest-first (FIFO) delivery
     // per (source, tag). Insertion order is preserved among equal keys,
     // and lower_bound always lands on the first of them.
-    mb.Cv.wait(lock,
-               [&]
-               {
-                 auto it = mb.Queue.lower_bound(key);
-                 return it != mb.Queue.end() && it->first == key;
-               });
+    auto ready = [&mb, key]
+    {
+      auto it = mb.Queue.lower_bound(key);
+      return it != mb.Queue.end() && it->first == key;
+    };
+
+    if (this->Ls_ && TlLockstepRank >= 0)
+      this->Ls_->Wait(TlLockstepRank,
+                      [&mb, ready]
+                      {
+                        std::lock_guard<std::mutex> lock(mb.Mutex);
+                        return ready();
+                      });
+
+    std::unique_lock<std::mutex> lock(mb.Mutex);
+    if (!(this->Ls_ && TlLockstepRank >= 0))
+      mb.Cv.wait(lock, ready);
 
     auto it = mb.Queue.lower_bound(key);
     Message msg = std::move(it->second);
@@ -116,8 +251,20 @@ public:
       throw std::out_of_range("minimpi::Recv: invalid source rank");
 
     Mailbox &mb = *this->Mail_[static_cast<std::size_t>(self)];
-    std::unique_lock<std::mutex> lock(mb.Mutex);
     const auto key = std::make_pair(src, tag);
+
+    // untimed waits join the lockstep rotation; finite timeouts keep
+    // real-time semantics and stay outside the token
+    if (this->Ls_ && TlLockstepRank >= 0 && timeoutSeconds < 0.0)
+      this->Ls_->Wait(TlLockstepRank,
+                      [&mb, key]
+                      {
+                        std::lock_guard<std::mutex> lock(mb.Mutex);
+                        auto it = mb.Queue.lower_bound(key);
+                        return it != mb.Queue.end() && it->first == key;
+                      });
+
+    std::unique_lock<std::mutex> lock(mb.Mutex);
     auto ready = [&]
     {
       auto it = mb.Queue.lower_bound(key);
@@ -126,7 +273,8 @@ public:
 
     if (timeoutSeconds < 0.0)
     {
-      mb.Cv.wait(lock, ready);
+      if (!(this->Ls_ && TlLockstepRank >= 0))
+        mb.Cv.wait(lock, ready);
     }
     else
     {
@@ -182,6 +330,17 @@ public:
       ++this->Generation_;
       this->CollCv_.notify_all();
     }
+    else if (this->Ls_ && TlLockstepRank >= 0)
+    {
+      lock.unlock();
+      this->Ls_->Wait(TlLockstepRank,
+                      [this, myGen]
+                      {
+                        std::lock_guard<std::mutex> l(this->CollMutex_);
+                        return this->Generation_ != myGen;
+                      });
+      lock.lock();
+    }
     else
     {
       this->CollCv_.wait(lock, [&] { return this->Generation_ != myGen; });
@@ -201,7 +360,10 @@ public:
     std::lock_guard<std::mutex> lock(this->DupMutex_);
     auto &slot = this->Dups_[idx];
     if (!slot)
+    {
       slot = std::make_unique<Context>(this->Size_, this->RanksPerNode_);
+      slot->SetLockstep(this->Ls_);
+    }
     return slot.get();
   }
 
@@ -212,7 +374,10 @@ public:
     std::lock_guard<std::mutex> lock(this->DupMutex_);
     auto &slot = this->Splits_[{idx, color}];
     if (!slot)
+    {
       slot = std::make_unique<Context>(members, 0);
+      slot->SetLockstep(this->Ls_);
+    }
     return slot.get();
   }
 
@@ -226,6 +391,7 @@ private:
 
   int Size_ = 1;
   int RanksPerNode_ = 0;
+  LockstepSched *Ls_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> Mail_;
 
   std::mutex CollMutex_;
@@ -550,6 +716,12 @@ double Run(const LaunchOptions &opts,
   }
 
   Context ctx(opts.Ranks, rpn);
+  std::unique_ptr<LockstepSched> lockstep;
+  if (opts.Lockstep)
+  {
+    lockstep = std::make_unique<LockstepSched>(opts.Ranks);
+    ctx.SetLockstep(lockstep.get());
+  }
   const double start = vp::ThisClock().Now();
 
   std::vector<std::thread> threads;
@@ -566,6 +738,11 @@ double Run(const LaunchOptions &opts,
         vp::ThisClock().Set(start);
         vp::Platform::SetThisNode(rpn > 0 ? r / rpn : 0);
         Communicator comm(&ctx, r);
+        if (lockstep)
+        {
+          TlLockstepRank = r;
+          lockstep->Start(r);
+        }
         try
         {
           fn(comm);
@@ -575,6 +752,11 @@ double Run(const LaunchOptions &opts,
           errors[static_cast<std::size_t>(r)] = std::current_exception();
         }
         finalTimes[static_cast<std::size_t>(r)] = vp::ThisClock().Now();
+        if (lockstep)
+        {
+          lockstep->Finish(r);
+          TlLockstepRank = -1;
+        }
       });
   }
   for (auto &t : threads)

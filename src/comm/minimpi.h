@@ -226,6 +226,24 @@ struct LaunchOptions
 {
   int Ranks = 1;        ///< number of MPI ranks (threads)
   int RanksPerNode = 0; ///< 0 = all on node 0
+
+  /// Deterministic cooperative rank scheduling: exactly one rank thread
+  /// executes at a time, and whenever the running rank blocks (in a
+  /// collective or an untimed Recv) the token passes to the
+  /// lowest-numbered runnable rank. Virtual time on shared resources
+  /// (device timelines, host cores) then no longer depends on the OS
+  /// thread schedule, so two runs of the same workload produce
+  /// bit-identical virtual timings — what the campaign auto-tuner needs
+  /// to score candidate configurations reproducibly. Finite-timeout
+  /// receives (real-time semantics) opt out of the token and keep their
+  /// wall-clock behaviour.
+  ///
+  /// Rank functions must block only inside minimpi (collectives and
+  /// untimed receives): a real join outside it — e.g. a threaded
+  /// execution-engine region whose completion depends on another rank's
+  /// future submissions — holds the token across the wait and deadlocks
+  /// the cooperative schedule. Run with the serial execution engine.
+  bool Lockstep = false;
 };
 
 /// Run `fn(comm)` on `opts.Ranks` rank threads. Each rank's virtual clock

@@ -22,6 +22,33 @@ Profiler &Profiler::Global()
   return instance;
 }
 
+Profiler::CounterSnapshot Profiler::Snapshot() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  CounterSnapshot out;
+  for (const auto &kv : this->Series_)
+    out[kv.first] = Counter{kv.second.Total, kv.second.Count, kv.second.Max};
+  return out;
+}
+
+Profiler::CounterSnapshot Profiler::Delta(const CounterSnapshot &newer,
+                                          const CounterSnapshot &older)
+{
+  CounterSnapshot out;
+  for (const auto &kv : newer)
+  {
+    Counter d = kv.second;
+    auto it = older.find(kv.first);
+    if (it != older.end())
+    {
+      d.Total -= it->second.Total;
+      d.Count -= it->second.Count;
+    }
+    out[kv.first] = d; // Max stays newer's cumulative max
+  }
+  return out;
+}
+
 std::string Profiler::ToJson() const
 {
   std::lock_guard<std::mutex> lock(this->Mutex_);
@@ -65,7 +92,7 @@ std::string Profiler::ToJson() const
 
   std::ostringstream os;
   os.precision(12);
-  os << "{\"events\":{";
+  os << "{\"schema\":\"" << SchemaVersion << "\",\"events\":{";
   bool first = true;
   for (const auto &kv : this->Series_)
   {

@@ -19,9 +19,34 @@ namespace sensei
 {
 
 /// Thread-safe collection of named timing events (virtual seconds).
+///
+/// Counter-key naming contract (consumed by src/tune and any external
+/// parser of ToJson output): every exported counter is named
+/// `<subsystem>::<counter>` in lower_snake_case (`sched::stall_seconds`,
+/// `pool::hit_rate`, `exec::tasks_enqueued`, ...); per-device counters
+/// append the device index (`sched::placements_dev0`). Names are stable:
+/// new counters may appear in any release, but renaming or removing one
+/// bumps the schema version below.
 class Profiler
 {
 public:
+  /// Version tag written by ToJson as the top-level "schema" member, so
+  /// consumers can detect incompatible exports. Bumped only when an
+  /// existing key is renamed/removed or the JSON shape changes; counter
+  /// additions do not bump it.
+  static constexpr const char *SchemaVersion = "sensei-profiler/1";
+
+  /// One counter's accumulated state, as captured by Snapshot().
+  struct Counter
+  {
+    double Total = 0.0;
+    long Count = 0;
+    double Max = 0.0;
+  };
+
+  /// A point-in-time copy of every counter, for rate computation.
+  using CounterSnapshot = std::map<std::string, Counter>;
+
   /// Record a completed span.
   void Event(const std::string &name, double seconds)
   {
@@ -84,8 +109,22 @@ public:
     this->Series_.clear();
   }
 
+  /// Copy every counter's current state. Together with Delta this is how
+  /// per-step consumers (the online tuner, dashboards) read rates instead
+  /// of run-cumulative totals.
+  CounterSnapshot Snapshot() const;
+
+  /// Per-interval rates: `newer - older`, member-wise over Total and
+  /// Count (a counter absent from `older` is treated as zero). Max is not
+  /// differentiable, so the delta carries `newer`'s cumulative Max.
+  /// Deltas compose: Delta(s0,s1) + Delta(s1,s2) sums to Delta(s0,s2)
+  /// in Total and Count.
+  static CounterSnapshot Delta(const CounterSnapshot &newer,
+                               const CounterSnapshot &older);
+
   /// Serialize every event as JSON:
-  /// {"events":{"name":{"count":N,"total":T,"mean":M,"max":X},...}}
+  /// {"schema":"sensei-profiler/1",
+  ///  "events":{"name":{"count":N,"total":T,"mean":M,"max":X},...}}
   std::string ToJson() const;
 
   /// The process-wide profiler instance.

@@ -58,6 +58,9 @@ double Driver::Run(long nSteps)
       this->Bridge_->ReleaseData();
       this->InSituSeconds_ += vp::ThisClock().Now() - t0;
     }
+
+    if (this->StepHook_)
+      this->StepHook_(s);
   }
 
   if (this->Analysis_)

@@ -13,6 +13,7 @@
 #include "senseiAnalysisAdaptor.h"
 #include "senseiProfiler.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -49,6 +50,16 @@ public:
   /// the deep copy + launch, which is why async in situ "looks free").
   double MeanInSituSeconds() const;
 
+  /// Install a callback invoked after every completed iteration (solver
+  /// step + in situ submission), with the 0-based step index. This is the
+  /// hook the online auto-tuner (tune::OnlineTuner) uses to read per-step
+  /// profiler deltas and adapt scheduler knobs between steps. Pass an
+  /// empty function to remove it.
+  void SetStepHook(std::function<void(long)> hook)
+  {
+    this->StepHook_ = std::move(hook);
+  }
+
   Solver &GetSolver() { return *this->Solver_; }
   DataAdaptor *GetBridge() { return this->Bridge_; }
 
@@ -62,6 +73,7 @@ private:
   double SolverSeconds_ = 0.0;
   double InSituSeconds_ = 0.0;
   long StepsRun_ = 0;
+  std::function<void(long)> StepHook_;
 };
 
 } // namespace newton

@@ -1,0 +1,292 @@
+#include "tuneOnline.h"
+
+#include "execEngine.h"
+#include "graphCapture.h"
+#include "newtonDriver.h"
+#include "schedPipeline.h"
+#include "schedPolicy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tune
+{
+
+/// One candidate adjustment: how to apply it and how to undo it.
+struct OnlineTuner::Move
+{
+  std::string Name;
+  std::function<void()> Apply;
+  std::function<void()> Revert;
+  bool IsPolicy = false;
+};
+
+namespace
+{
+
+// the depth ladder deepening moves walk: bounded depths then unbounded
+long DeeperDepth(long d, long maxDepth)
+{
+  if (d == 0)
+    return 0; // already unbounded
+  const long next = d * 2;
+  return next > maxDepth ? 0 : next;
+}
+
+long ShallowerDepth(long d, long maxDepth)
+{
+  if (d == 0)
+    return maxDepth;
+  return std::max(1L, d / 2);
+}
+
+} // namespace
+
+OnlineTuner::OnlineTuner(OnlineConfig cfg) : Cfg_(std::move(cfg))
+{
+  // move kinds, round-robin order: 0 deepen queue, 1 shallow queue,
+  // 2 next backpressure, 3 next policy, 4 widen exec, 5 narrow exec
+  this->Cooldown_.assign(6, 0);
+}
+
+void OnlineTuner::Attach(newton::Driver &driver)
+{
+  driver.SetStepHook([this](long s) { this->OnStep(s); });
+}
+
+double OnlineTuner::CloseWindow()
+{
+  sensei::Profiler &prof = sensei::Profiler::Global();
+  const sensei::Profiler::CounterSnapshot now = prof.Snapshot();
+  double metric = 0.0;
+  if (this->HaveSnap_)
+  {
+    const sensei::Profiler::CounterSnapshot d =
+      sensei::Profiler::Delta(now, this->LastSnap_);
+    auto total = [&d](const char *name)
+    {
+      auto it = d.find(name);
+      return it == d.end() ? 0.0 : it->second.Total;
+    };
+    // what the simulation actually observed this window: solver time
+    // plus the in situ submission/stall time on its critical path
+    metric = total("driver::solver") + total("driver::insitu");
+  }
+  this->LastSnap_ = now;
+  this->HaveSnap_ = true;
+
+  // graph activity: replays observed in this window freeze policy moves
+  const std::uint64_t replays = vp::graph::Stats().Replays;
+  this->GraphActive_ = vp::graph::Enabled() && replays > this->LastReplays_;
+  this->LastReplays_ = replays;
+  return metric;
+}
+
+bool OnlineTuner::ProposeNext(double metric)
+{
+  const sched::SchedConfig sc = sched::GetConfig();
+  const vp::exec::ExecConfig xc = vp::exec::GetConfig();
+
+  auto makeMove = [&](std::size_t kind) -> Move
+  {
+    Move m;
+    switch (kind)
+    {
+      case 0: // deepen the queue (more in-flight payloads)
+      {
+        const long next = DeeperDepth(sc.QueueDepth, this->Cfg_.MaxQueueDepth);
+        if (next == sc.QueueDepth)
+          break;
+        m.Name = "sched.queue_depth " + std::to_string(sc.QueueDepth) +
+                 " -> " + std::to_string(next);
+        m.Apply = [sc, next]()
+        {
+          sched::SchedConfig c = sc;
+          c.QueueDepth = next;
+          sched::Configure(c);
+        };
+        m.Revert = [sc]() { sched::Configure(sc); };
+        break;
+      }
+      case 1: // shallow the queue (less buffered memory, earlier pressure)
+      {
+        const long next =
+          ShallowerDepth(sc.QueueDepth, this->Cfg_.MaxQueueDepth);
+        if (next == sc.QueueDepth)
+          break;
+        m.Name = "sched.queue_depth " + std::to_string(sc.QueueDepth) +
+                 " -> " + std::to_string(next);
+        m.Apply = [sc, next]()
+        {
+          sched::SchedConfig c = sc;
+          c.QueueDepth = next;
+          sched::Configure(c);
+        };
+        m.Revert = [sc]() { sched::Configure(sc); };
+        break;
+      }
+      case 2: // next backpressure mode: block -> drop-oldest -> coalesce
+      {
+        const auto next = static_cast<sched::Backpressure>(
+          (static_cast<int>(sc.Pressure) + 1) % 3);
+        m.Name = std::string("sched.backpressure ") +
+                 sched::BackpressureName(sc.Pressure) + " -> " +
+                 sched::BackpressureName(next);
+        m.Apply = [sc, next]()
+        {
+          sched::SchedConfig c = sc;
+          c.Pressure = next;
+          sched::Configure(c);
+        };
+        m.Revert = [sc]() { sched::Configure(sc); };
+        break;
+      }
+      case 3: // next placement policy (frozen while graphs replay)
+      {
+        if (!this->Cfg_.AdaptPolicy)
+          break;
+        if (this->GraphActive_)
+        {
+          ++this->Stats_.PolicyFrozen;
+          break;
+        }
+        const auto next = static_cast<sched::PolicyKind>(
+          (static_cast<int>(sc.Policy) + 1) % 3);
+        m.Name = std::string("sched.policy ") +
+                 sched::PolicyKindName(sc.Policy) + " -> " +
+                 sched::PolicyKindName(next);
+        m.Apply = [sc, next]()
+        {
+          sched::SchedConfig c = sc;
+          c.Policy = next;
+          sched::Configure(c);
+        };
+        m.Revert = [sc]() { sched::Configure(sc); };
+        m.IsPolicy = true;
+        break;
+      }
+      case 4: // widen the exec worker pool
+      case 5: // narrow it
+      {
+        if (!this->Cfg_.AdaptExecThreads ||
+            xc.ExecMode != vp::exec::Mode::Threads)
+          break;
+        const int cur = std::max(1, xc.Threads);
+        const int next =
+          kind == 4 ? std::min(8, cur * 2) : std::max(1, cur / 2);
+        if (next == cur && !(kind == 5 && xc.Threads == 0))
+          break;
+        m.Name = "exec.threads " + std::to_string(xc.Threads) + " -> " +
+                 std::to_string(next);
+        m.Apply = [xc, next]()
+        {
+          vp::exec::ExecConfig c = xc;
+          c.Threads = next;
+          vp::exec::Configure(c);
+        };
+        m.Revert = [xc]() { vp::exec::Configure(xc); };
+        break;
+      }
+      default:
+        break;
+    }
+    return m;
+  };
+
+  for (std::size_t tried = 0; tried < this->Cooldown_.size(); ++tried)
+  {
+    const std::size_t kind = this->NextKind_;
+    this->NextKind_ = (this->NextKind_ + 1) % this->Cooldown_.size();
+    if (this->Cooldown_[kind] > 0)
+      continue;
+    Move m = makeMove(kind);
+    if (!m.Apply)
+      continue;
+
+    m.Apply();
+    this->TrialName_ = m.Name;
+    this->TrialRevert_ = m.Revert;
+    this->TrialKind_ = static_cast<int>(kind);
+    this->Phase_ = Phase::Trial;
+    ++this->Stats_.Trials;
+
+    std::ostringstream os;
+    os << "window " << this->Stats_.Windows << ": trial " << m.Name
+       << " (baseline " << metric << "s)";
+    this->Decisions_.push_back(os.str());
+    return true;
+  }
+  return false;
+}
+
+void OnlineTuner::DecideTrial(double metric)
+{
+  const bool keep =
+    this->HaveBaseline_ && this->Baseline_ > 0.0 &&
+    metric <= this->Baseline_ * (1.0 - this->Cfg_.Hysteresis);
+
+  std::ostringstream os;
+  os << "window " << this->Stats_.Windows << ": " << this->TrialName_
+     << " measured " << metric << "s vs baseline " << this->Baseline_
+     << "s -> " << (keep ? "kept" : "reverted");
+  this->Decisions_.push_back(os.str());
+
+  if (keep)
+  {
+    ++this->Stats_.Kept;
+    this->Baseline_ = metric; // the improved window is the new baseline
+  }
+  else
+  {
+    ++this->Stats_.Reverted;
+    if (this->TrialRevert_)
+      this->TrialRevert_();
+    if (this->TrialKind_ >= 0)
+      this->Cooldown_[static_cast<std::size_t>(this->TrialKind_)] =
+        this->Cfg_.CooldownWindows;
+  }
+  this->TrialName_.clear();
+  this->TrialRevert_ = nullptr;
+  this->TrialKind_ = -1;
+  this->Phase_ = Phase::Baseline;
+}
+
+void OnlineTuner::OnStep(long /*step*/)
+{
+  if (++this->StepsInWindow_ < this->Cfg_.WindowSteps)
+    return;
+  this->StepsInWindow_ = 0;
+
+  const double metric = this->CloseWindow();
+  const bool first = this->Stats_.Windows == 0;
+  ++this->Stats_.Windows;
+  for (int &c : this->Cooldown_)
+    c = std::max(0, c - 1);
+  if (first)
+    return; // the first window only seeds the snapshot
+
+  if (this->Phase_ == Phase::Trial)
+  {
+    this->DecideTrial(metric);
+    return;
+  }
+
+  // baseline phase: refresh the reference (the workload may have
+  // shifted under us), then put the next eligible change on trial
+  this->Baseline_ = metric;
+  this->HaveBaseline_ = true;
+  this->ProposeNext(metric);
+}
+
+void OnlineTuner::ExportStats(sensei::Profiler &prof) const
+{
+  prof.Event("tune::online_windows", static_cast<double>(this->Stats_.Windows));
+  prof.Event("tune::online_trials", static_cast<double>(this->Stats_.Trials));
+  prof.Event("tune::online_kept", static_cast<double>(this->Stats_.Kept));
+  prof.Event("tune::online_reverted",
+             static_cast<double>(this->Stats_.Reverted));
+  prof.Event("tune::online_policy_frozen",
+             static_cast<double>(this->Stats_.PolicyFrozen));
+}
+
+} // namespace tune

@@ -1,0 +1,155 @@
+#ifndef tuneSearch_h
+#define tuneSearch_h
+
+/// @file tuneSearch.h
+/// Offline search over the campaign scheduling space. The evaluator runs
+/// a (usually down-scaled) campaign on the virtual platform for each
+/// candidate configuration and scores it with the SET-style objective
+/// `cost = t^k · p` — virtual time raised to a configurable exponent
+/// times the peak payload footprint — so a single scalar trades run time
+/// against memory pressure the way SET's `e^k · d` trades energy against
+/// delay. `k = 0` reduces the objective to pure virtual time.
+///
+/// Search algorithms: a seeded simulated annealer (Metropolis accepts
+/// over knob-neighbourhood moves, geometric cooling, restarts from the
+/// incumbent) plus random-search and greedy hill-climb baselines run at
+/// the same evaluation budget, which is how `bench/um_tune` shows the
+/// annealer earns its keep. Evaluations are memoized on the emitted XML
+/// (identical candidates re-score for free) and fully deterministic: a
+/// fixed seed reproduces the identical trace, winner, and winning XML.
+
+#include "campaign.h"
+#include "tuneSpace.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sensei
+{
+class Profiler;
+}
+
+namespace tune
+{
+
+/// Score of one candidate.
+struct EvalResult
+{
+  double TotalSeconds = 0.0; ///< campaign virtual seconds (sum of cases)
+  double PeakBytes = 0.0;    ///< max over cases: queued + pooled high water
+  double Cost = 0.0;         ///< t^k · p (t when k = 0)
+  bool Valid = false;        ///< config loaded and the campaign completed
+  std::string Error;         ///< why Valid is false
+};
+
+/// What the evaluator runs and how it scores.
+struct EvalConfig
+{
+  /// The campaign each candidate is scored on. Defaults are the full
+  /// evaluation campaign; searches shrink this (fewer nodes/steps) to a
+  /// cheap proxy and re-score only the winner at full scale.
+  campaign::CampaignConfig Campaign;
+
+  /// The placement/execution cases, campaign::AllCases() when empty.
+  std::vector<campaign::CaseConfig> Cases;
+
+  /// Cost exponent k in `t^k · p`; 0 scores pure virtual time.
+  double K = 0.0;
+};
+
+/// Runs candidates on the virtual platform and memoizes their scores.
+/// Not thread safe (the virtual platform is process wide).
+class Evaluator
+{
+public:
+  explicit Evaluator(EvalConfig cfg);
+
+  /// Score one point (memoized on its canonical XML).
+  EvalResult Evaluate(const ConfigPoint &p);
+
+  /// Score a hand-written `<sensei>` document: its subsystem elements are
+  /// parsed into a ConfigPoint (unknown elements ignored) and evaluated
+  /// on the same campaign, so tuned and hand-written configurations
+  /// compare on identical workloads.
+  EvalResult EvaluateXml(const std::string &configXml);
+
+  /// Campaign runs actually performed (cache misses) / avoided (hits).
+  long Evaluations() const { return this->Misses_; }
+  long CacheHits() const { return this->Hits_; }
+
+  const EvalConfig &Config() const { return this->Cfg_; }
+
+private:
+  EvalResult Run(const ConfigPoint &p);
+
+  EvalConfig Cfg_;
+  std::vector<campaign::CaseConfig> Cases_;
+  std::map<std::string, EvalResult> Cache_;
+  long Misses_ = 0;
+  long Hits_ = 0;
+};
+
+/// Search knobs shared by the annealer and the baselines.
+struct SearchConfig
+{
+  std::uint64_t Seed = 42;  ///< reproducibility: same seed, same trace
+  int Budget = 48;          ///< evaluation budget (campaign runs)
+  double T0 = 0.25;         ///< initial temperature (relative cost units)
+  double Cooling = 0.92;    ///< geometric cooling per evaluated move
+  double TMin = 1e-3;       ///< temperature floor
+  int Restarts = 2;         ///< returns to the incumbent, budget split
+
+  /// Warm-start candidates (e.g. the best hand-written configuration, or
+  /// a previously tuned point) evaluated before the walk begins; the best
+  /// of these and the default configuration becomes the initial
+  /// incumbent. Their evaluations count against Budget.
+  std::vector<ConfigPoint> Warm;
+};
+
+/// One evaluated proposal in the search trace.
+struct TraceEntry
+{
+  long Eval = 0;        ///< evaluation count when proposed
+  std::string Move;     ///< "knob: old -> new" ("" for seeds/restarts)
+  double Cost = 0.0;    ///< candidate cost
+  double Best = 0.0;    ///< incumbent cost after the decision
+  bool Accepted = false;
+};
+
+/// Outcome of one search run.
+struct SearchResult
+{
+  std::string Algorithm;  ///< "anneal" | "random" | "greedy"
+  ConfigPoint Best;
+  EvalResult BestEval;
+  double InitialCost = 0.0; ///< cost of the default configuration
+  long Evaluations = 0;     ///< campaign runs this search consumed
+  long Accepted = 0;        ///< proposals accepted (anneal/greedy)
+  std::vector<TraceEntry> Trace;
+};
+
+/// Simulated annealing from the default configuration: one-knob
+/// neighbourhood moves, Metropolis acceptance on relative cost,
+/// geometric cooling, periodic restarts from the incumbent.
+SearchResult Anneal(Evaluator &ev, const KnobSpace &space,
+                    const SearchConfig &cfg);
+
+/// Uniform random sampling of the space at the same budget.
+SearchResult RandomSearch(Evaluator &ev, const KnobSpace &space,
+                          const SearchConfig &cfg);
+
+/// First-improvement hill climb: accept only strictly better neighbours.
+SearchResult GreedyClimb(Evaluator &ev, const KnobSpace &space,
+                         const SearchConfig &cfg);
+
+/// Record a search outcome as profiler counters: tune::evaluations,
+/// tune::cache_hits, tune::accepted, tune::initial_cost, tune::best_cost,
+/// tune::improvement (initial/best), following the `<subsystem>::` key
+/// contract so the trace rides along in Profiler::ToJson exports.
+void ExportTuneStats(sensei::Profiler &prof, const Evaluator &ev,
+                     const SearchResult &r);
+
+} // namespace tune
+
+#endif

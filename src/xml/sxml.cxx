@@ -1,6 +1,7 @@
 #include "sxml.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -58,6 +59,37 @@ const Element *Element::FirstChild(const std::string &name) const
   return nullptr;
 }
 
+Element *Element::FirstChild(const std::string &name)
+{
+  for (const auto &c : this->Children_)
+    if (c->Name() == name)
+      return c.get();
+  return nullptr;
+}
+
+void Element::SetAttributeInt(const std::string &k, long long v)
+{
+  this->Attrs_[k] = std::to_string(v);
+}
+
+void Element::SetAttributeDouble(const std::string &k, double v)
+{
+  // the fewest significant digits that parse back to the identical value
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec)
+  {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v)
+      break;
+  }
+  this->Attrs_[k] = buf;
+}
+
+void Element::SetAttributeBool(const std::string &k, bool v)
+{
+  this->Attrs_[k] = v ? "1" : "0";
+}
+
 std::vector<const Element *> Element::ChildrenNamed(const std::string &name) const
 {
   std::vector<const Element *> out;
@@ -72,6 +104,13 @@ Element *Element::AddChild(const std::string &name)
   this->Children_.emplace_back(std::make_unique<Element>());
   this->Children_.back()->SetName(name);
   return this->Children_.back().get();
+}
+
+Element *Element::FindOrAddChild(const std::string &name)
+{
+  if (Element *c = this->FirstChild(name))
+    return c;
+  return this->AddChild(name);
 }
 
 // --- parser -------------------------------------------------------------------

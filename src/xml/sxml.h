@@ -43,7 +43,8 @@ public:
   /// Concatenated character data directly inside this element (trimmed).
   const std::string &Text() const noexcept { return this->Text_; }
 
-  /// All attributes in document order of first appearance.
+  /// All attributes, keyed by name (lexicographic iteration order; the
+  /// serializer emits them in this order, so output is deterministic).
   const std::map<std::string, std::string> &Attributes() const noexcept
   {
     return this->Attrs_;
@@ -77,17 +78,38 @@ public:
   /// First child with the given tag name, or nullptr.
   const Element *FirstChild(const std::string &name) const;
 
+  /// Mutable first child with the given tag name, or nullptr.
+  Element *FirstChild(const std::string &name);
+
   /// All children with the given tag name.
   std::vector<const Element *> ChildrenNamed(const std::string &name) const;
 
-  // mutation (used by the parser and by tests building documents)
+  // mutation (used by the parser, the config emitters, and tests)
   void SetName(const std::string &n) { this->Name_ = n; }
   void SetText(const std::string &t) { this->Text_ = t; }
   void SetAttribute(const std::string &k, const std::string &v)
   {
     this->Attrs_[k] = v;
   }
+
+  /// Typed attribute setters, symmetric with AttributeInt /
+  /// AttributeDouble / AttributeBool (named methods rather than
+  /// SetAttribute overloads: a string literal would otherwise prefer the
+  /// pointer-to-bool conversion). Doubles are formatted with the fewest
+  /// digits that parse back to the identical value, so emitted configs
+  /// round-trip exactly and stay human readable.
+  void SetAttributeInt(const std::string &k, long long v);
+  void SetAttributeDouble(const std::string &k, double v);
+  void SetAttributeBool(const std::string &k, bool v);
+
+  /// Drop every attribute (an emitter taking full ownership of an
+  /// element it may have inherited from a hand-written document).
+  void ClearAttributes() { this->Attrs_.clear(); }
+
   Element *AddChild(const std::string &name);
+
+  /// First child with the given tag name, appended if absent.
+  Element *FindOrAddChild(const std::string &name);
 
 private:
   std::string Name_;
