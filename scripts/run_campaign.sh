@@ -80,6 +80,17 @@ fi
 if [ -f BENCH_tune.json ]; then
   echo "wrote results/BENCH_tune.json"
 fi
+# um_viz writes the steerable visualization campaign: 4-viewer streaming
+# with one comatose viewer (drop-oldest must fire while the responsive
+# viewers' p99 frame age stays bounded and no publish stalls the step
+# loop), a mid-run resolution+variable steer (applied within <= 2 step
+# boundaries without killing the viewer session), and the bit-exactness
+# probe (framebuffers identical across serial/threads x eager/graph);
+# the binary exits nonzero when a gate fails (the timing gate needs
+# >= 4 hardware threads, the steer and bit-exact gates always apply)
+if [ -f BENCH_viz.json ]; then
+  echo "wrote results/BENCH_viz.json"
+fi
 
 echo "== checked pooled campaign (VP_CHECK=1) =="
 # the race/lifetime checker instruments the whole pooled campaign; any
@@ -121,6 +132,12 @@ echo "== auto-tuner smoke gate (VP_CHECK=1) =="
 # clean; every acceptance gate still applies
 VP_CHECK=1 VP_TUNE_BUDGET=6 ../build/bench/um_tune \
   --benchmark_min_time=0.05 | tee um_tune_checked.txt
+echo "== steerable visualization campaign (VP_CHECK=1) =="
+# the streamer's fan-out, the viewer threads, the steer control path,
+# and the render kernels (host shards and the captured device graph)
+# under the checker; the steer and bit-exact gates still apply
+VP_CHECK=1 ../build/bench/um_viz --benchmark_min_time=0.05 \
+  | tee um_viz_checked.txt
 echo "== step-graph campaign (VP_CHECK=1) =="
 # capture, fusion, and replay under the checker: the validate-once capture
 # step plus every replayed step's summary edges must be race/lifetime
@@ -149,12 +166,15 @@ ctest --test-dir ../build -L graph --output-on-failure
 echo "== auto-tuner tests =="
 ctest --test-dir ../build -L tune --output-on-failure
 
+echo "== visualization tests =="
+ctest --test-dir ../build -L viz --output-on-failure
+
 echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
 # a separate ASan+UBSan build configuration; the real-thread pipeline,
 # the drop/coalesce task destruction paths, and the codec byte-twiddling
 # (shuffle, varint, quantize) run under the sanitizers
 cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
-cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph testTune
+cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph testTune testViz
 ../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_sanitized.txt
 ../build-sanitize/tests/testSched
@@ -173,13 +193,16 @@ VP_CHECK=1 ../build-sanitize/bench/um_graph --benchmark_min_time=0.05 \
 # the tuner's knob-space serialization, evaluator state resets, and the
 # online controller's apply/revert closures under ASan+UBSan
 ../build-sanitize/tests/testTune
+# framebuffer fills, per-viewer downsample/codec paths, the steer wire
+# encodings, and the streamer's session teardown under ASan+UBSan
+../build-sanitize/tests/testViz
 
 echo "== ThreadSanitizer execution-engine run (-DVP_TSAN=ON) =="
 # a separate TSan build configuration (mutually exclusive with ASan):
 # the worker queues, sharded regions, fences and event edges of the
 # threaded engine run under the race detector
 cmake -B ../build-tsan -S .. -G Ninja -DVP_TSAN=ON
-cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph testTune
+cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph testTune testViz
 ../build-tsan/tests/testExec
 VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
   | tee um_exec_tsan.txt
@@ -194,6 +217,10 @@ VP_EXEC=threads ../build-tsan/bench/um_graph --benchmark_min_time=0.05 \
 # lockstep evaluator campaigns (rank threads under the cooperative
 # scheduler) and the online controller under the race detector
 ../build-tsan/tests/testTune
+# the publisher step loop vs viewer poll threads vs the steer control
+# path: the streamer's pending-slot and fan-out locking under the race
+# detector
+../build-tsan/tests/testViz
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

@@ -10,6 +10,8 @@
 #include "schedPipeline.h"
 #include "svcSession.h"
 #include "sxml.h"
+#include "vizConfig.h"
+#include "vizRender.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
 #include "vpMemoryPool.h"
@@ -287,6 +289,86 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     }
   }
 
+  // optional <viz> element configures the steerable visualization
+  // endpoint: framebuffer resolution, transfer function defaults, the
+  // image-frame codec, the per-viewer push depth (a <service> knob the
+  // viz endpoint rides on), and per-viewer fidelity overrides as
+  // <viewer> children matched by admission order. VP_VIZ_* environment
+  // variables win over the XML, mirroring the VP_SVC_* convention.
+  if (const sxml::Element *ze = root.FirstChild("viz"))
+  {
+    viz::VizConfig cfg = viz::GetConfig();
+    try
+    {
+      if (!std::getenv("VP_VIZ_WIDTH"))
+        cfg.Width = static_cast<std::uint32_t>(
+          ze->AttributeInt("width", cfg.Width));
+      if (!std::getenv("VP_VIZ_HEIGHT"))
+        cfg.Height = static_cast<std::uint32_t>(
+          ze->AttributeInt("height", cfg.Height));
+      if (!std::getenv("VP_VIZ_COLORMAP"))
+        cfg.Map = viz::ColormapFromName(
+          ze->Attribute("colormap", viz::ColormapName(cfg.Map)));
+      if (!std::getenv("VP_VIZ_LOG"))
+        cfg.Log = ze->AttributeBool("log", cfg.Log);
+      if (ze->HasAttribute("range"))
+      {
+        std::vector<std::string> r = SplitList(ze->Attribute("range"));
+        if (r.size() != 2)
+          throw std::runtime_error("<viz> range must be 'lo,hi'");
+        cfg.Lo = std::stod(r[0]);
+        cfg.Hi = std::stod(r[1]);
+        cfg.AutoRange = false;
+      }
+      if (const char *env = std::getenv("VP_VIZ_CODEC"))
+        cfg.Codec.Codec = cmp::CodecIdFromName(env);
+      else if (ze->HasAttribute("codec"))
+        cfg.Codec.Codec = cmp::CodecIdFromName(ze->Attribute("codec"));
+      cfg.Codec.Level = static_cast<int>(
+        ze->AttributeInt("codec_level", cfg.Codec.Level));
+
+      cfg.Viewers.clear();
+      for (const sxml::Element *we : ze->ChildrenNamed("viewer"))
+      {
+        viz::ViewerOverride ov;
+        ov.Width = static_cast<std::uint32_t>(we->AttributeInt("width", 0));
+        ov.Height = static_cast<std::uint32_t>(we->AttributeInt("height", 0));
+        if (we->HasAttribute("codec"))
+        {
+          ov.HaveCodec = true;
+          ov.Codec.Codec = cmp::CodecIdFromName(we->Attribute("codec"));
+        }
+        cfg.Viewers.push_back(ov);
+      }
+
+      // the env overrides proper
+      if (const char *env = std::getenv("VP_VIZ_WIDTH"))
+        cfg.Width = static_cast<std::uint32_t>(std::atoi(env));
+      if (const char *env = std::getenv("VP_VIZ_HEIGHT"))
+        cfg.Height = static_cast<std::uint32_t>(std::atoi(env));
+      if (const char *env = std::getenv("VP_VIZ_COLORMAP"))
+        cfg.Map = viz::ColormapFromName(env);
+      if (const char *env = std::getenv("VP_VIZ_LOG"))
+        cfg.Log = std::atoi(env) != 0;
+
+      viz::Configure(cfg);
+
+      // the frame outbox rides the service layer
+      if (ze->HasAttribute("push_depth"))
+      {
+        svc::ServiceConfig scfg = svc::GetConfig();
+        scfg.PushDepth = static_cast<long>(ze->AttributeInt("push_depth",
+                                                            scfg.PushDepth));
+        svc::Configure(scfg);
+      }
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(std::string("ConfigurableAnalysis: <viz> ") +
+                               e.what());
+    }
+  }
+
   // optional <fault> element arms the deterministic fault injector
   if (const sxml::Element *fe = root.FirstChild("fault"))
   {
@@ -453,6 +535,73 @@ AnalysisAdaptor *ConfigurableAnalysis::BuildAnalysis(const sxml::Element &el)
       throw;
     }
     return b;
+  }
+
+  if (type == "render")
+  {
+    // the steerable rendering endpoint: a data binning driven through a
+    // transfer function; defaults come from the <viz> element
+    const viz::VizConfig vcfg = viz::GetConfig();
+    viz::RenderAnalysis *r = viz::RenderAnalysis::New();
+    try
+    {
+      r->SetMeshName(el.Attribute("mesh", "table"));
+      r->SetAxes(SplitList(el.Attribute("axes", "x,y")));
+      if (el.HasAttribute("resolution"))
+        r->SetBinResolution(el.AttributeInt("resolution", 256));
+
+      const std::vector<std::string> axes = SplitList(el.Attribute(
+        "axes", "x,y"));
+      for (std::size_t a = 0; a < axes.size(); ++a)
+      {
+        const std::string key = "range_" + std::to_string(a);
+        if (el.HasAttribute(key))
+        {
+          std::vector<std::string> rg = SplitList(el.Attribute(key));
+          if (rg.size() != 2)
+            throw std::runtime_error("render: " + key + " must be 'lo,hi'");
+          r->SetBinRange(static_cast<int>(a), std::stod(rg[0]),
+                         std::stod(rg[1]));
+        }
+      }
+
+      if (el.HasAttribute("variable"))
+        r->SetVariable(el.Attribute("variable"), el.Attribute("op", "sum"));
+
+      r->SetImageSize(
+        static_cast<std::uint32_t>(el.AttributeInt("width", vcfg.Width)),
+        static_cast<std::uint32_t>(el.AttributeInt("height", vcfg.Height)));
+
+      viz::TransferFunction tf;
+      tf.Map = viz::ColormapFromName(
+        el.Attribute("colormap", viz::ColormapName(vcfg.Map)));
+      tf.Log = el.AttributeBool("log", vcfg.Log);
+      tf.AutoRange = vcfg.AutoRange;
+      tf.Lo = vcfg.Lo;
+      tf.Hi = vcfg.Hi;
+      if (el.HasAttribute("range"))
+      {
+        std::vector<std::string> rg = SplitList(el.Attribute("range"));
+        if (rg.size() != 2)
+          throw std::runtime_error("render: range must be 'lo,hi'");
+        tf.Lo = std::stod(rg[0]);
+        tf.Hi = std::stod(rg[1]);
+        tf.AutoRange = false;
+      }
+      r->SetTransfer(tf);
+    }
+    catch (const std::invalid_argument &e)
+    {
+      r->UnRegister();
+      throw std::runtime_error(std::string("ConfigurableAnalysis: render: ") +
+                               e.what());
+    }
+    catch (...)
+    {
+      r->UnRegister();
+      throw;
+    }
+    return r;
   }
 
   if (type == "histogram")

@@ -108,6 +108,10 @@ public:
   /// Add a reduction of `column` (ignored/empty for Count).
   void AddOperation(const std::string &column, BinningOp op);
 
+  /// Drop every configured reduction (the implicit count remains). Used
+  /// by steering to swap the rendered variable mid-run.
+  void ClearOperations() { this->Ops_.clear(); }
+
   /// Write the result grid as <dir>/<prefix>_<step>.vti on rank 0 every
   /// `frequency` steps (0 disables writing, the default).
   void SetOutput(const std::string &dir, const std::string &prefix,

@@ -5,6 +5,7 @@
 #include "graphCapture.h"
 #include "schedPipeline.h"
 #include "svcSession.h"
+#include "vizConfig.h"
 #include "vpChecker.h"
 #include "vpFaultInjector.h"
 #include "vpLoadTracker.h"
@@ -230,6 +231,31 @@ void ExportServiceStats(Profiler &prof)
   prof.Event("svc::queue_depth_high_water",
              static_cast<double>(s.QueueHighWater));
   prof.Event("svc::short_reads", static_cast<double>(s.ShortReads));
+  prof.Event("svc::frames_pushed", static_cast<double>(s.FramesPushed));
+  prof.Event("svc::push_drops", static_cast<double>(s.PushDrops));
+  prof.Event("svc::steers", static_cast<double>(s.Steers));
+  prof.Event("svc::heartbeat_acks", static_cast<double>(s.HeartbeatAcks));
+  // mean of the per-beat client-measured round trips; 0 until a client
+  // reported one
+  prof.Event("svc::heartbeat_rtt_us",
+             s.RttCount ? static_cast<double>(s.RttSumUs) /
+                            static_cast<double>(s.RttCount)
+                        : 0.0);
+  prof.Event("svc::heartbeat_rtt_max_us", static_cast<double>(s.RttMaxUs));
+}
+
+void ExportVizStats(Profiler &prof)
+{
+  const viz::VizStats s = viz::Stats();
+  prof.Event("viz::frames_rendered", static_cast<double>(s.FramesRendered));
+  prof.Event("viz::frames_published",
+             static_cast<double>(s.FramesPublished));
+  prof.Event("viz::steers_applied", static_cast<double>(s.SteersApplied));
+  prof.Event("viz::steers_stale", static_cast<double>(s.SteersStale));
+  prof.Event("viz::recaptures", static_cast<double>(s.Recaptures));
+  prof.Event("viz::frame_age_count", static_cast<double>(s.FrameAgeCount));
+  prof.Event("viz::frame_age_p99_us", static_cast<double>(s.FrameAgeP99Us));
+  prof.Event("viz::frame_age_max_us", static_cast<double>(s.FrameAgeMaxUs));
 }
 
 } // namespace sensei

@@ -222,8 +222,19 @@ void ExportGraphStats(Profiler &prof);
 /// svc::frames_sent / _accepted / _dropped / _coalesced / _rejected /
 /// _executed, svc::heartbeats, svc::bytes_raw, svc::bytes_wire,
 /// svc::queue_depth_high_water, svc::short_reads — the multi-tenant
-/// service's health in the same JSON as the timing data.
+/// service's health in the same JSON as the timing data — plus the
+/// server->client push path (svc::frames_pushed, svc::push_drops), the
+/// steering control plane (svc::steers, svc::heartbeat_acks), and the
+/// per-session heartbeat round trip (svc::heartbeat_rtt_us mean,
+/// svc::heartbeat_rtt_max_us).
 void ExportServiceStats(Profiler &prof);
+
+/// Record the visualization endpoint counters (viz::Stats) as profiler
+/// events: viz::frames_rendered / _published, viz::steers_applied /
+/// _stale, viz::recaptures, and the frame-age distribution
+/// (viz::frame_age_count / _p99_us / _max_us) — how fresh the frames
+/// the viewers saw actually were.
+void ExportVizStats(Profiler &prof);
 
 } // namespace sensei
 

@@ -58,6 +58,22 @@ double DeviceLoadTracker::Backlog(int node, int device, double now) const
   return std::max(0.0, horizon - now);
 }
 
+void DeviceLoadTracker::NoteInteractive(int node, int device)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  if (device < 0)
+    this->Interactive_.erase(node);
+  else
+    this->Interactive_[node] = device;
+}
+
+int DeviceLoadTracker::InteractiveDevice(int node) const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  auto it = this->Interactive_.find(node);
+  return it == this->Interactive_.end() ? -1 : it->second;
+}
+
 std::uint64_t DeviceLoadTracker::Placements(int node, int device) const
 {
   std::lock_guard<std::mutex> lock(this->Mutex_);
@@ -82,6 +98,7 @@ void DeviceLoadTracker::Reset()
   std::lock_guard<std::mutex> lock(this->Mutex_);
   this->Placements_.clear();
   this->PendingUntil_.clear();
+  this->Interactive_.clear();
 }
 
 } // namespace vp

@@ -49,6 +49,15 @@ public:
   /// promised-work horizon extends (0 when the device is idle).
   double Backlog(int node, int device, double now) const;
 
+  /// Mark `device` as the one currently serving an interactive
+  /// (latency-sensitive) workload on `node`. Throughput placements bias
+  /// away from it on close calls so the interactive path stays short.
+  void NoteInteractive(int node, int device);
+
+  /// The device serving interactive work on `node`, or -1 when none
+  /// was noted since the last Reset.
+  int InteractiveDevice(int node) const;
+
   /// Placement count for (node, device); device -1 queries the host.
   std::uint64_t Placements(int node, int device) const;
 
@@ -66,6 +75,7 @@ private:
   mutable std::mutex Mutex_;
   std::map<std::pair<int, int>, std::uint64_t> Placements_;
   std::map<std::pair<int, int>, double> PendingUntil_;
+  std::map<int, int> Interactive_; ///< node -> interactive device
 };
 
 } // namespace vp

@@ -102,12 +102,21 @@ public:
   {
     vp::DeviceLoadTracker &tracker = vp::DeviceLoadTracker::Get();
     const double now = vp::ThisClock().Now();
-    const int d = PickByScore(
-      req, [&](int dev) { return tracker.Backlog(req.Node, dev, now); });
+    const bool interactive = req.Hint.Latency == LatencyClass::Interactive;
+    const int avoid =
+      interactive ? -1 : tracker.InteractiveDevice(req.Node);
+    const int d = PickByScore(req,
+                              [&](int dev)
+                              {
+                                return tracker.Backlog(req.Node, dev, now) +
+                                       (dev == avoid ? kInteractiveBias : 0.0);
+                              });
     if (d >= 0)
     {
       tracker.RecordPlacement(req.Node, d);
       tracker.RecordAssignment(req.Node, d, EstimateSeconds(req.Hint), now);
+      if (interactive)
+        tracker.NoteInteractive(req.Node, d);
     }
     return d;
   }
@@ -148,16 +157,22 @@ public:
     // predicted completion: wait out the backlog, move the payload, run.
     // backlog differs per device; kernel and movement do not, but keeping
     // them in the score documents what is being predicted.
+    const bool interactive = req.Hint.Latency == LatencyClass::Interactive;
+    const int avoid =
+      interactive ? -1 : tracker.InteractiveDevice(req.Node);
     const int d = PickByScore(req,
                               [&](int dev)
                               {
                                 return tracker.Backlog(req.Node, dev, now) +
-                                       moveSeconds + kernelSeconds;
+                                       moveSeconds + kernelSeconds +
+                                       (dev == avoid ? kInteractiveBias : 0.0);
                               });
     if (d >= 0)
     {
       tracker.RecordPlacement(req.Node, d);
       tracker.RecordAssignment(req.Node, d, kernelSeconds + moveSeconds, now);
+      if (interactive)
+        tracker.NoteInteractive(req.Node, d);
     }
     return d;
   }

@@ -50,6 +50,19 @@ PolicyKind PolicyKindFromName(const std::string &name);
 /// Stable lower-case name ("static", "least-loaded", "cost-model").
 const char *PolicyKindName(PolicyKind k);
 
+/// Scheduling class of the work being placed. Interactive requests (a
+/// steerable viz render, a viewer-facing frame) win their device on
+/// backlog alone and mark it the node's interactive device; subsequent
+/// throughput requests pay a small score bias to land there, so close
+/// calls move bulk work off the interactive path while a hugely loaded
+/// alternative still loses. The `static` policy ignores the class —
+/// Eq. 1 is oblivious by design.
+enum class LatencyClass : int
+{
+  Throughput = 0, ///< bulk analysis: minimize completion time
+  Interactive     ///< viewer-facing: minimize queueing delay
+};
+
 /// Optional per-step description of the work being placed, used by the
 /// cost-model policy. A default-constructed hint (no elements) makes
 /// cost-model fall back to backlog comparison (= least-loaded).
@@ -59,7 +72,14 @@ struct WorkHint
   double OpsPerElement = 1.0;  ///< elementary operations per element
   double AtomicFraction = 0.0; ///< fraction of atomic-bound work
   std::size_t MoveBytes = 0;   ///< payload bytes that must reach the device
+  LatencyClass Latency = LatencyClass::Throughput;
 };
+
+/// Score penalty (virtual seconds) a throughput placement pays for the
+/// node's interactive device: large enough to break exact ties and
+/// near-ties away from it, small enough that real load imbalance
+/// dominates.
+constexpr double kInteractiveBias = 1.0e-4;
 
 /// Everything a policy needs for one decision.
 struct PlacementRequest

@@ -175,13 +175,91 @@ void Client::Heartbeat()
   h.Kind = FrameKind::Heartbeat;
   h.Session = this->Welcome_.Session;
   h.SendTime = RealNow();
-  const std::vector<std::uint8_t> img = EncodeFrame(h, nullptr, 0);
+  // piggyback the last measured RTT (u64 LE microseconds; 0 = none yet)
+  // so the server's per-session latency signal stays live without a
+  // dedicated report frame
+  std::uint8_t rtt[8];
+  const std::uint64_t us = this->LastRttUs_.load();
+  for (int i = 0; i < 8; ++i)
+    rtt[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(us >> (8 * i));
+  const std::vector<std::uint8_t> img = EncodeFrame(h, rtt, sizeof(rtt));
   // a full ring means the session has buffered traffic, which already
   // proves liveness — dropping the beat is fine (timeout 0). The send
   // is all-or-nothing: a beat that fits only partially would leave a
   // dangling announced transfer and corrupt the stream.
   this->Port_->SendChunkedAtomic(img.data(), img.size(),
                                  GetConfig().MaxChunkBytes, /*timeout=*/0.0);
+}
+
+bool Client::SendSteer(const void *payload, std::size_t bytes,
+                       std::uint64_t version)
+{
+  if (!this->Connected_.load() || this->Down_.load())
+    return false;
+  FrameHeader h;
+  h.Kind = FrameKind::Steer;
+  h.Session = this->Welcome_.Session;
+  h.Step = version;
+  h.SendTime = RealNow();
+  h.RawBytes = bytes;
+  const std::vector<std::uint8_t> img = EncodeFrame(h, payload, bytes);
+  std::lock_guard<std::mutex> lock(this->SendMutex_);
+  // atomic so a steer can never interleave with a concurrent data frame
+  // or heartbeat on the ring
+  return this->Port_->SendChunkedAtomic(img.data(), img.size(),
+                                        GetConfig().MaxChunkBytes,
+                                        /*timeout=*/1.0) == IoStatus::Ok;
+}
+
+bool Client::Poll(Frame &out, double timeoutSeconds)
+{
+  if (this->Down_.load())
+    return false;
+  const double deadline = RealNow() + timeoutSeconds;
+  std::lock_guard<std::mutex> lock(this->RecvMutex_);
+  while (true)
+  {
+    std::vector<std::uint8_t> msg;
+    IoStatus st;
+    if (timeoutSeconds <= 0.0)
+    {
+      st = this->Port_->TryRecv(msg);
+    }
+    else
+    {
+      const double left = deadline - RealNow();
+      st = left > 0.0 ? this->Port_->Recv(msg, left) : IoStatus::Timeout;
+    }
+    if (st != IoStatus::Ok)
+      return false;
+
+    try
+    {
+      std::vector<std::uint8_t> wire;
+      if (!this->Rx_.Feed(std::move(msg), wire))
+        continue;
+      Frame f = DecodeFrame(std::move(wire));
+      if (f.Header.Kind == FrameKind::HeartbeatAck)
+      {
+        // the ack echoes our beat's send stamp: now - stamp is the RTT
+        const double rtt = RealNow() - f.Header.SendTime;
+        this->LastRttUs_.store(static_cast<std::uint64_t>(
+          std::max(1.0, rtt * 1e6)));
+        continue;
+      }
+      if (f.Header.Kind == FrameKind::Push)
+      {
+        out = std::move(f);
+        return true;
+      }
+      continue; // anything else on this direction is not ours to act on
+    }
+    catch (const std::exception &)
+    {
+      this->Rx_.Reset(); // a malformed stream: drop the partial state
+      return false;
+    }
+  }
 }
 
 void Client::StartHeartbeats()

@@ -56,7 +56,27 @@ public:
                  std::size_t rawBytes, bool compressed);
 
   /// Send one heartbeat (cheap; lets an idle client stay admitted).
+  /// Carries the last measured round-trip time so the server can track
+  /// per-session latency; the server echoes a HeartbeatAck that Poll
+  /// absorbs to produce the next measurement.
   void Heartbeat();
+
+  /// Send one steering command (control plane; dispatched by the server
+  /// ahead of all queued data). `version` is the command's monotonic
+  /// version — the consumer discards stale commands. Returns false when
+  /// the frame was not delivered.
+  bool SendSteer(const void *payload, std::size_t bytes,
+                 std::uint64_t version);
+
+  /// Drain the server->client direction: absorbs HeartbeatAck frames
+  /// (updating LastRttUs) and returns the next Push frame, if any,
+  /// within `timeoutSeconds` (<= 0 polls without waiting). Returns
+  /// false on timeout or a dead connection.
+  bool Poll(Frame &out, double timeoutSeconds);
+
+  /// Last measured heartbeat round-trip time, microseconds (0 until an
+  /// ack came back through Poll).
+  std::uint64_t LastRttUs() const { return this->LastRttUs_.load(); }
 
   /// Beat automatically from a background thread at the negotiated
   /// interval until Close/Crash.
@@ -84,6 +104,10 @@ private:
   /// must never send concurrently or the streams interleave and the
   /// server's assembler kills the session.
   std::mutex SendMutex_;
+  /// Serializes the receive path (Poll) and its reassembly state.
+  std::mutex RecvMutex_;
+  FrameAssembler Rx_;
+  std::atomic<std::uint64_t> LastRttUs_{0};
   std::string MeshName_;
   WelcomeInfo Welcome_;
   std::string RejectReason_;

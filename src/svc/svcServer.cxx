@@ -18,6 +18,14 @@ double RealNow()
            std::chrono::steady_clock::now().time_since_epoch())
     .count();
 }
+
+/// Interactive viewer sessions announce themselves with a "viz:" mesh
+/// prefix in their Hello; the dispatcher serves them first each round
+/// and places their frames with the Interactive latency class.
+bool IsVizMesh(const std::string &mesh)
+{
+  return mesh.rfind("viz:", 0) == 0;
+}
 } // namespace
 
 const char *SessionEndName(SessionEnd e)
@@ -48,6 +56,61 @@ void Server::SetSessionCallbacks(OpenHandler onOpen, CloseHandler onClose)
 {
   this->OnOpen_ = std::move(onOpen);
   this->OnClose_ = std::move(onClose);
+}
+
+void Server::SetSteerHandler(SteerHandler onSteer)
+{
+  this->OnSteer_ = std::move(onSteer);
+}
+
+bool Server::Publish(std::uint32_t session, std::uint64_t step,
+                     const void *payload, std::size_t bytes,
+                     std::size_t rawBytes, bool compressed)
+{
+  std::shared_ptr<Remote> r;
+  {
+    std::lock_guard<std::mutex> lock(this->RemoteMutex_);
+    auto it = this->Remotes_.find(session);
+    if (it == this->Remotes_.end())
+      return false;
+    r = it->second;
+  }
+
+  FrameHeader h;
+  h.Kind = FrameKind::Push;
+  h.Session = session;
+  h.Flags = compressed ? kFrameFlagCompressed : 0;
+  h.Step = step;
+  h.SendTime = RealNow();
+  h.RawBytes = rawBytes;
+  std::vector<std::uint8_t> img = EncodeFrame(h, payload, bytes);
+
+  std::uint64_t drops = 0;
+  {
+    std::lock_guard<std::mutex> lock(r->Mutex);
+    r->Out.emplace_back(std::move(img));
+    const auto depth =
+      static_cast<std::size_t>(std::max<long>(1, this->Config_.PushDepth));
+    while (r->Out.size() > depth)
+    {
+      r->Out.pop_front(); // a slow viewer loses old frames, never stalls us
+      ++drops;
+    }
+  }
+  UpdateStats(
+    [&](ServiceStats &st)
+    {
+      ++st.FramesPushed;
+      st.PushDrops += drops;
+    });
+  return true;
+}
+
+std::uint64_t Server::SessionRttUs(std::uint32_t session) const
+{
+  std::lock_guard<std::mutex> lock(this->RemoteMutex_);
+  auto it = this->Remotes_.find(session);
+  return it == this->Remotes_.end() ? 0 : it->second->RttUs.load();
 }
 
 void Server::Start()
@@ -155,6 +218,9 @@ int Server::PlaceFrame(const Session &s, const Frame &f)
   // real to predict with: raw elements moved and touched once
   req.Hint.Elements = static_cast<std::size_t>(f.Header.RawBytes / 8);
   req.Hint.MoveBytes = static_cast<std::size_t>(f.Header.PayloadBytes);
+  req.Hint.Latency = IsVizMesh(s.Hello.MeshName)
+                       ? sched::LatencyClass::Interactive
+                       : sched::LatencyClass::Throughput;
   const int d = sched::GetPolicy(this->Config_.Policy).SelectDevice(req);
   if (d < 0 || d >= this->Config_.Workers)
     return static_cast<int>(s.Id) % this->Config_.Workers;
@@ -213,6 +279,12 @@ void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
       w.Pressure = this->Config_.Pressure;
       w.HeartbeatMs = this->Config_.HeartbeatMs;
 
+      s.Out = std::make_shared<Remote>();
+      {
+        std::lock_guard<std::mutex> lock(this->RemoteMutex_);
+        this->Remotes_[s.Id] = s.Out;
+      }
+
       FrameHeader wh;
       wh.Kind = FrameKind::Welcome;
       wh.Session = s.Id;
@@ -228,8 +300,41 @@ void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
     }
 
     case FrameKind::Heartbeat:
-      UpdateStats([](ServiceStats &st) { ++st.Heartbeats; });
+    {
+      // the beat optionally carries the client's last measured RTT as a
+      // u64 LE microsecond count (old zero-payload beats stay valid)
+      std::uint64_t rtt = 0;
+      if (f.Payload.size() >= 8)
+        rtt = cmp::LoadLE64(f.Payload.data());
+      UpdateStats(
+        [&](ServiceStats &st)
+        {
+          ++st.Heartbeats;
+          if (rtt)
+          {
+            ++st.RttCount;
+            st.RttSumUs += rtt;
+            st.RttMaxUs = std::max(st.RttMaxUs, rtt);
+          }
+        });
+      if (s.Out && rtt)
+        s.Out->RttUs.store(rtt);
+      if (s.Welcomed)
+      {
+        // echo the beat's send stamp so the client can measure RTT;
+        // best effort — a full return ring just skips this ack
+        FrameHeader ah;
+        ah.Kind = FrameKind::HeartbeatAck;
+        ah.Session = s.Id;
+        ah.SendTime = f.Header.SendTime;
+        const std::vector<std::uint8_t> img = EncodeFrame(ah, nullptr, 0);
+        if (s.Io->SendChunkedAtomic(img.data(), img.size(),
+                                    this->Config_.MaxChunkBytes,
+                                    /*timeout=*/0.0) == IoStatus::Ok)
+          UpdateStats([](ServiceStats &st) { ++st.HeartbeatAcks; });
+      }
       return;
+    }
 
     case FrameKind::Goodbye:
       s.Draining = true;
@@ -274,8 +379,25 @@ void Server::HandleWire(Session &s, std::vector<std::uint8_t> &&wire)
       return;
     }
 
+    case FrameKind::Steer:
+    {
+      if (!s.Welcomed || f.Header.Session != s.Id)
+      {
+        UpdateStats([](ServiceStats &st) { ++st.FramesRejected; });
+        return;
+      }
+      // steering is control plane: dispatched here, ahead of every
+      // queued data frame, so a command is never stuck behind bulk work
+      UpdateStats([](ServiceStats &st) { ++st.Steers; });
+      if (this->OnSteer_)
+        this->OnSteer_(s.Id, f.Header, std::move(f.Payload));
+      return;
+    }
+
     case FrameKind::Welcome:
     case FrameKind::Reject:
+    case FrameKind::Push:
+    case FrameKind::HeartbeatAck:
       // server-bound streams must not carry server-to-client kinds
       throw std::runtime_error("svc: unexpected frame kind on session " +
                                std::to_string(s.Id));
@@ -351,6 +473,42 @@ bool Server::PollSession(Session &s)
   return moved;
 }
 
+bool Server::PushSession(Session &s)
+{
+  if (!s.Out || s.Draining)
+    return false;
+  bool moved = false;
+  while (true)
+  {
+    std::vector<std::uint8_t> img;
+    {
+      std::lock_guard<std::mutex> lock(s.Out->Mutex);
+      if (s.Out->Out.empty())
+        break;
+      img = std::move(s.Out->Out.front());
+      s.Out->Out.pop_front();
+    }
+    // all-or-nothing with no wait: a full return ring keeps the frame
+    // for the next round instead of blocking the dispatcher
+    const IoStatus st = s.Io->SendChunkedAtomic(
+      img.data(), img.size(), this->Config_.MaxChunkBytes, /*timeout=*/0.0);
+    if (st == IoStatus::Ok)
+    {
+      moved = true;
+      continue;
+    }
+    if (st == IoStatus::Closed || st == IoStatus::Dead)
+    {
+      s.Draining = true; // the viewer is gone
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(s.Out->Mutex);
+    s.Out->Out.emplace_front(std::move(img));
+    break;
+  }
+  return moved;
+}
+
 bool Server::DrainSession(Session &s)
 {
   bool moved = false;
@@ -387,12 +545,19 @@ void Server::DispatchLoop()
     const bool stopping = this->StopRequested_.load();
     bool progress = this->AdmitPending();
 
-    for (auto &sp : this->Sessions_)
-    {
-      Session &s = *sp;
-      progress |= this->PollSession(s);
-      progress |= this->DrainSession(s);
-    }
+    // viz-aware dispatch priority: interactive viewer sessions are
+    // polled (steers dispatch inside the poll), pushed, and drained
+    // before the throughput tenants each round
+    for (int pass = 0; pass < 2; ++pass)
+      for (auto &sp : this->Sessions_)
+      {
+        Session &s = *sp;
+        if ((pass == 0) != IsVizMesh(s.Hello.MeshName))
+          continue;
+        progress |= this->PollSession(s);
+        progress |= this->PushSession(s);
+        progress |= this->DrainSession(s);
+      }
 
     // finalize drained sessions
     for (std::size_t i = 0; i < this->Sessions_.size();)
@@ -461,6 +626,10 @@ void Server::EndSession(Session &s, SessionEnd why)
       }
     });
   s.Assembler.Reset();
+  {
+    std::lock_guard<std::mutex> lock(this->RemoteMutex_);
+    this->Remotes_.erase(s.Id);
+  }
   // wake a client blocked in Send (its ring will not drain again) and
   // tell one blocked in Recv that the server is done with it
   s.Link->ToServer.Close();

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +73,15 @@ public:
   using CloseHandler = std::function<void(std::uint32_t session,
                                           SessionEnd why)>;
 
+  /// Called on the dispatcher thread the moment a Steer control frame
+  /// arrives — steering bypasses the data queue entirely (that is the
+  /// viz dispatch priority), so the handler must be cheap and must not
+  /// block (typically: stash the command under a mutex for the next
+  /// step boundary).
+  using SteerHandler = std::function<void(
+    std::uint32_t session, const FrameHeader &header,
+    std::vector<std::uint8_t> &&payload)>;
+
   explicit Server(FrameHandler handler, ServiceConfig cfg = GetConfig());
   ~Server();
 
@@ -80,6 +90,23 @@ public:
 
   /// Install session lifecycle callbacks (before Start).
   void SetSessionCallbacks(OpenHandler onOpen, CloseHandler onClose);
+
+  /// Install the steering callback (before Start).
+  void SetSteerHandler(SteerHandler onSteer);
+
+  /// Queue one server->client Push frame for `session`. Thread-safe and
+  /// never blocking: the frame lands in the session's bounded outbox
+  /// (ServiceConfig::PushDepth) under drop-oldest, and the dispatcher
+  /// ships it when the return ring has room — a slow viewer loses old
+  /// frames instead of stalling the publisher. Returns false when the
+  /// session is unknown (already ended).
+  bool Publish(std::uint32_t session, std::uint64_t step,
+               const void *payload, std::size_t bytes, std::size_t rawBytes,
+               bool compressed);
+
+  /// Last heartbeat round-trip time the session reported, microseconds
+  /// (0 until the client's second beat carries a measurement).
+  std::uint64_t SessionRttUs(std::uint32_t session) const;
 
   /// Spin up the dispatcher and the worker pool.
   void Start();
@@ -106,6 +133,16 @@ public:
   const ServiceConfig &Config() const { return this->Config_; }
 
 private:
+  /// The shared server->client side of a session: the bounded push
+  /// outbox (filled by Publish from any thread, drained by the
+  /// dispatcher) and the last heartbeat RTT the client reported.
+  struct Remote
+  {
+    std::mutex Mutex;
+    std::deque<std::vector<std::uint8_t>> Out; ///< encoded wire images
+    std::atomic<std::uint64_t> RttUs{0};
+  };
+
   struct Session
   {
     std::uint32_t Id = 0;
@@ -114,6 +151,7 @@ private:
     FrameAssembler Assembler;
     FrameQueue Queue;
     HelloInfo Hello;
+    std::shared_ptr<Remote> Out; ///< set once Welcomed
     bool Welcomed = false;
     bool Draining = false; ///< Goodbye seen: drain the queue, then close
     double LastHeard = 0.0; ///< real-clock seconds of last traffic
@@ -140,6 +178,10 @@ private:
   /// Route queued frames to workers; returns true when anything moved.
   bool DrainSession(Session &s);
 
+  /// Ship queued push frames into the session's return ring; returns
+  /// true when anything moved.
+  bool PushSession(Session &s);
+
   /// Handle one complete frame image from a session's assembler.
   void HandleWire(Session &s, std::vector<std::uint8_t> &&wire);
 
@@ -155,6 +197,10 @@ private:
   FrameHandler Handler_;
   OpenHandler OnOpen_;
   CloseHandler OnClose_;
+  SteerHandler OnSteer_;
+
+  mutable std::mutex RemoteMutex_;
+  std::map<std::uint32_t, std::shared_ptr<Remote>> Remotes_;
 
   mutable std::mutex PendingMutex_;
   std::vector<std::shared_ptr<Channel>> Pending_; ///< unadmitted connects

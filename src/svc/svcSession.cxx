@@ -35,6 +35,8 @@ void Configure(const ServiceConfig &cfg)
     throw std::invalid_argument("svc: heartbeat_ms must be >= 1");
   if (cfg.MissedHeartbeats < 1)
     throw std::invalid_argument("svc: missed_heartbeats must be >= 1");
+  if (cfg.PushDepth < 1)
+    throw std::invalid_argument("svc: push_depth must be >= 1");
   if (cfg.HaveCodecOverride &&
       cfg.CodecOverride.Codec == cmp::CodecId::Quantize &&
       cfg.CodecOverride.ErrorBound <= 0.0)

@@ -41,6 +41,7 @@ struct ServiceConfig
   std::size_t RingBytes = 1u << 20;  ///< per-direction ring byte budget
   std::size_t RingMessages = 64;     ///< per-direction descriptor budget
   std::size_t MaxChunkBytes = 64u * 1024; ///< chunk size on the rings
+  long PushDepth = 2; ///< server->client frames buffered per session
   bool HaveCodecOverride = false; ///< server forces the frame codec
   cmp::Params CodecOverride;      ///< the forced codec when overridden
 };
@@ -71,6 +72,13 @@ struct ServiceStats
   std::uint64_t BytesWire = 0;       ///< frame bytes as shipped
   std::uint64_t QueueHighWater = 0;  ///< max per-session queue depth seen
   std::uint64_t ShortReads = 0;      ///< sessions killed mid-frame
+  std::uint64_t FramesPushed = 0;    ///< server->client frames published
+  std::uint64_t PushDrops = 0;       ///< pushed frames discarded (drop-oldest)
+  std::uint64_t Steers = 0;          ///< steer control frames dispatched
+  std::uint64_t HeartbeatAcks = 0;   ///< heartbeat echoes the server returned
+  std::uint64_t RttCount = 0;        ///< heartbeat RTT samples reported
+  std::uint64_t RttSumUs = 0;        ///< sum of reported RTTs, microseconds
+  std::uint64_t RttMaxUs = 0;        ///< max reported RTT, microseconds
 };
 
 /// Counters since the last ResetStats().

@@ -69,6 +69,9 @@ const char *FrameKindName(FrameKind k)
     case FrameKind::Data: return "data";
     case FrameKind::Heartbeat: return "heartbeat";
     case FrameKind::Goodbye: return "goodbye";
+    case FrameKind::Steer: return "steer";
+    case FrameKind::Push: return "push";
+    case FrameKind::HeartbeatAck: return "heartbeat-ack";
   }
   return "unknown";
 }
@@ -97,7 +100,7 @@ FrameHeader DecodeFrameHeader(const std::uint8_t *bytes, std::size_t size)
   if (bytes[4] != kProtocolVersion)
     throw std::runtime_error("svc: unsupported protocol version " +
                              std::to_string(bytes[4]));
-  if (bytes[5] > static_cast<std::uint8_t>(FrameKind::Goodbye))
+  if (bytes[5] > static_cast<std::uint8_t>(FrameKind::HeartbeatAck))
     throw std::runtime_error("svc: unknown frame kind " +
                              std::to_string(bytes[5]));
 

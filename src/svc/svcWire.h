@@ -49,7 +49,10 @@ enum class FrameKind : std::uint8_t
   Reject = 2,    ///< server -> client: session refused (reason string)
   Data = 3,      ///< client -> server: one analysis frame
   Heartbeat = 4, ///< client -> server: liveness while idle
-  Goodbye = 5    ///< client -> server: graceful leave
+  Goodbye = 5,   ///< client -> server: graceful leave
+  Steer = 6,     ///< client -> server: steering command (control plane)
+  Push = 7,      ///< server -> client: pushed data (e.g. a rendered frame)
+  HeartbeatAck = 8 ///< server -> client: heartbeat echo (RTT measurement)
 };
 
 /// Stable name for a frame kind (diagnostics).

@@ -2,6 +2,7 @@
 
 #include "schedPolicy.h"
 #include "sxml.h"
+#include "vizTransfer.h"
 
 #include <algorithm>
 #include <cmath>
@@ -39,7 +40,9 @@ bool ConfigPoint::operator==(const ConfigPoint &o) const
       this->ExecShardGrain != o.ExecShardGrain ||
       this->GraphEnabled != o.GraphEnabled ||
       this->GraphFusion != o.GraphFusion ||
-      this->GraphMaxNodes != o.GraphMaxNodes)
+      this->GraphMaxNodes != o.GraphMaxNodes ||
+      this->VizResolution != o.VizResolution ||
+      this->VizColormap != o.VizColormap || this->VizCodec != o.VizCodec)
     return false;
 
   // overrides compare padded with defaults: a short (or missing) vector is
@@ -330,6 +333,44 @@ KnobSpace KnobSpace::Campaign(int nAnalyses, bool includeExec)
     add(std::move(k));
   }
 
+  // ---- <viz> ----
+  {
+    Knob k;
+    k.Name = "viz.resolution";
+    k.Kind = KnobKind::PowerOfTwo;
+    k.Min = 64; k.Max = 1024;
+    k.Get = [](const ConfigPoint &p) { return double(p.VizResolution); };
+    k.Set = [](ConfigPoint &p, double v)
+    { p.VizResolution = static_cast<std::size_t>(v); };
+    add(std::move(k));
+  }
+  {
+    Knob k;
+    k.Name = "viz.colormap";
+    k.Kind = KnobKind::Enum;
+    k.Min = 0; k.Max = 2;
+    k.Choices = {"gray", "viridis", "heat"};
+    k.Get = [](const ConfigPoint &p) { return double(p.VizColormap); };
+    k.Set = [](ConfigPoint &p, double v) { p.VizColormap = int(v); };
+    add(std::move(k));
+  }
+  {
+    // image frames are RGBA bytes: only none / shuffle-rle apply (u8
+    // negotiation folds everything else onto shuffle-rle anyway)
+    Knob k;
+    k.Name = "viz.codec";
+    k.Kind = KnobKind::Enum;
+    k.Min = 0; k.Max = 1;
+    k.Choices = {"none", "shuffle-rle"};
+    k.Get = [](const ConfigPoint &p)
+    { return p.VizCodec == cmp::CodecId::None ? 0.0 : 1.0; };
+    k.Set = [](ConfigPoint &p, double v)
+    {
+      p.VizCodec = v >= 0.5 ? cmp::CodecId::ShuffleRLE : cmp::CodecId::None;
+    };
+    add(std::move(k));
+  }
+
   // ---- per-analysis placement-policy overrides ----
   for (int i = 0; i < nAnalyses; ++i)
   {
@@ -465,6 +506,14 @@ void ApplyToDoc(const ConfigPoint &p, sxml::Element &root)
   ge->SetAttributeBool("enabled", p.GraphEnabled);
   ge->SetAttributeBool("fusion", p.GraphFusion);
   ge->SetAttributeInt("max_nodes", static_cast<long long>(p.GraphMaxNodes));
+
+  sxml::Element *ze = root.FindOrAddChild("viz");
+  ze->ClearAttributes();
+  ze->SetAttributeInt("width", static_cast<long long>(p.VizResolution));
+  ze->SetAttributeInt("height", static_cast<long long>(p.VizResolution));
+  ze->SetAttribute("colormap",
+                   viz::ColormapName(viz::Colormap(p.VizColormap)));
+  ze->SetAttribute("codec", cmp::CodecName(p.VizCodec));
 
   // per-analysis overrides onto the i-th <analysis> element
   std::size_t i = 0;
@@ -602,6 +651,15 @@ ConfigPoint ParseDoc(const sxml::Element &root)
       p.GraphMaxNodes = static_cast<std::size_t>(ge->AttributeInt(
         "max_nodes", static_cast<long long>(p.GraphMaxNodes)));
     }
+    if (const sxml::Element *ze = root.FirstChild("viz"))
+    {
+      p.VizResolution = static_cast<std::size_t>(ze->AttributeInt(
+        "width", static_cast<long long>(p.VizResolution)));
+      p.VizColormap = int(viz::ColormapFromName(ze->Attribute(
+        "colormap", viz::ColormapName(viz::Colormap(p.VizColormap)))));
+      p.VizCodec = cmp::CodecIdFromName(
+        ze->Attribute("codec", cmp::CodecName(p.VizCodec)));
+    }
 
     // per-analysis overrides: from <analysis> elements when the document
     // has them (a campaign config), from <tune><override> records when it
@@ -671,6 +729,10 @@ std::string Describe(const ConfigPoint &p)
     os << "/" << p.ExecThreads << "t/g" << p.ExecShardGrain;
   os << " graph=" << (p.GraphEnabled ? (p.GraphFusion ? "fused" : "on")
                                      : "off");
+  os << " viz=" << p.VizResolution << "px/"
+     << viz::ColormapName(viz::Colormap(p.VizColormap));
+  if (p.VizCodec != cmp::CodecId::None)
+    os << "/" << cmp::CodecName(p.VizCodec);
   int n = 0;
   for (const AnalysisOverride &ov : p.Overrides)
     if (!ov.IsDefault())

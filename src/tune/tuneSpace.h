@@ -86,6 +86,12 @@ struct ConfigPoint
   bool GraphFusion = true;
   std::size_t GraphMaxNodes = 4096;
 
+  // <viz> — the steerable render endpoint: square framebuffer ladder,
+  // colormap, and the image-frame codec (None = raw RGBA)
+  std::size_t VizResolution = 256;
+  int VizColormap = 1; ///< viz::Colormap index (1 = viridis)
+  cmp::CodecId VizCodec = cmp::CodecId::None;
+
   /// Per-analysis overrides; entries beyond the vector (or default
   /// entries) mean "follow the run-wide configuration", so a missing
   /// vector and an all-default vector compare equal.
@@ -127,7 +133,7 @@ class KnobSpace
 {
 public:
   /// The campaign space: every `<pool>`, `<sched>`, `<compress>`,
-  /// `<exec>` and `<graph>` knob, plus a per-analysis placement-policy
+  /// `<exec>`, `<graph>` and `<viz>` knob, plus a per-analysis placement-policy
   /// override knob for each of `nAnalyses` analyses (0 = no per-analysis
   /// knobs). `includeExec` drops the `<exec>`/shard knobs for searches
   /// that only score virtual time (exec mode cannot change it).
@@ -154,7 +160,7 @@ private:
   std::vector<Knob> Knobs_;
 };
 
-/// Overlay `p` onto a parsed `<sensei>` document: the five subsystem
+/// Overlay `p` onto a parsed `<sensei>` document: the six subsystem
 /// elements are created (or taken over) with every knob explicitly set,
 /// and per-analysis override attributes are written onto the i-th
 /// `<analysis>` child. Fully explicit emission is what makes evaluations

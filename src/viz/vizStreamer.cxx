@@ -1,0 +1,209 @@
+#include "vizStreamer.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace viz
+{
+
+namespace
+{
+double RealNow()
+{
+  return std::chrono::duration<double>(
+           std::chrono::steady_clock::now().time_since_epoch())
+    .count();
+}
+} // namespace
+
+Streamer::Streamer(svc::ServiceConfig cfg)
+{
+  // viewers are pure consumers: a data frame from one is ignored, not
+  // an error (the session layer already rejects what it must)
+  this->Server_ = std::make_unique<svc::Server>(
+    [](int, const svc::FrameHeader &, std::vector<std::uint8_t> &&) {},
+    std::move(cfg));
+
+  this->Server_->SetSessionCallbacks(
+    [this](std::uint32_t session, const svc::HelloInfo &hello)
+    { this->OnOpen(session, hello); },
+    [this](std::uint32_t session, svc::SessionEnd why)
+    { this->OnClose(session, why); });
+
+  this->Server_->SetSteerHandler(
+    [this](std::uint32_t session, const svc::FrameHeader &header,
+           std::vector<std::uint8_t> &&payload)
+    { this->OnSteer(session, header, std::move(payload)); });
+}
+
+Streamer::~Streamer()
+{
+  this->Stop();
+}
+
+void Streamer::Start()
+{
+  this->Server_->Start();
+}
+
+void Streamer::Stop()
+{
+  this->Server_->Stop();
+}
+
+std::shared_ptr<svc::Port> Streamer::Connect()
+{
+  return this->Server_->Connect();
+}
+
+int Streamer::ActiveViewers() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return static_cast<int>(this->Viewers_.size());
+}
+
+void Streamer::OnOpen(std::uint32_t session, const svc::HelloInfo &hello)
+{
+  (void)hello;
+  const VizConfig cfg = GetConfig();
+
+  Viewer v;
+  v.Id = session;
+  v.Codec = cfg.Codec;
+
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  const std::uint64_t ix = this->Admitted_++;
+  if (ix < cfg.Viewers.size())
+  {
+    const ViewerOverride &ov = cfg.Viewers[ix];
+    v.Width = ov.Width;
+    v.Height = ov.Height;
+    if (ov.HaveCodec)
+      v.Codec = ov.Codec;
+  }
+  // RGBA bytes: negotiate the image codec against u8 up front so every
+  // publish uses what this viewer can actually decode
+  v.Codec = cmp::Negotiate(v.Codec, cmp::DType::U8);
+  this->Viewers_.push_back(v);
+}
+
+void Streamer::OnClose(std::uint32_t session, svc::SessionEnd why)
+{
+  (void)why;
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  this->Viewers_.erase(
+    std::remove_if(this->Viewers_.begin(), this->Viewers_.end(),
+                   [session](const Viewer &v) { return v.Id == session; }),
+    this->Viewers_.end());
+}
+
+void Streamer::OnSteer(std::uint32_t session, const svc::FrameHeader &header,
+                       std::vector<std::uint8_t> &&payload)
+{
+  (void)session;
+  (void)header;
+  SteerCommand cmd;
+  try
+  {
+    cmd = DecodeSteer(payload.data(), payload.size());
+  }
+  catch (const std::exception &)
+  {
+    UpdateStats([](VizStats &s) { ++s.SteersStale; });
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  const std::uint64_t floor =
+    this->HavePending_ ? std::max(this->Applied_, this->Pending_.Version)
+                       : this->Applied_;
+  if (cmd.Version <= floor)
+  {
+    // stale: an already-applied or already-superseded version can never
+    // roll parameters backward
+    UpdateStats([](VizStats &s) { ++s.SteersStale; });
+    return;
+  }
+  this->Pending_ = std::move(cmd);
+  this->HavePending_ = true;
+}
+
+bool Streamer::TakeSteer(SteerCommand &out)
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  if (!this->HavePending_)
+    return false;
+  out = std::move(this->Pending_);
+  this->HavePending_ = false;
+  this->Applied_ = std::max(this->Applied_, out.Version);
+  return true;
+}
+
+std::uint64_t Streamer::AppliedVersion() const
+{
+  std::lock_guard<std::mutex> lock(this->Mutex_);
+  return this->Applied_;
+}
+
+int Streamer::Publish(const FrameInfo &info, const std::uint8_t *rgba)
+{
+  std::vector<Viewer> viewers;
+  {
+    std::lock_guard<std::mutex> lock(this->Mutex_);
+    viewers = this->Viewers_;
+  }
+  if (viewers.empty())
+    return 0;
+
+  int queued = 0;
+  std::vector<std::uint8_t> scratch; // downsampled pixels, when needed
+  for (const Viewer &v : viewers)
+  {
+    // per-viewer fidelity: a smaller override resolution ships fewer
+    // pixels (nearest-neighbor shrink); enlargement is never done
+    FrameInfo fi = info;
+    const std::uint8_t *px = rgba;
+    if (v.Width && v.Height && v.Width < info.Width && v.Height < info.Height)
+    {
+      fi.Width = v.Width;
+      fi.Height = v.Height;
+      scratch.resize(static_cast<std::size_t>(4) * v.Width * v.Height);
+      Downsample(rgba, info.Width, info.Height, scratch.data(), v.Width,
+                 v.Height);
+      px = scratch.data();
+    }
+
+    const std::size_t pixelBytes =
+      static_cast<std::size_t>(4) * fi.Width * fi.Height;
+    const std::size_t rawBytes = pixelBytes + 64 + fi.Variable.size();
+
+    std::vector<std::uint8_t> payload;
+    bool compressed = false;
+    if (v.Codec.Codec != cmp::CodecId::None && pixelBytes)
+    {
+      // the pixel range becomes one self-describing codec chunk; the
+      // FrameInfo prefix stays raw so a viewer can triage without
+      // decoding
+      payload = EncodeFramePayload(fi, nullptr, 0);
+      cmp::EncodeChunk(px, cmp::DType::U8, pixelBytes, v.Codec, payload);
+      compressed = true;
+    }
+    else
+    {
+      payload = EncodeFramePayload(fi, px, pixelBytes);
+    }
+
+    if (this->Server_->Publish(v.Id, fi.Step, payload.data(), payload.size(),
+                               rawBytes, compressed))
+    {
+      ++queued;
+      RecordFrameAge(RealNow() - fi.RenderTime);
+    }
+  }
+  if (queued)
+    UpdateStats([queued](VizStats &s)
+                { s.FramesPublished += static_cast<std::uint64_t>(queued); });
+  return queued;
+}
+
+} // namespace viz

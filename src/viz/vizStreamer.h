@@ -1,0 +1,105 @@
+#ifndef vizStreamer_h
+#define vizStreamer_h
+
+/// @file vizStreamer.h
+/// The fan-out side of the visualization endpoint. A Streamer wraps a
+/// svc::Server whose tenants are viewers, not simulations: viewers
+/// connect with a "viz:"-prefixed mesh name (which buys them dispatch
+/// priority and Interactive placement inside the service), never send
+/// data frames, and receive rendered framebuffers as Push frames
+/// through the server's bounded per-session outbox — drop-oldest, so a
+/// slow viewer loses stale frames instead of stalling the publisher
+/// (and therefore the simulation).
+///
+/// Per-viewer fidelity comes from VizConfig::Viewers, matched by
+/// admission order: a smaller override resolution downsamples the
+/// framebuffer before shipping, and a codec override re-negotiates the
+/// image codec for that viewer alone. Image compression is negotiated
+/// viz-side against DType::U8 (RGBA bytes), independent of the svc
+/// data-plane grant.
+///
+/// The Streamer is also the steering sink: Steer frames arriving from
+/// any viewer land in a single pending slot where the highest version
+/// wins; the render analysis drains the slot at each step boundary via
+/// TakeSteer, and anything at or below the last applied (or currently
+/// pending) version is discarded as stale.
+
+#include "cmpCodec.h"
+#include "svcServer.h"
+#include "vizConfig.h"
+#include "vizWire.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace viz
+{
+
+class Streamer
+{
+public:
+  /// The underlying service runs with `cfg`; PushDepth bounds each
+  /// viewer's frame outbox.
+  explicit Streamer(svc::ServiceConfig cfg = svc::GetConfig());
+  ~Streamer();
+
+  Streamer(const Streamer &) = delete;
+  Streamer &operator=(const Streamer &) = delete;
+
+  void Start();
+  void Stop();
+
+  /// A new viewer connection's client-side port (hand to svc::Client
+  /// with a "viz:"-prefixed mesh name).
+  std::shared_ptr<svc::Port> Connect();
+
+  /// Viewers currently admitted.
+  int ActiveViewers() const;
+
+  /// Publish one rendered frame to every admitted viewer, applying each
+  /// viewer's resolution/codec override. `rgba` holds
+  /// info.Width * info.Height RGBA pixels. Thread-safe, never blocks on
+  /// a slow viewer. Returns the number of viewers the frame was queued
+  /// for.
+  int Publish(const FrameInfo &info, const std::uint8_t *rgba);
+
+  /// Drain the pending steering command, if any (highest version seen
+  /// since the last take). Marks its version applied so older commands
+  /// arriving later are discarded.
+  bool TakeSteer(SteerCommand &out);
+
+  /// The version TakeSteer most recently returned (0 = none yet).
+  std::uint64_t AppliedVersion() const;
+
+  /// The wrapped service (stats, RTTs, session counts).
+  svc::Server &Service() { return *this->Server_; }
+
+private:
+  struct Viewer
+  {
+    std::uint32_t Id = 0;
+    std::uint32_t Width = 0, Height = 0; ///< 0 = full resolution
+    cmp::Params Codec; ///< negotiated image codec (None = raw)
+  };
+
+  void OnOpen(std::uint32_t session, const svc::HelloInfo &hello);
+  void OnClose(std::uint32_t session, svc::SessionEnd why);
+  void OnSteer(std::uint32_t session, const svc::FrameHeader &header,
+               std::vector<std::uint8_t> &&payload);
+
+  std::unique_ptr<svc::Server> Server_;
+
+  mutable std::mutex Mutex_;
+  std::vector<Viewer> Viewers_;
+  std::uint64_t Admitted_ = 0; ///< admission order, indexes the overrides
+
+  bool HavePending_ = false;
+  SteerCommand Pending_;
+  std::uint64_t Applied_ = 0;
+};
+
+} // namespace viz
+
+#endif

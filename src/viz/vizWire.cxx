@@ -1,0 +1,159 @@
+#include "vizWire.h"
+
+#include "cmpCodec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace viz
+{
+
+namespace
+{
+
+void PutU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t GetU32(const std::uint8_t *&p, const std::uint8_t *end)
+{
+  if (end - p < 4)
+    throw std::runtime_error("viz: truncated payload");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  p += 4;
+  return v;
+}
+
+void PutU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+  cmp::PutLE64(out, v);
+}
+
+std::uint64_t GetU64(const std::uint8_t *&p, const std::uint8_t *end)
+{
+  if (end - p < 8)
+    throw std::runtime_error("viz: truncated payload");
+  const std::uint64_t v = cmp::LoadLE64(p);
+  p += 8;
+  return v;
+}
+
+void PutF64(std::vector<std::uint8_t> &out, double v)
+{
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  cmp::PutLE64(out, bits);
+}
+
+double GetF64(const std::uint8_t *&p, const std::uint8_t *end)
+{
+  const std::uint64_t bits = GetU64(p, end);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void PutString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string GetString(const std::uint8_t *&p, const std::uint8_t *end)
+{
+  const std::uint32_t n = GetU32(p, end);
+  if (static_cast<std::size_t>(end - p) < n)
+    throw std::runtime_error("viz: truncated payload");
+  std::string s(reinterpret_cast<const char *>(p), n);
+  p += n;
+  return s;
+}
+
+} // namespace
+
+std::vector<std::uint8_t> EncodeSteer(const SteerCommand &c)
+{
+  std::vector<std::uint8_t> out;
+  PutU64(out, c.Version);
+  PutU32(out, c.Have);
+  PutU32(out, c.Width);
+  PutU32(out, c.Height);
+  PutU64(out, static_cast<std::uint64_t>(c.BinResolution));
+  PutU32(out, static_cast<std::uint32_t>(c.Map));
+  out.push_back(c.Log ? 1 : 0);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  PutF64(out, c.Lo);
+  PutF64(out, c.Hi);
+  PutU32(out, static_cast<std::uint32_t>(c.Device));
+  PutString(out, c.Variable);
+  PutString(out, c.Op);
+  PutString(out, c.Axes);
+  return out;
+}
+
+SteerCommand DecodeSteer(const std::uint8_t *bytes, std::size_t size)
+{
+  const std::uint8_t *p = bytes;
+  const std::uint8_t *end = bytes + size;
+  SteerCommand c;
+  c.Version = GetU64(p, end);
+  c.Have = GetU32(p, end);
+  c.Width = GetU32(p, end);
+  c.Height = GetU32(p, end);
+  c.BinResolution = static_cast<std::int64_t>(GetU64(p, end));
+  c.Map = static_cast<Colormap>(GetU32(p, end));
+  if (end - p < 4)
+    throw std::runtime_error("viz: truncated steer command");
+  c.Log = p[0] != 0;
+  p += 4;
+  c.Lo = GetF64(p, end);
+  c.Hi = GetF64(p, end);
+  c.Device = static_cast<std::int32_t>(GetU32(p, end));
+  c.Variable = GetString(p, end);
+  c.Op = GetString(p, end);
+  c.Axes = GetString(p, end);
+  return c;
+}
+
+std::vector<std::uint8_t> EncodeFramePayload(const FrameInfo &info,
+                                             const std::uint8_t *pixels,
+                                             std::size_t pixelBytes)
+{
+  std::vector<std::uint8_t> out;
+  out.reserve(48 + info.Variable.size() + pixelBytes);
+  PutU32(out, info.Width);
+  PutU32(out, info.Height);
+  PutU64(out, info.Step);
+  PutU64(out, info.Version);
+  PutU32(out, static_cast<std::uint32_t>(info.Map));
+  PutF64(out, info.RenderTime);
+  PutString(out, info.Variable);
+  if (pixelBytes)
+    out.insert(out.end(), pixels, pixels + pixelBytes);
+  return out;
+}
+
+FrameInfo DecodeFrameInfo(const std::uint8_t *bytes, std::size_t size,
+                          std::size_t &pixelOffset)
+{
+  const std::uint8_t *p = bytes;
+  const std::uint8_t *end = bytes + size;
+  FrameInfo info;
+  info.Width = GetU32(p, end);
+  info.Height = GetU32(p, end);
+  info.Step = GetU64(p, end);
+  info.Version = GetU64(p, end);
+  info.Map = static_cast<Colormap>(GetU32(p, end));
+  info.RenderTime = GetF64(p, end);
+  info.Variable = GetString(p, end);
+  pixelOffset = static_cast<std::size_t>(p - bytes);
+  return info;
+}
+
+} // namespace viz

@@ -1,0 +1,88 @@
+#ifndef vizWire_h
+#define vizWire_h
+
+/// @file vizWire.h
+/// Payload formats of the visualization endpoint, carried inside the
+/// service wire frames (svcWire.h):
+///
+///  * a SteerCommand rides a FrameKind::Steer frame viewer -> server.
+///    Commands are versioned: the consumer applies at most the
+///    highest-versioned pending command at a step boundary and discards
+///    anything at or below the last applied version, so a stale or
+///    reordered command can never roll parameters backward.
+///  * a FrameInfo prefixes every rendered image on a FrameKind::Push
+///    frame server -> viewer, followed by the RGBA bytes (raw, or one
+///    cmp codec chunk when the session negotiated compression — the
+///    svc header's compressed flag says which).
+///
+/// Both encodings are little-endian and self-describing enough to
+/// round-trip exactly; decoders throw std::runtime_error on truncation.
+
+#include "vizTransfer.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace viz
+{
+
+/// Optional-field presence bits of a SteerCommand.
+enum : std::uint32_t
+{
+  kSteerImageSize = 1u << 0,  ///< Width/Height
+  kSteerBinRes = 1u << 1,     ///< BinResolution
+  kSteerVariable = 1u << 2,   ///< Variable/Op
+  kSteerColormap = 1u << 3,   ///< Map
+  kSteerLog = 1u << 4,        ///< Log
+  kSteerRange = 1u << 5,      ///< Lo/Hi (clears auto-range)
+  kSteerAutoRange = 1u << 6,  ///< re-enable auto-range
+  kSteerAxes = 1u << 7,       ///< Axes (coordinate system)
+  kSteerDevice = 1u << 8      ///< Device placement
+};
+
+/// A mid-run parameter change. Unset fields keep their current value.
+struct SteerCommand
+{
+  std::uint64_t Version = 0; ///< monotonic; stale commands are discarded
+  std::uint32_t Have = 0;    ///< kSteer* presence bits
+
+  std::uint32_t Width = 0, Height = 0; ///< framebuffer resolution
+  std::int64_t BinResolution = 0;      ///< bins per axis
+  std::string Variable;                ///< rendered column ("" = count)
+  std::string Op;                      ///< reduction name ("sum", ...)
+  Colormap Map = Colormap::Viridis;
+  bool Log = false;
+  double Lo = 0.0, Hi = 1.0;
+  std::string Axes;   ///< comma-separated axis columns
+  std::int32_t Device = -2; ///< DEVICE_AUTO/-1 host/explicit id
+};
+
+std::vector<std::uint8_t> EncodeSteer(const SteerCommand &c);
+SteerCommand DecodeSteer(const std::uint8_t *bytes, std::size_t size);
+
+/// Metadata prefix of a rendered frame.
+struct FrameInfo
+{
+  std::uint32_t Width = 0, Height = 0;
+  std::uint64_t Step = 0;    ///< simulation step the frame renders
+  std::uint64_t Version = 0; ///< parameter version in effect
+  Colormap Map = Colormap::Viridis;
+  std::string Variable;      ///< rendered array name
+  double RenderTime = 0.0;   ///< real-clock seconds when the render began
+};
+
+/// Build a complete Push payload: encoded FrameInfo + `pixels` verbatim.
+std::vector<std::uint8_t> EncodeFramePayload(const FrameInfo &info,
+                                             const std::uint8_t *pixels,
+                                             std::size_t pixelBytes);
+
+/// Split a Push payload back into FrameInfo + the pixel byte range
+/// (offset into `bytes` where pixels start).
+FrameInfo DecodeFrameInfo(const std::uint8_t *bytes, std::size_t size,
+                          std::size_t &pixelOffset);
+
+} // namespace viz
+
+#endif

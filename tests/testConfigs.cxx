@@ -10,6 +10,7 @@
 #include "senseiConfigurableAnalysis.h"
 #include "svcSession.h"
 #include "tuneSearch.h"
+#include "vizConfig.h"
 #include "vpPlatform.h"
 
 #include <gtest/gtest.h>
@@ -49,6 +50,7 @@ void ResetProcessState()
   // InitializeString configures process-wide subsystems from each file;
   // leave defaults behind for whatever test runs next
   svc::Configure(svc::ServiceConfig());
+  viz::Configure(viz::VizConfig());
 }
 
 } // namespace

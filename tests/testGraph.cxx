@@ -554,6 +554,92 @@ TEST(GraphSession, ElementCountDriftRebindsWithoutInvalidation)
   ConfigureGraph(false);
 }
 
+TEST(GraphSession, MidRunParameterChangeOnCapturedAnalysisRecapturesBitExact)
+{
+  // the steering case: a captured analysis has parameters changed
+  // between steps — a coarser bin resolution plus an extra reduction,
+  // what a viz Steer command's resolution + variable swap does. The
+  // extra reduction adds kernels, so the captured DAG no longer
+  // matches: the step must invalidate, fall back to eager execution,
+  // recapture the new shape, and stay bit-exact with an eager run of
+  // the same schedule — not die on a replay mismatch. (A pure
+  // resolution change is absorbed by element-count rebinding and never
+  // invalidates — ElementCountDriftRebindsWithoutInvalidation above.)
+  auto run = [](bool graphOn)
+  {
+    ResetPlatform();
+    ConfigureSerial();
+    ConfigureGraph(graphOn);
+    vp::graph::ResetStats();
+
+    sensei::TableAdaptor *da = sensei::TableAdaptor::New("bodies");
+    DataBinning *b = DataBinning::New();
+    b->SetMeshName("bodies");
+    b->SetAxes({"x", "y"});
+    b->SetResolution({16});
+    b->SetRange(0, -1.0, 1.0);
+    b->SetRange(1, -1.0, 1.0);
+    b->AddOperation("v", BinningOp::Sum);
+    b->SetDeviceId(0);
+
+    std::vector<BinningGrids> out;
+    for (int s = 0; s < 6; ++s)
+    {
+      if (s == 3) // the mid-run steer lands before this step
+      {
+        b->SetResolution({24});
+        b->AddOperation("v", BinningOp::Min);
+      }
+
+      svtkTable *t = MakeTable(3000, 70u + static_cast<unsigned>(s));
+      da->SetTable(t);
+      t->Delete();
+      da->SetDataTimeStep(s);
+      da->SetDataTime(0.01 * s);
+
+      EXPECT_TRUE(b->Execute(da));
+
+      svtkImageData *img = b->GetLastResult();
+      EXPECT_NE(img, nullptr);
+      BinningGrids g;
+      if (img)
+      {
+        g.Count = GridValues(img, "count");
+        g.Sum = GridValues(img, "v_sum");
+        if (s >= 3)
+          g.Min = GridValues(img, "v_min");
+        img->UnRegister();
+      }
+      out.push_back(std::move(g));
+    }
+    EXPECT_EQ(b->Finalize(), 0);
+    b->Delete();
+    da->ReleaseData();
+    da->Delete();
+
+    const vp::graph::GraphStats gs = vp::graph::Stats();
+    ConfigureGraph(false);
+    return std::make_pair(out, gs);
+  };
+
+  const auto eager = run(false);
+  const auto graph = run(true);
+
+  ASSERT_EQ(eager.first.size(), graph.first.size());
+  for (std::size_t s = 0; s < eager.first.size(); ++s)
+  {
+    EXPECT_TRUE(eager.first[s] == graph.first[s]) << "step " << s;
+    EXPECT_EQ(eager.first[s].Count.size(),
+              s < 3 ? std::size_t(16 * 16) : std::size_t(24 * 24));
+  }
+
+  // capture -> replay x2 -> invalidate on the changed shape -> eager
+  // fallback -> recapture -> replay the new shape
+  EXPECT_GE(graph.second.Captures, 2u);
+  EXPECT_GE(graph.second.Replays, 3u);
+  EXPECT_GE(graph.second.Invalidations, 1u);
+}
+
 // --- full coupled pipelines ---------------------------------------------------
 
 namespace

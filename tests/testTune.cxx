@@ -16,6 +16,7 @@
 #include "tuneOnline.h"
 #include "tuneSearch.h"
 #include "tuneSpace.h"
+#include "vizTransfer.h"
 
 #include <gtest/gtest.h>
 
@@ -159,6 +160,36 @@ TEST(TuneSpace, RoundTripPerAnalysisOverrides)
   q.Overrides.resize(5);
   EXPECT_EQ(q, p);
   EXPECT_EQ(tune::ParseXml(tune::EmitXml(q)), p);
+}
+
+TEST(TuneSpace, VizKnobsCoverTheRenderEndpointAndRoundTrip)
+{
+  // the steerable render endpoint is part of the campaign space:
+  // resolution ladder, colormap, and the image-frame codec
+  const tune::KnobSpace space = tune::KnobSpace::Campaign(0, true);
+  std::set<std::string> names;
+  for (const tune::Knob &k : space.Knobs())
+    names.insert(k.Name);
+  EXPECT_EQ(names.count("viz.resolution"), 1u);
+  EXPECT_EQ(names.count("viz.colormap"), 1u);
+  EXPECT_EQ(names.count("viz.codec"), 1u);
+
+  tune::ConfigPoint p;
+  p.VizResolution = 512;
+  p.VizColormap = static_cast<int>(viz::Colormap::Heat);
+  p.VizCodec = cmp::CodecId::ShuffleRLE;
+
+  const std::string xml = tune::EmitXml(p);
+  EXPECT_NE(xml.find("<viz"), std::string::npos) << xml;
+
+  const tune::ConfigPoint back = tune::ParseXml(xml);
+  EXPECT_EQ(back, p);
+  EXPECT_EQ(back.VizResolution, 512u);
+  EXPECT_EQ(back.VizColormap, static_cast<int>(viz::Colormap::Heat));
+  EXPECT_EQ(back.VizCodec, cmp::CodecId::ShuffleRLE);
+
+  // and the one-line description mentions the render plan
+  EXPECT_NE(tune::Describe(p).find("viz="), std::string::npos);
 }
 
 TEST(TuneSpace, ParseRejectsOutOfDomainValues)
