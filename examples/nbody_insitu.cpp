@@ -126,6 +126,7 @@ int main(int argc, char **argv)
   sensei::ExportCompressStats(sensei::Profiler::Global());
   sensei::ExportExecStats(sensei::Profiler::Global());
   sensei::ExportGraphStats(sensei::Profiler::Global());
+  sensei::ExportLayoutStats(sensei::Profiler::Global());
   sensei::ExportServiceStats(sensei::Profiler::Global());
   sensei::ExportVizStats(sensei::Profiler::Global());
   {

@@ -70,6 +70,16 @@ fi
 if [ -f BENCH_graph.json ]; then
   echo "wrote results/BENCH_graph.json"
 fi
+# um_layout writes the layout-engine campaign: real wall-clock for the
+# SoA+SIMD nbody force kernel vs the seed's scalar AoS loop and for the
+# codec's blocked byte-plane transpose vs the strided per-plane gather,
+# plus the binning bit-exactness matrix across serial/threads x
+# eager/graph-replay x aos/soa/aosoa; the binary exits nonzero when the
+# matrix diverges, and on machines with >= 4 hardware threads it also
+# gates on the 1.5x force and 1.2x shuffle speedups
+if [ -f BENCH_layout.json ]; then
+  echo "wrote results/BENCH_layout.json"
+fi
 # um_tune writes the auto-tuner campaign: every hand-written config scored
 # on the comparison campaign, the tuned configuration's winning margin,
 # annealer-vs-random search quality, and the online controller's
@@ -145,6 +155,13 @@ echo "== step-graph campaign (VP_CHECK=1) =="
 # tasks_enqueued drop, so a regression in either aborts the script here
 VP_CHECK=1 ../build/bench/um_graph --benchmark_min_time=0.05 \
   | tee um_graph_checked.txt
+echo "== layout-engine campaign (VP_CHECK=1) =="
+# layout conversions (the deferred reorder kernels), the lane-vectorized
+# force and tiled binning variants, and the blocked plane transpose
+# under the checker; the bit-exactness matrix still applies, so a layout
+# that perturbs the binning grids aborts the script here
+VP_CHECK=1 ../build/bench/um_layout --benchmark_min_time=0.05 \
+  | tee um_layout_checked.txt
 echo "== scheduler-labelled tests =="
 ctest --test-dir ../build -L sched --output-on-failure
 
@@ -166,6 +183,9 @@ ctest --test-dir ../build -L graph --output-on-failure
 echo "== auto-tuner tests =="
 ctest --test-dir ../build -L tune --output-on-failure
 
+echo "== layout-engine tests =="
+ctest --test-dir ../build -L layout --output-on-failure
+
 echo "== visualization tests =="
 ctest --test-dir ../build -L viz --output-on-failure
 
@@ -174,7 +194,7 @@ echo "== sanitized scheduler + compression runs (-DVP_SANITIZE=ON) =="
 # the drop/coalesce task destruction paths, and the codec byte-twiddling
 # (shuffle, varint, quantize) run under the sanitizers
 cmake -B ../build-sanitize -S .. -G Ninja -DVP_SANITIZE=ON
-cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph testTune testViz
+cmake --build ../build-sanitize --target um_sched testSched um_compress testCompress testService testGraph um_graph testTune testViz testLayout um_layout
 ../build-sanitize/bench/um_sched --benchmark_min_time=0.05 \
   | tee um_sched_sanitized.txt
 ../build-sanitize/tests/testSched
@@ -196,13 +216,20 @@ VP_CHECK=1 ../build-sanitize/bench/um_graph --benchmark_min_time=0.05 \
 # framebuffer fills, per-viewer downsample/codec paths, the steer wire
 # encodings, and the streamer's session teardown under ASan+UBSan
 ../build-sanitize/tests/testViz
+# the layout engine's reorder kernels (padded AoSoA tails, the 1000-seed
+# round-trip sweep), the blocked plane transpose, and the lane-vectorized
+# kernel variants under ASan+UBSan; um_layout keeps its bit-exactness
+# matrix gate in the sanitized build too
+../build-sanitize/tests/testLayout
+VP_CHECK=1 ../build-sanitize/bench/um_layout --benchmark_min_time=0.05 \
+  | tee um_layout_sanitized.txt
 
 echo "== ThreadSanitizer execution-engine run (-DVP_TSAN=ON) =="
 # a separate TSan build configuration (mutually exclusive with ASan):
 # the worker queues, sharded regions, fences and event edges of the
 # threaded engine run under the race detector
 cmake -B ../build-tsan -S .. -G Ninja -DVP_TSAN=ON
-cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph testTune testViz
+cmake --build ../build-tsan --target testExec um_exec testService testGraph um_graph testTune testViz testLayout
 ../build-tsan/tests/testExec
 VP_EXEC=threads ../build-tsan/bench/um_exec --benchmark_min_time=0.05 \
   | tee um_exec_tsan.txt
@@ -221,6 +248,10 @@ VP_EXEC=threads ../build-tsan/bench/um_graph --benchmark_min_time=0.05 \
 # path: the streamer's pending-slot and fan-out locking under the race
 # detector
 ../build-tsan/tests/testViz
+# layout reorders and the lane-vectorized kernels under the threaded
+# engine: deferred reorder bodies retain the old storage while worker
+# queues drain; the serial-vs-threads equality tests must be race clean
+../build-tsan/tests/testLayout
 
 if command -v gnuplot >/dev/null 2>&1; then
   gnuplot ../scripts/plot_fig2_fig3.gp

@@ -1,5 +1,6 @@
 #include "cmpCodec.h"
 
+#include "layoutMapping.h"
 #include "vpChecker.h"
 #include "vpMemoryPool.h"
 #include "vpPlatform.h"
@@ -416,15 +417,13 @@ public:
       return true;
     }
 
-    Scratch plane; // pooled temporary for one gathered byte plane
-    plane.Resize(n);
+    // one pooled temporary holding all esize byte planes, gathered in a
+    // single cache-blocked transpose; the bitstream is unchanged
+    Scratch planes;
+    planes.Resize(esize * n);
+    vp::layout::GatherPlanes(bytes, esize, n, planes.Data());
     for (std::size_t b = 0; b < esize; ++b)
-    {
-      std::uint8_t *pl = plane.Data();
-      for (std::size_t i = 0; i < n; ++i)
-        pl[i] = bytes[i * esize + b];
-      RleEncode(pl, n, dst);
-    }
+      RleEncode(planes.Data() + b * n, n, dst);
     return true;
   }
 
@@ -444,15 +443,11 @@ public:
     }
     else
     {
-      Scratch plane;
-      plane.Resize(n);
+      Scratch planes;
+      planes.Resize(esize * n);
       for (std::size_t b = 0; b < esize; ++b)
-      {
-        RleDecodeSegment(payload, size, pos, plane.Data(), n);
-        const std::uint8_t *pl = plane.Data();
-        for (std::size_t i = 0; i < n; ++i)
-          dst[i * esize + b] = pl[i];
-      }
+        RleDecodeSegment(payload, size, pos, planes.Data() + b * n, n);
+      vp::layout::ScatterPlanes(planes.Data(), esize, n, dst);
     }
     if (pos != size)
       throw std::runtime_error("cmp: trailing bytes in RLE stream");

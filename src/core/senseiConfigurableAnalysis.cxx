@@ -190,6 +190,41 @@ void ConfigurableAnalysis::Initialize(const sxml::Element &root)
     vp::graph::Configure(cfg);
   }
 
+  // optional <layout> element selects the process-wide default array
+  // storage layout (aos | soa | aosoa, plus the AoSoA block size) and
+  // whether kernels may take their vectorized (floating-point
+  // reassociating) variants. VP_LAYOUT / VP_SIMD in the environment win
+  // over the XML, mirroring the VP_EXEC convention; per-analysis
+  // layout= attributes override the default per back end.
+  if (const sxml::Element *le = root.FirstChild("layout"))
+  {
+    vp::layout::LayoutConfig cfg = vp::layout::GetConfig();
+    try
+    {
+      if (!std::getenv("VP_LAYOUT"))
+      {
+        std::size_t block = cfg.Block;
+        cfg.Default = vp::layout::KindFromName(
+          le->Attribute("default",
+                        vp::layout::KindName(cfg.Default)), &block);
+        cfg.Block = block;
+        const long long blk = le->AttributeInt(
+          "block", static_cast<long long>(cfg.Block));
+        if (blk < 2 || blk > 65536)
+          throw std::invalid_argument("block must be in [2, 65536]");
+        cfg.Block = static_cast<std::size_t>(blk);
+      }
+      if (!std::getenv("VP_SIMD"))
+        cfg.Simd = le->AttributeBool("simd", cfg.Simd);
+      vp::layout::Configure(cfg);
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(std::string("ConfigurableAnalysis: <layout> ") +
+                               e.what());
+    }
+  }
+
   // optional <compress> element configures the process-wide default
   // codec for bulk payloads (in transit frames, binary snapshots);
   // per-analysis compress= attributes override it
@@ -469,6 +504,30 @@ void ConfigurableAnalysis::ApplyCommon(const sxml::Element &el,
         "ConfigurableAnalysis: compress=\"quantize\" needs a positive "
         "compress_error_bound");
     a->SetCompression(p);
+  }
+
+  // per-analysis array layout override: layout="aos|soa|aosoa|aosoa<B>"
+  // [+ layout_block]. Without the attribute the back end follows the
+  // <layout> element's process-wide default.
+  if (el.HasAttribute("layout"))
+  {
+    try
+    {
+      std::size_t block = 0;
+      const vp::layout::Kind k =
+        vp::layout::KindFromName(el.Attribute("layout"), &block);
+      const long long blk = el.AttributeInt(
+        "layout_block", static_cast<long long>(block));
+      if (blk < 0 || blk == 1 || blk > 65536)
+        throw std::invalid_argument(
+          "layout_block must be in [2, 65536] (or 0 for the default)");
+      a->SetArrayLayout(k, static_cast<std::size_t>(blk));
+    }
+    catch (const std::invalid_argument &e)
+    {
+      throw std::runtime_error(std::string("ConfigurableAnalysis: ") +
+                               e.what());
+    }
   }
 }
 

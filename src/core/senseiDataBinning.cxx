@@ -1,6 +1,7 @@
 #include "senseiDataBinning.h"
 
 #include "execEngine.h"
+#include "layoutMapping.h"
 #include "graphCapture.h"
 #include "senseiProfiler.h"
 #include "sio.h"
@@ -557,6 +558,19 @@ void DataBinning::RunBinning(const Snapshot &snap)
   const double *scalePtr = scale.data();
   const double *shiftPtr = shift.data();
 
+  // When this analysis is layout hinted (SoA / AoSoA, per analysis or
+  // via the process <layout> default) the accumulate bodies take the
+  // tiled variant: the per-row bin indices are precomputed a column
+  // (axis) at a time over small tiles — contiguous, branch-light loops
+  // the compiler vectorizes — and the grid scatter then replays in the
+  // identical row order with the identical index math, so the results
+  // are bit-exact with the interleaved path.
+  const bool tiled = this->GetEffectiveLayout() != vp::layout::Kind::AoS;
+  if (tiled)
+    vp::layout::NoteSimdKernel();
+  else
+    vp::layout::NoteScalarKernel();
+
   // the shared accumulation body: bin index from the coordinate columns,
   // then a counter increment plus each reduction — the updates that need
   // atomics on a real GPU. With slabStride > 0 the body is privatized:
@@ -578,6 +592,58 @@ void DataBinning::RunBinning(const Snapshot &snap)
               static_cast<std::size_t>(vp::exec::ShardIndex()), maxSlab) *
               slabStride
           : 0;
+      if (tiled)
+      {
+        constexpr std::size_t Tile = 256; // rows per index-precompute tile
+        std::size_t idxBuf[Tile];
+        for (std::size_t t0 = b; t0 < e; t0 += Tile)
+        {
+          const std::size_t m = std::min<std::size_t>(Tile, e - t0);
+          for (std::size_t i = 0; i < m; ++i)
+            idxBuf[i] = 0;
+          std::size_t strideAcc = 1;
+          for (std::size_t a = 0; a < nAxesC; ++a)
+          {
+            const double sh = shiftPtr[a];
+            const double sc = scalePtr[a];
+            const long rmax = resPtr[a] - 1;
+            const double *__restrict col = axp[a] + t0;
+            std::size_t *__restrict ib = idxBuf;
+            for (std::size_t i = 0; i < m; ++i)
+            {
+              long bi = static_cast<long>((col[i] - sh) * sc);
+              bi = std::clamp(bi, 0L, rmax);
+              ib[i] += static_cast<std::size_t>(bi) * strideAcc;
+            }
+            strideAcc *= static_cast<std::size_t>(resPtr[a]);
+          }
+          for (std::size_t i = 0; i < m; ++i)
+          {
+            const std::size_t idx = idxBuf[i];
+            cnt[off + idx] += 1.0;
+            for (std::size_t k = 0; k < nRedC; ++k)
+            {
+              const double v = valp[k][t0 + i];
+              switch (kinds[k])
+              {
+                case BinningOp::Sum:
+                case BinningOp::Average:
+                  grid[k][off + idx] += v;
+                  break;
+                case BinningOp::Min:
+                  grid[k][off + idx] = std::min(grid[k][off + idx], v);
+                  break;
+                case BinningOp::Max:
+                  grid[k][off + idx] = std::max(grid[k][off + idx], v);
+                  break;
+                default:
+                  break;
+              }
+            }
+          }
+        }
+        return;
+      }
       for (std::size_t i = b; i < e; ++i)
       {
         std::size_t idx = 0;

@@ -3,6 +3,7 @@
 #include "cmpCodec.h"
 #include "execEngine.h"
 #include "graphCapture.h"
+#include "layoutMapping.h"
 #include "schedPipeline.h"
 #include "svcSession.h"
 #include "vizConfig.h"
@@ -208,6 +209,20 @@ void ExportGraphStats(Profiler &prof)
   prof.Event("graph::launches_fused", static_cast<double>(s.LaunchesFused));
   prof.Event("graph::flushes", static_cast<double>(s.Flushes));
   prof.Event("graph::ops_absorbed", static_cast<double>(s.OpsAbsorbed));
+}
+
+void ExportLayoutStats(Profiler &prof)
+{
+  const vp::layout::LayoutStats s = vp::layout::Stats();
+  prof.Event("layout::conversions", static_cast<double>(s.Conversions));
+  prof.Event("layout::bytes_reordered",
+             static_cast<double>(s.BytesReordered));
+  prof.Event("layout::simd_kernels", static_cast<double>(s.SimdKernels));
+  prof.Event("layout::scalar_kernels", static_cast<double>(s.ScalarKernels));
+  prof.Event("layout::runs_iterated", static_cast<double>(s.RunsIterated));
+  prof.Event("layout::plane_transposes",
+             static_cast<double>(s.PlaneTransposes));
+  prof.Event("layout::plane_bytes", static_cast<double>(s.PlaneBytes));
 }
 
 void ExportServiceStats(Profiler &prof)

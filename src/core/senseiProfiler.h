@@ -217,6 +217,13 @@ void ExportExecStats(Profiler &prof);
 /// of the campaign's submission work the replay path absorbed.
 void ExportGraphStats(Profiler &prof);
 
+/// Record the layout-engine counters (vp::layout::Stats) as profiler
+/// events: layout::conversions, layout::bytes_reordered,
+/// layout::simd_kernels, layout::scalar_kernels, layout::runs_iterated,
+/// layout::plane_transposes, layout::plane_bytes — how often arrays were
+/// re-laid-out and which kernel variants (vectorized vs scalar) ran.
+void ExportLayoutStats(Profiler &prof);
+
 /// Record the in-transit service counters (svc::Stats) as profiler
 /// events: svc::sessions_opened / _rejected / _closed / _reaped,
 /// svc::frames_sent / _accepted / _dropped / _coalesced / _rejected /

@@ -1,0 +1,130 @@
+#ifndef layoutView_h
+#define layoutView_h
+
+/// @file layoutView.h
+/// layout::View<T> — a zero-copy typed accessor over a flat allocation
+/// interpreted through a layout::Mapping. The view owns nothing; it is
+/// a (pointer, mapping) pair whose accessors translate (tuple,
+/// component) coordinates into flat slots, and whose run iteration
+/// hands kernels the contiguous spans the active layout provides so
+/// the inner loops vectorize over `__restrict` pointers instead of
+/// strided gathers.
+///
+/// Invalidation: a view caches the pointer and the mapping at
+/// construction. Any operation that reallocates or reorders the
+/// underlying storage (resize, layout conversion) invalidates every
+/// outstanding view; acquire views per kernel, not per array lifetime.
+
+#include "layoutMapping.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace vp
+{
+namespace layout
+{
+
+template <typename T>
+class View
+{
+public:
+  View() = default;
+  View(T *data, const Mapping &map) : Data_(data), Map_(map) {}
+
+  const Mapping &Map() const noexcept { return this->Map_; }
+  T *Data() const noexcept { return this->Data_; }
+  std::size_t Tuples() const noexcept { return this->Map_.Tuples; }
+  std::size_t Comps() const noexcept { return this->Map_.Comps; }
+
+  /// Element access through the mapping.
+  T &operator()(std::size_t tuple, std::size_t comp) const noexcept
+  {
+    return this->Data_[this->Map_.Offset(tuple, comp)];
+  }
+
+  /// Pointer to the contiguous run of component `comp` starting at
+  /// `tuple`; *count receives the run length.
+  T *RunPtr(std::size_t tuple, std::size_t comp,
+            std::size_t *count) const noexcept
+  {
+    const Run r = this->Map_.RunAt(tuple, comp);
+    if (count)
+      *count = r.Count;
+    return this->Data_ + r.Offset;
+  }
+
+  /// Invoke fn(T *run, std::size_t tuple0, std::size_t count) for every
+  /// contiguous run of component `comp` over tuples [begin, end). The
+  /// run pointers are disjoint per call, so fn's loop bodies vectorize.
+  template <typename F>
+  void ForEachRun(std::size_t comp, std::size_t begin, std::size_t end,
+                  F &&fn) const
+  {
+    std::size_t nRuns = 0;
+    for (std::size_t t = begin; t < end;)
+    {
+      Run r = this->Map_.RunAt(t, comp);
+      if (t + r.Count > end)
+        r.Count = end - t;
+      fn(this->Data_ + r.Offset, t, r.Count);
+      t += r.Count;
+      ++nRuns;
+    }
+    NoteRuns(nRuns);
+  }
+
+  template <typename F>
+  void ForEachRun(std::size_t comp, F &&fn) const
+  {
+    this->ForEachRun(comp, 0, this->Map_.Tuples, std::forward<F>(fn));
+  }
+
+private:
+  T *Data_ = nullptr;
+  Mapping Map_;
+};
+
+/// Element-wise reorder between two mappings of the same logical shape:
+/// dst[to.Offset(t, c)] = src[from.Offset(t, c)] over [tupleBegin,
+/// tupleEnd). Iterates the destination's runs so writes stay
+/// contiguous; identical values land in every layout, so round trips
+/// are bit-exact. `src` and `dst` must not alias.
+template <typename T>
+void ReorderRange(const T *src, const Mapping &from, T *dst,
+                  const Mapping &to, std::size_t tupleBegin,
+                  std::size_t tupleEnd)
+{
+  const std::size_t comps = to.Comps;
+  for (std::size_t c = 0; c < comps; ++c)
+  {
+    View<T> out(dst, to);
+    out.ForEachRun(c, tupleBegin, tupleEnd,
+                   [&](T *__restrict run, std::size_t t0, std::size_t count)
+                   {
+                     if (from.Layout == Kind::SoA || from.Comps == 1)
+                     {
+                       // source run is contiguous too: straight copy
+                       const T *__restrict s = src + from.Offset(t0, c);
+                       for (std::size_t i = 0; i < count; ++i)
+                         run[i] = s[i];
+                       return;
+                     }
+                     for (std::size_t i = 0; i < count; ++i)
+                       run[i] = src[from.Offset(t0 + i, c)];
+                   });
+  }
+}
+
+/// Whole-array reorder; counts the conversion in layout::Stats().
+template <typename T>
+void Reorder(const T *src, const Mapping &from, T *dst, const Mapping &to)
+{
+  ReorderRange(src, from, dst, to, 0, to.Tuples);
+  NoteConversion(to.Tuples * to.Comps * sizeof(T));
+}
+
+} // namespace layout
+} // namespace vp
+
+#endif

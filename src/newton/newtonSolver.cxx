@@ -1,5 +1,6 @@
 #include "newtonSolver.h"
 
+#include "layoutMapping.h"
 #include "vomp.h"
 #include "vpPlatform.h"
 
@@ -151,10 +152,66 @@ void Solver::PairwiseAccumulate(const double *sx, const double *sy,
   const double g = this->Config_.G;
   const double eps2 = this->Config_.Softening * this->Config_.Softening;
 
+  // The vectorized variant keeps per-lane force accumulators so the
+  // compiler can pack the inner loop and overlap the div/sqrt chains.
+  // Lane accumulation reassociates the floating-point sum, so it is
+  // opt-in (VP_SIMD / <layout simd="1">). It also relies on eps2 > 0 to
+  // absorb the self interaction branchlessly (dx = 0 makes the term
+  // contribute exactly zero); with zero softening the scalar path runs.
+  const bool simd = vp::layout::SimdEnabled() && (!self || eps2 > 0.0);
+  if (simd)
+    vp::layout::NoteSimdKernel();
+  else
+    vp::layout::NoteScalarKernel();
+
   vomp::TargetParallelFor(
     this->OmpDevice_, n,
     [=](std::size_t b, std::size_t e)
     {
+      if (simd)
+      {
+        constexpr std::size_t W = 4; // accumulator lanes
+        const std::size_t nv = nSrc - nSrc % W;
+        for (std::size_t i = b; i < e; ++i)
+        {
+          double fx[W] = {0.0}, fy[W] = {0.0}, fz[W] = {0.0};
+          const double xi = x[i], yi = y[i], zi = z[i];
+          for (std::size_t j = 0; j < nv; j += W)
+          {
+            for (std::size_t l = 0; l < W; ++l)
+            {
+              const double dx = sx[j + l] - xi;
+              const double dy = sy[j + l] - yi;
+              const double dz = sz[j + l] - zi;
+              const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+              const double inv = 1.0 / (r2 * std::sqrt(r2));
+              const double s = g * sm[j + l] * inv;
+              fx[l] += s * dx;
+              fy[l] += s * dy;
+              fz[l] += s * dz;
+            }
+          }
+          double tfx = (fx[0] + fx[1]) + (fx[2] + fx[3]);
+          double tfy = (fy[0] + fy[1]) + (fy[2] + fy[3]);
+          double tfz = (fz[0] + fz[1]) + (fz[2] + fz[3]);
+          for (std::size_t j = nv; j < nSrc; ++j)
+          {
+            const double dx = sx[j] - xi;
+            const double dy = sy[j] - yi;
+            const double dz = sz[j] - zi;
+            const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+            const double inv = 1.0 / (r2 * std::sqrt(r2));
+            const double s = g * sm[j] * inv;
+            tfx += s * dx;
+            tfy += s * dy;
+            tfz += s * dz;
+          }
+          ax[i] += tfx;
+          ay[i] += tfy;
+          az[i] += tfz;
+        }
+        return;
+      }
       for (std::size_t i = b; i < e; ++i)
       {
         double fx = 0.0, fy = 0.0, fz = 0.0;

@@ -41,6 +41,8 @@ bool ConfigPoint::operator==(const ConfigPoint &o) const
       this->GraphEnabled != o.GraphEnabled ||
       this->GraphFusion != o.GraphFusion ||
       this->GraphMaxNodes != o.GraphMaxNodes ||
+      this->Layout != o.Layout || this->LayoutBlock != o.LayoutBlock ||
+      this->LayoutSimd != o.LayoutSimd ||
       this->VizResolution != o.VizResolution ||
       this->VizColormap != o.VizColormap || this->VizCodec != o.VizCodec)
     return false;
@@ -333,6 +335,38 @@ KnobSpace KnobSpace::Campaign(int nAnalyses, bool includeExec)
     add(std::move(k));
   }
 
+  // ---- <layout> ----
+  {
+    Knob k;
+    k.Name = "layout.default";
+    k.Kind = KnobKind::Enum;
+    k.Min = 0; k.Max = 2;
+    k.Choices = {"aos", "soa", "aosoa"};
+    k.Get = [](const ConfigPoint &p) { return double(int(p.Layout)); };
+    k.Set = [](ConfigPoint &p, double v)
+    { p.Layout = static_cast<vp::layout::Kind>(int(v)); };
+    add(std::move(k));
+  }
+  {
+    Knob k;
+    k.Name = "layout.block";
+    k.Kind = KnobKind::PowerOfTwo;
+    k.Min = 8; k.Max = 128;
+    k.Get = [](const ConfigPoint &p) { return double(p.LayoutBlock); };
+    k.Set = [](ConfigPoint &p, double v)
+    { p.LayoutBlock = static_cast<std::size_t>(v); };
+    add(std::move(k));
+  }
+  {
+    Knob k;
+    k.Name = "layout.simd";
+    k.Kind = KnobKind::Bool;
+    k.Choices = {"0", "1"};
+    k.Get = [](const ConfigPoint &p) { return p.LayoutSimd ? 1.0 : 0.0; };
+    k.Set = [](ConfigPoint &p, double v) { p.LayoutSimd = v >= 0.5; };
+    add(std::move(k));
+  }
+
   // ---- <viz> ----
   {
     Knob k;
@@ -507,6 +541,12 @@ void ApplyToDoc(const ConfigPoint &p, sxml::Element &root)
   ge->SetAttributeBool("fusion", p.GraphFusion);
   ge->SetAttributeInt("max_nodes", static_cast<long long>(p.GraphMaxNodes));
 
+  sxml::Element *le = root.FindOrAddChild("layout");
+  le->ClearAttributes();
+  le->SetAttribute("default", vp::layout::KindName(p.Layout));
+  le->SetAttributeInt("block", static_cast<long long>(p.LayoutBlock));
+  le->SetAttributeBool("simd", p.LayoutSimd);
+
   sxml::Element *ze = root.FindOrAddChild("viz");
   ze->ClearAttributes();
   ze->SetAttributeInt("width", static_cast<long long>(p.VizResolution));
@@ -651,6 +691,17 @@ ConfigPoint ParseDoc(const sxml::Element &root)
       p.GraphMaxNodes = static_cast<std::size_t>(ge->AttributeInt(
         "max_nodes", static_cast<long long>(p.GraphMaxNodes)));
     }
+    if (const sxml::Element *le = root.FirstChild("layout"))
+    {
+      p.Layout = vp::layout::KindFromName(
+        le->Attribute("default", vp::layout::KindName(p.Layout)));
+      p.LayoutBlock = static_cast<std::size_t>(le->AttributeInt(
+        "block", static_cast<long long>(p.LayoutBlock)));
+      if (p.LayoutBlock < 2 || p.LayoutBlock > 65536)
+        throw std::runtime_error(
+          "tune::ParseDoc: <layout> block must be in [2, 65536]");
+      p.LayoutSimd = le->AttributeBool("simd", p.LayoutSimd);
+    }
     if (const sxml::Element *ze = root.FirstChild("viz"))
     {
       p.VizResolution = static_cast<std::size_t>(ze->AttributeInt(
@@ -729,6 +780,9 @@ std::string Describe(const ConfigPoint &p)
     os << "/" << p.ExecThreads << "t/g" << p.ExecShardGrain;
   os << " graph=" << (p.GraphEnabled ? (p.GraphFusion ? "fused" : "on")
                                      : "off");
+  os << " layout=" << vp::layout::KindName(p.Layout, p.LayoutBlock);
+  if (p.LayoutSimd)
+    os << "+simd";
   os << " viz=" << p.VizResolution << "px/"
      << viz::ColormapName(viz::Colormap(p.VizColormap));
   if (p.VizCodec != cmp::CodecId::None)

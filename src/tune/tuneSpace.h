@@ -24,6 +24,7 @@
 
 #include "cmpCodec.h"
 #include "execEngine.h"
+#include "layoutMapping.h"
 #include "schedPipeline.h"
 
 #include <cstddef>
@@ -85,6 +86,12 @@ struct ConfigPoint
   bool GraphEnabled = false;
   bool GraphFusion = true;
   std::size_t GraphMaxNodes = 4096;
+
+  // <layout> — default array layout, AoSoA block size, and whether the
+  // vectorized (reassociating) kernel variants may run
+  vp::layout::Kind Layout = vp::layout::Kind::AoS;
+  std::size_t LayoutBlock = 32;
+  bool LayoutSimd = false;
 
   // <viz> — the steerable render endpoint: square framebuffer ladder,
   // colormap, and the image-frame codec (None = raw RGBA)

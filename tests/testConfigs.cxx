@@ -7,6 +7,7 @@
 // instead of in a user's run.
 
 #include "campaign.h"
+#include "layoutMapping.h"
 #include "senseiConfigurableAnalysis.h"
 #include "svcSession.h"
 #include "tuneSearch.h"
@@ -51,6 +52,7 @@ void ResetProcessState()
   // leave defaults behind for whatever test runs next
   svc::Configure(svc::ServiceConfig());
   viz::Configure(viz::VizConfig());
+  vp::layout::Configure(vp::layout::LayoutConfig());
 }
 
 } // namespace

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace
 {
 vp::PlatformConfig DefaultConfig()
@@ -458,4 +460,43 @@ TEST_F(PoolTest, ConfigurableAnalysisRejectsBadTrimThreshold)
                  "</sensei>"),
                std::runtime_error);
   ca->UnRegister();
+}
+
+// --- alignment --------------------------------------------------------------
+
+// the layout engine's contiguous-run kernels assume vector-register /
+// cache-line alignment: every platform block must sit on a 64-byte
+// boundary, and the pool's power-of-two size classes must preserve it
+// for reused blocks
+
+TEST_F(PoolTest, PlatformBlocksAre64ByteAligned)
+{
+  for (std::size_t bytes :
+       {std::size_t(1), std::size_t(8), std::size_t(100), std::size_t(256),
+        std::size_t(999), std::size_t(4096), std::size_t(1) << 20})
+  {
+    void *h = vp::Platform::Get().Allocate(vp::MemSpace::Host,
+                                           vp::HostDevice, bytes,
+                                           vp::PmKind::None);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(h) % 64, 0u) << bytes;
+    vp::Platform::Get().Free(h);
+
+    void *d = vp::Platform::Get().Allocate(vp::MemSpace::Device, 0, bytes,
+                                           vp::PmKind::Cuda);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % 64, 0u) << bytes;
+    vp::Platform::Get().Free(d);
+  }
+}
+
+TEST_F(PoolTest, PooledBlocksAre64ByteAligned)
+{
+  vp::PoolManager &mgr = vp::PoolManager::Get();
+  void *p = mgr.Allocate(vp::MemSpace::Device, 0, 1000, vp::PmKind::Cuda);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  mgr.Deallocate(p, vp::Stream());
+
+  // the cache-hit path hands back the same storage: still aligned
+  void *q = mgr.Allocate(vp::MemSpace::Device, 0, 900, vp::PmKind::Cuda);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 64, 0u);
+  mgr.Deallocate(q, vp::Stream());
 }
